@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Figure 5: how often clauses are visited during
+ * propagation and conflict resolving, by activity quintile, over
+ * random 3-SAT problems shaped like UF200-860. The paper reports
+ * the top fifth of clauses taking 42% of visits (33% propagation +
+ * 9% conflict).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "gen/random_sat.h"
+#include "util/table.h"
+
+using namespace hyqsat;
+
+int
+main()
+{
+    std::printf("=== Figure 5: clause visit frequency by quintile "
+                "(UF200-860 shape) ===\n");
+    const int problems = bench::fullScale() ? 100 : 20;
+    std::printf("(%d problems)\n", problems);
+
+    // Quintile -> accumulated shares.
+    double prop_share[5] = {};
+    double confl_share[5] = {};
+
+    Rng rng(0xf5);
+    for (int p = 0; p < problems; ++p) {
+        const auto cnf = gen::uniformRandom3Sat(200, 860, rng);
+        sat::Solver solver;
+        if (!solver.loadCnf(cnf))
+            continue;
+        solver.solve();
+
+        const int m = solver.numOriginalClauses();
+        std::vector<int> order(m);
+        for (int i = 0; i < m; ++i)
+            order[i] = i;
+        // Rank clauses by total visits (the paper's "number of
+        // visits" partition).
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            return solver.clausePropagationVisits(a) +
+                       solver.clauseConflictVisits(a) >
+                   solver.clausePropagationVisits(b) +
+                       solver.clauseConflictVisits(b);
+        });
+
+        double total = 0;
+        for (int i = 0; i < m; ++i) {
+            total += static_cast<double>(
+                solver.clausePropagationVisits(i) +
+                solver.clauseConflictVisits(i));
+        }
+        if (total == 0)
+            continue;
+        for (int q = 0; q < 5; ++q) {
+            const int lo = q * m / 5, hi = (q + 1) * m / 5;
+            double prop = 0, confl = 0;
+            for (int i = lo; i < hi; ++i) {
+                prop += static_cast<double>(
+                    solver.clausePropagationVisits(order[i]));
+                confl += static_cast<double>(
+                    solver.clauseConflictVisits(order[i]));
+            }
+            prop_share[q] += prop / total;
+            confl_share[q] += confl / total;
+        }
+    }
+
+    Table table;
+    table.setHeader({"Clause quintile", "Propagation %", "Conflict %",
+                     "Total %"});
+    const char *names[5] = {"top 1/5", "2nd 1/5", "3rd 1/5",
+                            "4th 1/5", "bottom 1/5"};
+    for (int q = 0; q < 5; ++q) {
+        const double prop = 100.0 * prop_share[q] / problems;
+        const double confl = 100.0 * confl_share[q] / problems;
+        table.addRow({names[q], Table::num(prop, 1),
+                      Table::num(confl, 1),
+                      Table::num(prop + confl, 1)});
+    }
+    table.print();
+    std::printf("\nPaper (Fig. 5): the top fifth of clauses takes "
+                "42%% of visits (33%% propagation + 9%% conflict). "
+                "Shape to check: strong concentration in the top "
+                "quintile, monotone decay across quintiles.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Microbenchmarks for the SAT substrate's hot paths (propagation,
+ * full solves, clause-queue generation) using google-benchmark.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/clause_queue.h"
+#include "gen/random_sat.h"
+#include "sat/solver.h"
+#include "util/rng.h"
+
+using namespace hyqsat;
+
+namespace {
+
+void
+BM_SolveRandom3Sat(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const int m = static_cast<int>(n * 4.26);
+    Rng rng(42);
+    const auto cnf = gen::uniformRandom3Sat(n, m, rng);
+    for (auto _ : state) {
+        sat::Solver solver;
+        solver.loadCnf(cnf);
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+BENCHMARK(BM_SolveRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+void
+BM_LoadAndPropagate(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(43);
+    // Horn-heavy: load triggers long unit-propagation chains.
+    const auto cnf = gen::randomHornLike(n, 3 * n, 0.95, rng);
+    for (auto _ : state) {
+        sat::Solver solver;
+        benchmark::DoNotOptimize(solver.loadCnf(cnf));
+    }
+}
+BENCHMARK(BM_LoadAndPropagate)->Arg(200)->Arg(1000);
+
+void
+BM_ClauseQueueGeneration(benchmark::State &state)
+{
+    Rng rng(44);
+    const auto cnf = gen::uniformRandom3Sat(200, 860, rng);
+    sat::Solver solver;
+    solver.loadCnf(cnf);
+    Rng qrng(45);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::generateClauseQueue(solver, {}, qrng));
+    }
+}
+BENCHMARK(BM_ClauseQueueGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Example: a command-line DIMACS solver front door, so the library
+ * interoperates with standard SAT tooling. Reads a CNF file, solves
+ * it with HyQSAT (or plain CDCL with --classic) and prints the
+ * result in SAT-competition style ("s SATISFIABLE" + "v" lines).
+ *
+ *   ./build/examples/dimacs_solver problem.cnf [--classic]
+ *       [--noisy] [--warmup N]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/hybrid_solver.h"
+#include "sat/dimacs.h"
+#include "sat/simplify.h"
+
+using namespace hyqsat;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::printf("usage: %s problem.cnf [--classic] [--noisy] "
+                    "[--warmup N]\n",
+                    argv[0]);
+        return 2;
+    }
+    const std::string path = argv[1];
+    bool classic = false, noisy = false, preprocess = false;
+    std::int64_t warmup = -1;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--classic"))
+            classic = true;
+        else if (!std::strcmp(argv[i], "--noisy"))
+            noisy = true;
+        else if (!std::strcmp(argv[i], "--simplify"))
+            preprocess = true;
+        else if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
+            warmup = std::atoll(argv[++i]);
+    }
+
+    const auto parsed = sat::parseDimacsFile(path);
+    if (!parsed) {
+        std::printf("c cannot parse %s\n", path.c_str());
+        return 2;
+    }
+    sat::Cnf cnf = *parsed;
+    std::printf("c parsed %d variables, %d clauses\n", cnf.numVars(),
+                cnf.numClauses());
+    const int original_vars = cnf.numVars();
+    sat::SimplifyResult pre;
+    if (preprocess) {
+        pre = sat::simplifyCnf(cnf);
+        std::printf("c simplify: %d units, %d subsumed, %d "
+                    "strengthened -> %d clauses\n",
+                    pre.units_propagated, pre.subsumed,
+                    pre.strengthened, pre.cnf.numClauses());
+        if (!pre.satisfiable_possible) {
+            std::printf("s UNSATISFIABLE\n");
+            return 20;
+        }
+        cnf = pre.cnf;
+    }
+    if (!cnf.isThreeSat()) {
+        std::printf("c converting to 3-SAT for the annealer "
+                    "frontend\n");
+        cnf = sat::toThreeSat(cnf);
+    }
+
+    core::HybridResult result;
+    if (classic) {
+        result = core::solveClassicCdcl(
+            cnf, sat::SolverOptions::minisatStyle());
+    } else {
+        core::HybridConfig config;
+        if (noisy) {
+            config.annealer.noise = anneal::NoiseModel::dwave2000q();
+        } else {
+            config.annealer.noise = anneal::NoiseModel::noiseFree();
+            config.annealer.greedy_finish = true;
+            config.annealer.attempts = 2;
+        }
+        config.warmup_override = warmup;
+        core::HybridSolver solver(config);
+        result = solver.solve(cnf);
+        std::printf("c %d QA samples over %d warm-up iterations\n",
+                    result.qa_samples, result.warmup_iterations);
+    }
+
+    std::printf("c %llu iterations, %llu conflicts\n",
+                static_cast<unsigned long long>(
+                    result.stats.iterations),
+                static_cast<unsigned long long>(
+                    result.stats.conflicts));
+    if (result.status.isTrue()) {
+        if (preprocess)
+            result.model = pre.extendModel(result.model);
+        if (static_cast<int>(result.model.size()) < original_vars)
+            result.model.resize(original_vars, false);
+        std::printf("s SATISFIABLE\nv");
+        for (int v = 0; v < original_vars; ++v)
+            std::printf(" %d", result.model[v] ? v + 1 : -(v + 1));
+        std::printf(" 0\n");
+        return 10;
+    }
+    if (result.status.isFalse()) {
+        std::printf("s UNSATISFIABLE\n");
+        return 20;
+    }
+    std::printf("s UNKNOWN\n");
+    return 0;
+}

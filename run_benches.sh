@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerate every table/figure: one binary per experiment.
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+        echo "===== $b ====="
+        timeout 1500 "$b"
+        echo
+    fi
+done
+echo "ALL_BENCHES_DONE"

@@ -1,0 +1,243 @@
+#include "anneal/annealer.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace hyqsat::anneal {
+
+QuantumAnnealer::QuantumAnnealer(const chimera::ChimeraGraph &graph,
+                                 Options opts)
+    : graph_(graph), opts_(opts), rng_(opts.seed)
+{
+}
+
+double
+QuantumAnnealer::perturb(double value, double range)
+{
+    if (opts_.noise.coefficient_sigma <= 0.0)
+        return value;
+    return value +
+           rng_.gaussian(0.0, opts_.noise.coefficient_sigma * range);
+}
+
+AnnealSample
+QuantumAnnealer::sample(const qubo::EncodedProblem &problem,
+                        const embed::Embedding &embedding)
+{
+    AnnealSample out;
+    out.device_time_us = opts_.timing.sampleTimeUs(1);
+    const int num_nodes = problem.numNodes();
+    out.node_bits.assign(num_nodes, false);
+    if (num_nodes == 0)
+        return out;
+    if (embedding.numNodes() != num_nodes)
+        panic("embedding/problem node count mismatch (%d vs %d)",
+              embedding.numNodes(), num_nodes);
+
+    // Compact physical qubit indexing over the used qubits.
+    std::unordered_map<int, int> dense; // hardware qubit -> spin index
+    std::vector<int> spin_node;         // spin index -> logical node
+    for (int n = 0; n < num_nodes; ++n) {
+        for (int q : embedding.chain(n)) {
+            dense.emplace(q, static_cast<int>(dense.size()));
+            spin_node.push_back(n);
+        }
+    }
+
+    const qubo::IsingModel logical = quboToIsing(problem.normalized);
+    qubo::IsingModel physical(static_cast<int>(dense.size()));
+
+    // Distribute each node's field over its chain.
+    for (int n = 0; n < num_nodes; ++n) {
+        const auto &chain = embedding.chain(n);
+        const double share =
+            logical.field(n) / static_cast<double>(chain.size());
+        for (int q : chain)
+            physical.addField(dense.at(q), perturb(share, 2.0));
+    }
+
+    // Each logical coupling sits on one physical coupler.
+    for (const auto &[key, w] : logical.couplingTerms()) {
+        if (w == 0.0)
+            continue;
+        const auto coupler =
+            embedding.findCoupler(graph_, key.first(), key.second());
+        if (!coupler) {
+            panic("embedding lacks a coupler for edge (%d, %d)",
+                  key.first(), key.second());
+        }
+        physical.addCoupling(dense.at(coupler->first),
+                             dense.at(coupler->second),
+                             perturb(w, 1.0));
+    }
+
+    // Ferromagnetic chain couplings on every intra-chain coupler.
+    for (int n = 0; n < num_nodes; ++n) {
+        const auto &chain = embedding.chain(n);
+        for (std::size_t i = 0; i < chain.size(); ++i) {
+            for (std::size_t j = i + 1; j < chain.size(); ++j) {
+                if (graph_.connected(chain[i], chain[j])) {
+                    physical.addCoupling(
+                        dense.at(chain[i]), dense.at(chain[j]),
+                        perturb(-opts_.chain_strength, 1.0));
+                }
+            }
+        }
+    }
+
+    // Anneal. Chains are registered as block-move groups: a logical
+    // variable flip is then a single proposal, which keeps long
+    // chains kinetically mobile (the device analogue is collective
+    // tunneling of the chain).
+    SaSampler sampler(physical);
+    {
+        std::vector<std::vector<int>> groups(num_nodes);
+        for (int n = 0; n < num_nodes; ++n)
+            for (int q : embedding.chain(n))
+                groups[n].push_back(dense.at(q));
+        sampler.setGroups(groups);
+    }
+    SaOptions sa;
+    sa.sweeps = opts_.noise.sweeps;
+    sa.beta_end = opts_.noise.beta_final;
+    sa.greedy_finish = opts_.greedy_finish;
+
+    bool have_best = false;
+    for (int attempt = 0; attempt < std::max(opts_.attempts, 1);
+         ++attempt) {
+        SaResult result = sampler.sample(sa, rng_);
+
+        // Readout error flips individual physical qubits.
+        if (opts_.noise.readout_flip_prob > 0.0) {
+            for (auto &s : result.spins)
+                if (rng_.chance(opts_.noise.readout_flip_prob))
+                    s = -s;
+            result.energy = sampler.energy(result.spins);
+        }
+
+        // De-embed: majority vote per chain.
+        std::vector<int> votes(num_nodes, 0);
+        std::vector<int> sizes(num_nodes, 0);
+        for (std::size_t s = 0; s < result.spins.size(); ++s) {
+            votes[spin_node[s]] += result.spins[s];
+            ++sizes[spin_node[s]];
+        }
+        AnnealSample candidate;
+        candidate.device_time_us = out.device_time_us;
+        candidate.node_bits.assign(num_nodes, false);
+        candidate.physical_energy = result.energy;
+        for (int n = 0; n < num_nodes; ++n) {
+            const int v = votes[n];
+            candidate.chain_breaks += (std::abs(v) != sizes[n]);
+            if (v == 0)
+                candidate.node_bits[n] = rng_.chance(0.5); // tie
+            else
+                candidate.node_bits[n] = v > 0;
+        }
+        candidate.clause_energy =
+            problem.clauseSpaceEnergy(candidate.node_bits);
+        candidate.weighted_energy =
+            problem.objective.energy(candidate.node_bits);
+
+        if (!have_best || candidate.clause_energy < out.clause_energy) {
+            out = candidate;
+            have_best = true;
+        }
+        if (out.clause_energy == 0.0)
+            break;
+    }
+    return out;
+}
+
+AnnealSample
+QuantumAnnealer::sampleMajorityVote(const qubo::EncodedProblem &problem,
+                                    const embed::Embedding &embedding,
+                                    int samples)
+{
+    AnnealSample out;
+    const int num_nodes = problem.numNodes();
+    out.node_bits.assign(num_nodes, false);
+    if (num_nodes == 0 || samples <= 0)
+        return out;
+
+    std::vector<int> votes(num_nodes, 0);
+    for (int k = 0; k < samples; ++k) {
+        const AnnealSample shot = sample(problem, embedding);
+        out.chain_breaks += shot.chain_breaks;
+        for (int n = 0; n < num_nodes; ++n)
+            votes[n] += shot.node_bits[n] ? 1 : -1;
+    }
+    for (int n = 0; n < num_nodes; ++n) {
+        if (votes[n] == 0)
+            out.node_bits[n] = rng_.chance(0.5);
+        else
+            out.node_bits[n] = votes[n] > 0;
+    }
+    out.clause_energy = problem.clauseSpaceEnergy(out.node_bits);
+    out.weighted_energy = problem.objective.energy(out.node_bits);
+    out.device_time_us = opts_.timing.sampleTimeUs(samples);
+    return out;
+}
+
+AnnealSample
+QuantumAnnealer::sampleLogical(const qubo::EncodedProblem &problem)
+{
+    AnnealSample out;
+    out.device_time_us = opts_.timing.sampleTimeUs(1);
+    const int num_nodes = problem.numNodes();
+    out.node_bits.assign(num_nodes, false);
+    if (num_nodes == 0)
+        return out;
+
+    qubo::IsingModel logical = quboToIsing(problem.normalized);
+    if (opts_.noise.coefficient_sigma > 0.0) {
+        qubo::IsingModel noisy(logical.numSpins());
+        noisy.addOffset(logical.offset());
+        for (int i = 0; i < logical.numSpins(); ++i)
+            noisy.addField(i, perturb(logical.field(i), 2.0));
+        for (const auto &[key, w] : logical.couplingTerms())
+            noisy.addCoupling(key.first(), key.second(),
+                              perturb(w, 1.0));
+        logical = std::move(noisy);
+    }
+
+    SaSampler sampler(logical);
+    SaOptions sa;
+    sa.sweeps = opts_.noise.sweeps;
+    sa.beta_end = opts_.noise.beta_final;
+    sa.greedy_finish = opts_.greedy_finish;
+
+    bool have_best = false;
+    for (int attempt = 0; attempt < std::max(opts_.attempts, 1);
+         ++attempt) {
+        SaResult result = sampler.sample(sa, rng_);
+        if (opts_.noise.readout_flip_prob > 0.0) {
+            for (auto &s : result.spins)
+                if (rng_.chance(opts_.noise.readout_flip_prob))
+                    s = -s;
+            result.energy = sampler.energy(result.spins);
+        }
+        AnnealSample candidate;
+        candidate.device_time_us = out.device_time_us;
+        candidate.physical_energy = result.energy;
+        candidate.node_bits.assign(num_nodes, false);
+        for (int n = 0; n < num_nodes; ++n)
+            candidate.node_bits[n] = result.spins[n] > 0;
+        candidate.clause_energy =
+            problem.clauseSpaceEnergy(candidate.node_bits);
+        candidate.weighted_energy =
+            problem.objective.energy(candidate.node_bits);
+        if (!have_best || candidate.clause_energy < out.clause_energy) {
+            out = candidate;
+            have_best = true;
+        }
+        if (out.clause_energy == 0.0)
+            break;
+    }
+    return out;
+}
+
+} // namespace hyqsat::anneal

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Quantum-annealer facade: the component that plays the role of the
+ * D-Wave 2000Q in this reproduction. It programs an embedded (or
+ * logical) Ising problem, draws one sample with a configurable noise
+ * model, de-embeds chains by majority vote and reports the
+ * clause-space energy that the HyQSAT backend interprets, together
+ * with modeled device time.
+ */
+
+#ifndef HYQSAT_ANNEAL_ANNEALER_H
+#define HYQSAT_ANNEAL_ANNEALER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "anneal/noise.h"
+#include "anneal/sa_sampler.h"
+#include "anneal/timing.h"
+#include "chimera/chimera.h"
+#include "embed/embedding.h"
+#include "qubo/encoder.h"
+#include "util/rng.h"
+
+namespace hyqsat::anneal {
+
+/** One annealer sample, already interpreted to logical space. */
+struct AnnealSample
+{
+    /** Assignment of every problem node (variables + auxiliaries). */
+    std::vector<bool> node_bits;
+
+    /**
+     * Clause-space energy: the unit objective (alpha = 1) value of
+     * the de-embedded assignment. Zero iff every embedded clause is
+     * satisfied with consistent auxiliaries; the backend's
+     * confidence intervals live on this axis.
+     */
+    double clause_energy = 0.0;
+
+    /**
+     * Device-reported energy: the alpha-weighted (coefficient-
+     * adjusted) objective at the de-embedded assignment. This is
+     * the axis the coefficient adjustment lifts (Fig. 15); equal to
+     * clause_energy when the adjustment is disabled.
+     */
+    double weighted_energy = 0.0;
+
+    /** Energy of the physical (or logical) Ising problem sampled. */
+    double physical_energy = 0.0;
+
+    /** Chains whose qubits disagreed before majority vote. */
+    int chain_breaks = 0;
+
+    /** Modeled device wall-clock for this sample (microseconds). */
+    double device_time_us = 0.0;
+};
+
+/** Simulated quantum annealer. */
+class QuantumAnnealer
+{
+  public:
+    struct Options
+    {
+        NoiseModel noise = NoiseModel::dwave2000q();
+        TimingModel timing;
+
+        /**
+         * Ferromagnetic intra-chain coupling strength, in units of
+         * the hardware J range (applied as -chain_strength).
+         */
+        double chain_strength = 1.0;
+
+        /**
+         * Zero-temperature descent after the anneal. On for the
+         * noise-free simulator, off for noisy device emulation.
+         */
+        bool greedy_finish = false;
+
+        /**
+         * Internal anneal repetitions per sample; the lowest
+         * clause-space energy wins. The noise-free simulator uses a
+         * few attempts (the paper's simulator runs "with a long
+         * timeout"); a noisy device models one shot.
+         */
+        int attempts = 1;
+
+        std::uint64_t seed = 0x5eed0f2a;
+    };
+
+    QuantumAnnealer(const chimera::ChimeraGraph &graph, Options opts);
+
+    /**
+     * Program the embedded problem onto the hardware graph and draw
+     * one sample (the HyQSAT flow: one sample per CDCL iteration).
+     */
+    AnnealSample sample(const qubo::EncodedProblem &problem,
+                        const embed::Embedding &embedding);
+
+    /**
+     * Sample the logical problem directly (ideal all-to-all device).
+     * Used by the noise-free simulator path and for calibration.
+     */
+    AnnealSample sampleLogical(const qubo::EncodedProblem &problem);
+
+    /**
+     * Classical noise mitigation from the paper's related work
+     * (§VIII-C, majority voting [63]): draw @p samples device shots
+     * and majority-vote every node's value across them; the
+     * returned sample carries the voted assignment, its energies
+     * and the summed device time. HyQSAT itself deliberately uses
+     * one shot per iteration; this is the baseline it avoids.
+     */
+    AnnealSample sampleMajorityVote(const qubo::EncodedProblem &problem,
+                                    const embed::Embedding &embedding,
+                                    int samples);
+
+    /** Access the RNG (e.g. to reseed between experiments). */
+    Rng &rng() { return rng_; }
+
+    const Options &options() const { return opts_; }
+
+  private:
+    /** Gaussian control noise on a programmed coefficient. */
+    double perturb(double value, double range);
+
+    const chimera::ChimeraGraph &graph_;
+    Options opts_;
+    Rng rng_;
+};
+
+} // namespace hyqsat::anneal
+
+#endif // HYQSAT_ANNEAL_ANNEALER_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Noise model for the simulated quantum annealer, covering the three
+ * sources the paper discusses (§I, §IV-C): control noise on the
+ * programmed coefficients (environment/crosstalk), thermal
+ * excitation (finite annealing temperature) and readout error. The
+ * §VI-G scalability study's "10% bit flipping" maps to
+ * readout_flip_prob = 0.1.
+ */
+
+#ifndef HYQSAT_ANNEAL_NOISE_H
+#define HYQSAT_ANNEAL_NOISE_H
+
+namespace hyqsat::anneal {
+
+/** Device noise parameters. */
+struct NoiseModel
+{
+    /**
+     * Gaussian std-dev added to every programmed h and J, relative
+     * to the hardware coefficient range (D-Wave quotes ~2-3%
+     * integrated control error).
+     */
+    double coefficient_sigma = 0.025;
+
+    /** Probability a qubit reads out flipped. */
+    double readout_flip_prob = 0.0;
+
+    /**
+     * Thermal noise: the sampler stops at this final inverse
+     * temperature instead of descending to the ground state
+     * (smaller = hotter = noisier).
+     */
+    double beta_final = 6.0;
+
+    /** Sweeps per sample (device anneal-time proxy). */
+    int sweeps = 512;
+
+    /** @return a noise-free configuration (the §VI-B simulator). */
+    static NoiseModel
+    noiseFree()
+    {
+        NoiseModel m;
+        m.coefficient_sigma = 0.0;
+        m.readout_flip_prob = 0.0;
+        m.beta_final = 8.0;
+        m.sweeps = 256;
+        return m;
+    }
+
+    /** @return the default noisy D-Wave 2000Q-like configuration. */
+    static NoiseModel
+    dwave2000q()
+    {
+        return {};
+    }
+};
+
+} // namespace hyqsat::anneal
+
+#endif // HYQSAT_ANNEAL_NOISE_H

@@ -1,0 +1,124 @@
+#include "anneal/sa_sampler.h"
+
+#include <cmath>
+
+#include "anneal/schedule.h"
+
+namespace hyqsat::anneal {
+
+SaSampler::SaSampler(const qubo::IsingModel &model)
+    : offset_(model.offset()), h_(model.fields()),
+      adj_(model.numSpins())
+{
+    for (const auto &[key, w] : model.couplingTerms()) {
+        if (w == 0.0)
+            continue;
+        adj_[key.first()].emplace_back(key.second(), w);
+        adj_[key.second()].emplace_back(key.first(), w);
+    }
+}
+
+void
+SaSampler::setGroups(const std::vector<std::vector<int>> &groups)
+{
+    groups_ = groups;
+    group_of_.assign(numSpins(), -1);
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        for (int i : groups_[g])
+            group_of_[i] = static_cast<int>(g);
+}
+
+double
+SaSampler::groupFlipDelta(const std::vector<std::int8_t> &s,
+                          int group) const
+{
+    // Internal couplings are invariant under a block flip; only the
+    // fields and the boundary couplings change sign.
+    double delta = 0.0;
+    for (int i : groups_[group]) {
+        double boundary = h_[i];
+        for (const auto &[j, w] : adj_[i])
+            if (group_of_[j] != group)
+                boundary += w * s[j];
+        delta += -2.0 * s[i] * boundary;
+    }
+    return delta;
+}
+
+double
+SaSampler::energy(const std::vector<std::int8_t> &spins) const
+{
+    double e = offset_;
+    for (int i = 0; i < numSpins(); ++i) {
+        e += h_[i] * spins[i];
+        for (const auto &[j, w] : adj_[i])
+            if (j > i)
+                e += w * spins[i] * spins[j];
+    }
+    return e;
+}
+
+SaResult
+SaSampler::sample(const SaOptions &opts, Rng &rng) const
+{
+    const int n = numSpins();
+    SaResult result;
+    result.spins.resize(n);
+    for (auto &s : result.spins)
+        s = rng.chance(0.5) ? 1 : -1;
+
+    const auto betas =
+        geometricBetaSchedule(opts.beta_start, opts.beta_end,
+                              std::max(opts.sweeps, 1));
+    for (const double beta : betas) {
+        for (int i = 0; i < n; ++i) {
+            // Energy change of flipping spin i:
+            // dE = -2 * s_i * (h_i + sum_j J_ij s_j).
+            const double delta =
+                -2.0 * result.spins[i] * localField(result.spins, i);
+            if (delta <= 0.0 || rng.uniform() < std::exp(-beta * delta))
+                result.spins[i] = -result.spins[i];
+        }
+        // Block moves over registered groups (qubit chains).
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+            const double delta =
+                groupFlipDelta(result.spins, static_cast<int>(g));
+            if (delta <= 0.0 ||
+                rng.uniform() < std::exp(-beta * delta)) {
+                for (int i : groups_[g])
+                    result.spins[i] = -result.spins[i];
+            }
+        }
+    }
+
+    if (opts.greedy_finish) {
+        bool improved = true;
+        int guard = 0;
+        while (improved && guard++ < 4 * n) {
+            improved = false;
+            for (int i = 0; i < n; ++i) {
+                const double delta =
+                    -2.0 * result.spins[i] *
+                    localField(result.spins, i);
+                if (delta < 0.0) {
+                    result.spins[i] = -result.spins[i];
+                    improved = true;
+                }
+            }
+            for (std::size_t g = 0; g < groups_.size(); ++g) {
+                const double delta =
+                    groupFlipDelta(result.spins, static_cast<int>(g));
+                if (delta < 0.0) {
+                    for (int i : groups_[g])
+                        result.spins[i] = -result.spins[i];
+                    improved = true;
+                }
+            }
+        }
+    }
+
+    result.energy = energy(result.spins);
+    return result;
+}
+
+} // namespace hyqsat::anneal

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulated-annealing sampler over an arbitrary Ising model. This is
+ * the computational stand-in for the quantum annealing device (the
+ * same role dwave-neal plays for the paper's noise-free simulator):
+ * it receives the physical Ising problem and returns one sample of
+ * spins plus its energy.
+ */
+
+#ifndef HYQSAT_ANNEAL_SA_SAMPLER_H
+#define HYQSAT_ANNEAL_SA_SAMPLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/qubo.h"
+#include "util/rng.h"
+
+namespace hyqsat::anneal {
+
+/** Sampler knobs. */
+struct SaOptions
+{
+    /** Metropolis sweeps per sample. */
+    int sweeps = 128;
+
+    /** Inverse-temperature ramp endpoints. */
+    double beta_start = 0.1;
+    double beta_end = 5.0;
+
+    /**
+     * Run a final zero-temperature descent (flip while any flip
+     * lowers energy). The noise-free simulator enables this; a noisy
+     * device sample does not.
+     */
+    bool greedy_finish = true;
+};
+
+/** One sample. */
+struct SaResult
+{
+    std::vector<std::int8_t> spins;
+    double energy = 0.0;
+};
+
+/** Reusable SA sampler for a fixed Ising model. */
+class SaSampler
+{
+  public:
+    /** Preprocess @p model into adjacency lists. */
+    explicit SaSampler(const qubo::IsingModel &model);
+
+    /**
+     * Register spin groups (e.g. the qubit chains of an embedding).
+     * Each sweep then also proposes flipping every group as a block,
+     * which mixes chained problems dramatically better than
+     * single-spin moves alone.
+     */
+    void setGroups(const std::vector<std::vector<int>> &groups);
+
+    /** Draw one sample with the given options and RNG. */
+    SaResult sample(const SaOptions &opts, Rng &rng) const;
+
+    /** @return the number of spins. */
+    int numSpins() const { return static_cast<int>(h_.size()); }
+
+    /** Energy of an explicit spin state under the model. */
+    double energy(const std::vector<std::int8_t> &spins) const;
+
+  private:
+    /** Effective local field at spin i given the others. */
+    double
+    localField(const std::vector<std::int8_t> &s, int i) const
+    {
+        double f = h_[i];
+        for (const auto &[j, w] : adj_[i])
+            f += w * s[j];
+        return f;
+    }
+
+    /** Energy change of flipping a whole group as a block. */
+    double groupFlipDelta(const std::vector<std::int8_t> &s,
+                          int group) const;
+
+    double offset_ = 0.0;
+    std::vector<double> h_;
+    std::vector<std::vector<std::pair<int, double>>> adj_;
+    std::vector<std::vector<int>> groups_;
+    std::vector<int> group_of_; // spin -> group index or -1
+};
+
+} // namespace hyqsat::anneal
+
+#endif // HYQSAT_ANNEAL_SA_SAMPLER_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Annealing schedules: inverse-temperature ramps for the simulated
+ * annealing sampler that stands in for the quantum annealer.
+ */
+
+#ifndef HYQSAT_ANNEAL_SCHEDULE_H
+#define HYQSAT_ANNEAL_SCHEDULE_H
+
+#include <cmath>
+#include <vector>
+
+namespace hyqsat::anneal {
+
+/** Geometric beta ramp from beta_start to beta_end over n sweeps. */
+inline std::vector<double>
+geometricBetaSchedule(double beta_start, double beta_end, int sweeps)
+{
+    std::vector<double> betas(sweeps);
+    if (sweeps == 1) {
+        betas[0] = beta_end;
+        return betas;
+    }
+    const double ratio =
+        std::pow(beta_end / beta_start,
+                 1.0 / static_cast<double>(sweeps - 1));
+    double beta = beta_start;
+    for (int i = 0; i < sweeps; ++i) {
+        betas[i] = beta;
+        beta *= ratio;
+    }
+    return betas;
+}
+
+/** Linear beta ramp from beta_start to beta_end over n sweeps. */
+inline std::vector<double>
+linearBetaSchedule(double beta_start, double beta_end, int sweeps)
+{
+    std::vector<double> betas(sweeps);
+    for (int i = 0; i < sweeps; ++i) {
+        const double t =
+            sweeps == 1 ? 1.0
+                        : static_cast<double>(i) /
+                              static_cast<double>(sweeps - 1);
+        betas[i] = beta_start + t * (beta_end - beta_start);
+    }
+    return betas;
+}
+
+} // namespace hyqsat::anneal
+
+#endif // HYQSAT_ANNEAL_SCHEDULE_H

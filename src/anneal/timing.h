@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Device-timing model. The paper configures 20us annealing and
+ * 110us readout per sample with a 20us inter-sample delay (§VI-A,
+ * Fig. 1); end-to-end numbers combine this modeled device time with
+ * measured host CPU time. The simulator reports the same arithmetic
+ * so Table II / Fig. 11 can be regenerated without hardware.
+ */
+
+#ifndef HYQSAT_ANNEAL_TIMING_H
+#define HYQSAT_ANNEAL_TIMING_H
+
+namespace hyqsat::anneal {
+
+/** QA device timing parameters (microseconds). */
+struct TimingModel
+{
+    double anneal_us = 20.0;
+    double readout_us = 110.0;
+    double delay_us = 20.0;
+
+    /** Device time for @p samples consecutive samples. */
+    double
+    sampleTimeUs(int samples) const
+    {
+        if (samples <= 0)
+            return 0.0;
+        return static_cast<double>(samples) * (anneal_us + readout_us) +
+               static_cast<double>(samples - 1) * delay_us;
+    }
+};
+
+} // namespace hyqsat::anneal
+
+#endif // HYQSAT_ANNEAL_TIMING_H

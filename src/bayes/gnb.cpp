@@ -1,0 +1,122 @@
+#include "bayes/gnb.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hyqsat::bayes {
+
+namespace {
+// Variance floor keeps degenerate (constant) features finite.
+constexpr double kVarFloor = 1e-9;
+} // namespace
+
+void
+GaussianNaiveBayes::fit(const std::vector<std::vector<double>> &features,
+                        const std::vector<int> &labels, int num_classes)
+{
+    if (features.empty() || features.size() != labels.size())
+        fatal("GaussianNaiveBayes::fit: bad training data shape");
+    const auto dims = features[0].size();
+
+    priors_.assign(num_classes, 0.0);
+    means_.assign(num_classes, std::vector<double>(dims, 0.0));
+    vars_.assign(num_classes, std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> counts(num_classes, 0);
+
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        const int c = labels[i];
+        if (c < 0 || c >= num_classes)
+            fatal("GaussianNaiveBayes::fit: label %d out of range", c);
+        if (features[i].size() != dims)
+            fatal("GaussianNaiveBayes::fit: ragged feature matrix");
+        ++counts[c];
+        for (std::size_t d = 0; d < dims; ++d)
+            means_[c][d] += features[i][d];
+    }
+    for (int c = 0; c < num_classes; ++c) {
+        priors_[c] = static_cast<double>(counts[c]) /
+                     static_cast<double>(features.size());
+        if (counts[c] == 0)
+            continue;
+        for (std::size_t d = 0; d < dims; ++d)
+            means_[c][d] /= static_cast<double>(counts[c]);
+    }
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        const int c = labels[i];
+        for (std::size_t d = 0; d < dims; ++d) {
+            const double delta = features[i][d] - means_[c][d];
+            vars_[c][d] += delta * delta;
+        }
+    }
+    for (int c = 0; c < num_classes; ++c) {
+        if (counts[c] == 0)
+            continue;
+        for (std::size_t d = 0; d < dims; ++d) {
+            vars_[c][d] = std::max(
+                vars_[c][d] / static_cast<double>(counts[c]), kVarFloor);
+        }
+    }
+}
+
+std::vector<double>
+GaussianNaiveBayes::posterior(const std::vector<double> &x) const
+{
+    if (!fitted())
+        panic("GaussianNaiveBayes used before fit()");
+    const int k = static_cast<int>(priors_.size());
+    std::vector<double> log_post(k, -1e300);
+    double max_log = -1e300;
+    for (int c = 0; c < k; ++c) {
+        if (priors_[c] <= 0.0)
+            continue;
+        double lp = std::log(priors_[c]);
+        for (std::size_t d = 0; d < x.size(); ++d) {
+            const double var = vars_[c][d];
+            const double delta = x[d] - means_[c][d];
+            lp += -0.5 * std::log(2.0 * M_PI * var) -
+                  delta * delta / (2.0 * var);
+        }
+        log_post[c] = lp;
+        max_log = std::max(max_log, lp);
+    }
+    // Softmax in log space.
+    double total = 0.0;
+    std::vector<double> post(k, 0.0);
+    for (int c = 0; c < k; ++c) {
+        if (log_post[c] > -1e299) {
+            post[c] = std::exp(log_post[c] - max_log);
+            total += post[c];
+        }
+    }
+    for (auto &p : post)
+        p /= total;
+    return post;
+}
+
+int
+GaussianNaiveBayes::predict(const std::vector<double> &x) const
+{
+    const auto post = posterior(x);
+    int best = 0;
+    for (int c = 1; c < static_cast<int>(post.size()); ++c)
+        if (post[c] > post[best])
+            best = c;
+    return best;
+}
+
+double
+GaussianNaiveBayes::accuracy(
+    const std::vector<std::vector<double>> &features,
+    const std::vector<int> &labels) const
+{
+    if (features.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < features.size(); ++i)
+        correct += (predict(features[i]) == labels[i]);
+    return static_cast<double>(correct) /
+           static_cast<double>(features.size());
+}
+
+} // namespace hyqsat::bayes

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Gaussian Naive Bayes classifier. The HyQSAT backend (§V-A) fits
+ * one to the QA energy distribution of known satisfiable and
+ * unsatisfiable problems, then cuts the energy axis into confidence
+ * intervals. The implementation is generic (d features, k classes).
+ */
+
+#ifndef HYQSAT_BAYES_GNB_H
+#define HYQSAT_BAYES_GNB_H
+
+#include <vector>
+
+namespace hyqsat::bayes {
+
+/** Gaussian Naive Bayes over dense feature vectors. */
+class GaussianNaiveBayes
+{
+  public:
+    /**
+     * Fit from samples.
+     * @param features n x d matrix (row per sample)
+     * @param labels class index per sample (0..k-1)
+     * @param num_classes k (> max label)
+     */
+    void fit(const std::vector<std::vector<double>> &features,
+             const std::vector<int> &labels, int num_classes);
+
+    /** @return true once fit() has been called with data. */
+    bool fitted() const { return !priors_.empty(); }
+
+    /** Per-class posterior probabilities for one feature vector. */
+    std::vector<double> posterior(const std::vector<double> &x) const;
+
+    /** Most probable class for one feature vector. */
+    int predict(const std::vector<double> &x) const;
+
+    /** Fraction of samples predicted correctly. */
+    double accuracy(const std::vector<std::vector<double>> &features,
+                    const std::vector<int> &labels) const;
+
+    /** Class prior P(c). */
+    double prior(int c) const { return priors_[c]; }
+
+    /** Fitted mean of feature @p d under class @p c. */
+    double mean(int c, int d) const { return means_[c][d]; }
+
+    /** Fitted variance of feature @p d under class @p c. */
+    double variance(int c, int d) const { return vars_[c][d]; }
+
+  private:
+    std::vector<double> priors_;
+    std::vector<std::vector<double>> means_;
+    std::vector<std::vector<double>> vars_;
+};
+
+} // namespace hyqsat::bayes
+
+#endif // HYQSAT_BAYES_GNB_H

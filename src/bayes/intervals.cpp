@@ -1,0 +1,99 @@
+#include "bayes/intervals.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hyqsat::bayes {
+
+const char *
+satisfactionClassName(SatisfactionClass c)
+{
+    switch (c) {
+      case SatisfactionClass::Satisfiable:
+        return "satisfiable";
+      case SatisfactionClass::NearSatisfiable:
+        return "near-satisfiable";
+      case SatisfactionClass::Uncertain:
+        return "uncertain";
+      case SatisfactionClass::NearUnsatisfiable:
+        return "near-unsatisfiable";
+    }
+    return "?";
+}
+
+void
+EnergyClassifier::fit(const std::vector<double> &energies,
+                      const std::vector<bool> &satisfiable,
+                      double confidence)
+{
+    if (energies.size() != satisfiable.size() || energies.empty())
+        fatal("EnergyClassifier::fit: bad training data");
+
+    std::vector<std::vector<double>> features(energies.size());
+    std::vector<int> labels(energies.size());
+    double max_energy = 0.0;
+    for (std::size_t i = 0; i < energies.size(); ++i) {
+        features[i] = {energies[i]};
+        labels[i] = satisfiable[i] ? 1 : 0;
+        max_energy = std::max(max_energy, energies[i]);
+    }
+    gnb_.fit(features, labels, 2);
+
+    // Scan the energy axis for the confidence crossings.
+    const int steps = 4096;
+    double sat_cut = 0.0;
+    double unsat_cut = max_energy;
+    bool found_sat = false, found_unsat = false;
+    for (int i = 0; i <= steps; ++i) {
+        const double e =
+            max_energy * static_cast<double>(i) / steps;
+        const double p = gnb_.posterior({e})[1];
+        if (!found_sat && p < confidence) {
+            sat_cut = e;
+            found_sat = true;
+        }
+        if (!found_unsat && p < 1.0 - confidence) {
+            unsat_cut = e;
+            found_unsat = true;
+        }
+    }
+    if (!found_sat)
+        sat_cut = max_energy;
+    near_sat_cut_ = sat_cut;
+    near_unsat_cut_ = std::max(unsat_cut, sat_cut);
+}
+
+SatisfactionClass
+EnergyClassifier::classify(double energy) const
+{
+    if (energy <= 0.0)
+        return SatisfactionClass::Satisfiable;
+    if (energy <= near_sat_cut_)
+        return SatisfactionClass::NearSatisfiable;
+    if (energy <= near_unsat_cut_)
+        return SatisfactionClass::Uncertain;
+    return SatisfactionClass::NearUnsatisfiable;
+}
+
+double
+EnergyClassifier::posteriorSatisfiable(double energy) const
+{
+    if (!gnb_.fitted())
+        panic("EnergyClassifier::posteriorSatisfiable before fit()");
+    return gnb_.posterior({energy})[1];
+}
+
+double
+EnergyClassifier::uncertainFraction(double max_energy) const
+{
+    if (max_energy <= 0.0)
+        return 0.0;
+    const double width =
+        std::clamp(near_unsat_cut_, 0.0, max_energy) -
+        std::clamp(near_sat_cut_, 0.0, max_energy);
+    return std::max(width, 0.0) / max_energy;
+}
+
+} // namespace hyqsat::bayes

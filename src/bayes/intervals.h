@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Satisfaction-probability classification (§V-A): the energy axis is
+ * partitioned into confidence intervals from a Gaussian Naive Bayes
+ * fit of sampled energies of known-satisfiable and
+ * known-unsatisfiable problems. The paper's published cut points for
+ * D-Wave 2000Q are [0,0], (0,4.5], (4.5,8], (8,inf), obtained with a
+ * 90% confidence factor.
+ */
+
+#ifndef HYQSAT_BAYES_INTERVALS_H
+#define HYQSAT_BAYES_INTERVALS_H
+
+#include <string>
+#include <vector>
+
+#include "bayes/gnb.h"
+
+namespace hyqsat::bayes {
+
+/** The four satisfaction-probability classes of §V-A. */
+enum class SatisfactionClass
+{
+    Satisfiable,       ///< energy exactly 0
+    NearSatisfiable,   ///< (0, near_sat]
+    Uncertain,         ///< (near_sat, near_unsat]
+    NearUnsatisfiable, ///< (near_unsat, inf)
+};
+
+/** @return a printable name for a class. */
+const char *satisfactionClassName(SatisfactionClass c);
+
+/** Energy-axis classifier with confidence-interval cut points. */
+class EnergyClassifier
+{
+  public:
+    /** Construct with the paper's published 2000Q cut points. */
+    EnergyClassifier() = default;
+
+    /** Construct with explicit cut points. */
+    EnergyClassifier(double near_sat_cut, double near_unsat_cut)
+        : near_sat_cut_(near_sat_cut), near_unsat_cut_(near_unsat_cut)
+    {
+    }
+
+    /**
+     * Fit cut points from labeled energies: fit a two-class GNB
+     * (label true == satisfiable) on the 1-D energies and place the
+     * near-satisfiable cut where P(sat | e) falls below @p
+     * confidence and the near-unsatisfiable cut where it falls below
+     * 1 - @p confidence (scanned numerically).
+     */
+    void fit(const std::vector<double> &energies,
+             const std::vector<bool> &satisfiable,
+             double confidence = 0.9);
+
+    /** Classify one clause-space energy. */
+    SatisfactionClass classify(double energy) const;
+
+    /** Posterior P(satisfiable | energy); requires fit(). */
+    double posteriorSatisfiable(double energy) const;
+
+    /** The (0, near_sat] upper bound. */
+    double nearSatCut() const { return near_sat_cut_; }
+
+    /** The (near_sat, near_unsat] upper bound. */
+    double nearUnsatCut() const { return near_unsat_cut_; }
+
+    /**
+     * Width of the uncertain interval relative to the spanned
+     * energy range [0, max_energy] (Fig. 15b metric).
+     */
+    double uncertainFraction(double max_energy) const;
+
+    /** The underlying two-class model (valid after fit()). */
+    const GaussianNaiveBayes &model() const { return gnb_; }
+
+  private:
+    // Paper defaults for D-Wave 2000Q.
+    double near_sat_cut_ = 4.5;
+    double near_unsat_cut_ = 8.0;
+    GaussianNaiveBayes gnb_;
+};
+
+} // namespace hyqsat::bayes
+
+#endif // HYQSAT_BAYES_INTERVALS_H

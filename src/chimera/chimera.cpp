@@ -1,0 +1,96 @@
+#include "chimera/chimera.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hyqsat::chimera {
+
+ChimeraGraph::ChimeraGraph(int rows, int cols, int shore)
+    : rows_(rows), cols_(cols), shore_(shore)
+{
+    if (rows < 1 || cols < 1 || shore < 1)
+        fatal("ChimeraGraph requires positive dimensions");
+
+    adjacency_.resize(numQubits());
+    auto addEdge = [this](int a, int b) {
+        if (a > b)
+            std::swap(a, b);
+        edges_.emplace_back(a, b);
+        adjacency_[a].push_back(b);
+        adjacency_[b].push_back(a);
+    };
+
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) {
+            // Intra-cell K_{shore,shore} couplers.
+            for (int kv = 0; kv < shore_; ++kv) {
+                for (int kh = 0; kh < shore_; ++kh) {
+                    addEdge(qubitId(r, c, Shore::Vertical, kv),
+                            qubitId(r, c, Shore::Horizontal, kh));
+                }
+            }
+            // Inter-cell vertical couplers (down the column).
+            if (r + 1 < rows_) {
+                for (int k = 0; k < shore_; ++k) {
+                    addEdge(qubitId(r, c, Shore::Vertical, k),
+                            qubitId(r + 1, c, Shore::Vertical, k));
+                }
+            }
+            // Inter-cell horizontal couplers (along the row).
+            if (c + 1 < cols_) {
+                for (int k = 0; k < shore_; ++k) {
+                    addEdge(qubitId(r, c, Shore::Horizontal, k),
+                            qubitId(r, c + 1, Shore::Horizontal, k));
+                }
+            }
+        }
+    }
+    for (auto &adj : adjacency_)
+        std::sort(adj.begin(), adj.end());
+}
+
+int
+ChimeraGraph::qubitId(int row, int col, Shore shore, int track) const
+{
+    return ((row * cols_ + col) * 2 + static_cast<int>(shore)) * shore_ +
+           track;
+}
+
+QubitCoord
+ChimeraGraph::coord(int qubit) const
+{
+    QubitCoord q;
+    q.track = qubit % shore_;
+    qubit /= shore_;
+    q.shore = static_cast<Shore>(qubit % 2);
+    qubit /= 2;
+    q.col = qubit % cols_;
+    q.row = qubit / cols_;
+    return q;
+}
+
+bool
+ChimeraGraph::connected(int a, int b) const
+{
+    const auto &adj = adjacency_[a];
+    return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+int
+ChimeraGraph::verticalLineQubit(int line, int row) const
+{
+    const int col = line / shore_;
+    const int track = line % shore_;
+    return qubitId(row, col, Shore::Vertical, track);
+}
+
+int
+ChimeraGraph::horizontalLineQubit(int line, int col) const
+{
+    const int row = line / shore_;
+    const int track = line % shore_;
+    return qubitId(row, col, Shore::Horizontal, track);
+}
+
+} // namespace hyqsat::chimera

@@ -1,0 +1,74 @@
+#include "core/backend.h"
+
+#include "util/timer.h"
+
+namespace hyqsat::core {
+
+BackendOutcome
+Backend::apply(sat::Solver &solver, const FrontendResult &frontend,
+               const anneal::AnnealSample &sample,
+               const sat::Cnf &formula) const
+{
+    Timer timer;
+    BackendOutcome out;
+    const auto &problem = frontend.embedded.problem;
+    if (problem.numNodes() == 0) {
+        out.seconds = timer.seconds();
+        return out;
+    }
+
+    out.cls = opts_.classifier.classify(sample.clause_energy);
+
+    switch (out.cls) {
+      case bayes::SatisfactionClass::Satisfiable:
+        if (opts_.enable_strategy1 && frontend.covers_all_unsatisfied) {
+            // Candidate model: trail values where assigned, QA values
+            // for embedded variables, saved polarity elsewhere.
+            std::vector<bool> model(formula.numVars(), false);
+            for (sat::Var v = 0; v < formula.numVars(); ++v)
+                model[v] = solver.value(v).isTrue();
+            for (const auto &[v, node] : problem.var_node) {
+                if (solver.value(v).isUndef())
+                    model[v] = sample.node_bits[node];
+            }
+            if (formula.eval(model)) {
+                out.strategy = 1;
+                out.solved = true;
+                out.model = std::move(model);
+                out.seconds = timer.seconds();
+                return out;
+            }
+        }
+        [[fallthrough]]; // partial coverage: use as assignment hints
+      case bayes::SatisfactionClass::NearSatisfiable:
+        if (opts_.enable_strategy2) {
+            out.strategy = 2;
+            for (const auto &[v, node] : problem.var_node) {
+                if (opts_.strategy2_soft_hints)
+                    solver.suggestPhase(v, sample.node_bits[node]);
+                else
+                    solver.setPhase(v, sample.node_bits[node]);
+                if (opts_.strategy2_prioritize)
+                    solver.bumpVarPriority(v, opts_.priority_bump);
+            }
+        }
+        break;
+
+      case bayes::SatisfactionClass::Uncertain:
+        out.strategy = 3;
+        break;
+
+      case bayes::SatisfactionClass::NearUnsatisfiable:
+        if (opts_.enable_strategy4) {
+            out.strategy = 4;
+            for (const auto &[v, node] : problem.var_node)
+                solver.bumpVarPriority(v, opts_.priority_bump);
+        }
+        break;
+    }
+
+    out.seconds = timer.seconds();
+    return out;
+}
+
+} // namespace hyqsat::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * HyQSAT backend (§V): interpret the annealer sample's energy via
+ * the confidence-interval classifier and apply one of the four
+ * feedback strategies to the CDCL solver:
+ *
+ *  S1  all clauses embedded + satisfiable  -> finish with the model
+ *  S2  (near-)satisfiable                  -> adopt QA assignments
+ *                                             as decision polarities
+ *  S3  uncertain                           -> no guidance
+ *  S4  near-unsatisfiable                  -> prioritize the embedded
+ *                                             variables to reach the
+ *                                             conflict quickly
+ */
+
+#ifndef HYQSAT_CORE_BACKEND_H
+#define HYQSAT_CORE_BACKEND_H
+
+#include <vector>
+
+#include "anneal/annealer.h"
+#include "bayes/intervals.h"
+#include "core/frontend.h"
+#include "sat/cnf.h"
+#include "sat/solver.h"
+
+namespace hyqsat::core {
+
+/** Backend configuration, including per-strategy ablation switches. */
+struct BackendOptions
+{
+    bayes::EnergyClassifier classifier; // paper cut points by default
+
+    bool enable_strategy1 = true;
+    bool enable_strategy2 = true;
+    bool enable_strategy4 = true;
+
+    /**
+     * Strategy 2 optionally also raises the embedded variables'
+     * decision priority. Off by default: empirically the phase
+     * hints alone guide VSIDS better than forcing the decision
+     * order (kept as an ablation knob).
+     */
+    bool strategy2_prioritize = false;
+
+    /**
+     * Use soft phase-saving seeds instead of forced polarities in
+     * strategy 2. Soft hints lower the variance of the reduction
+     * but also its mean; forced polarities ("maintain the variable
+     * assignments", SV-B) measure better on the suite.
+     */
+    bool strategy2_soft_hints = false;
+
+    /** Variable-priority bump factor used by strategy 4. */
+    double priority_bump = 100.0;
+};
+
+/** What the backend did with one sample. */
+struct BackendOutcome
+{
+    bayes::SatisfactionClass cls = bayes::SatisfactionClass::Uncertain;
+
+    /** Strategy applied (1..4; 3 means "no guidance"). */
+    int strategy = 3;
+
+    /** Strategy 1 fired: the full formula is satisfied by model. */
+    bool solved = false;
+
+    /** Complete assignment (indexed by variable) when solved. */
+    std::vector<bool> model;
+
+    /** Host CPU seconds spent interpreting. */
+    double seconds = 0.0;
+};
+
+/** The backend interpreter. */
+class Backend
+{
+  public:
+    explicit Backend(const BackendOptions &opts) : opts_(opts) {}
+
+    /**
+     * Classify @p sample and apply the matching feedback strategy to
+     * @p solver. @p formula is the full input formula (needed to
+     * verify a strategy-1 model).
+     */
+    BackendOutcome apply(sat::Solver &solver,
+                         const FrontendResult &frontend,
+                         const anneal::AnnealSample &sample,
+                         const sat::Cnf &formula) const;
+
+    const BackendOptions &options() const { return opts_; }
+
+  private:
+    BackendOptions opts_;
+};
+
+} // namespace hyqsat::core
+
+#endif // HYQSAT_CORE_BACKEND_H

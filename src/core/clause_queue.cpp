@@ -1,0 +1,64 @@
+#include "core/clause_queue.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hyqsat::core {
+
+std::vector<int>
+generateClauseQueue(const sat::Solver &solver,
+                    const ClauseQueueOptions &opts, Rng &rng)
+{
+    std::vector<int> unsat = solver.unsatisfiedOriginalClauses();
+    if (unsat.empty())
+        return {};
+
+    if (opts.random_queue) {
+        rng.shuffle(unsat);
+        if (static_cast<int>(unsat.size()) > opts.capacity)
+            unsat.resize(opts.capacity);
+        return unsat;
+    }
+
+    // Head: uniform among the top-k activity scores. Random choice
+    // avoids re-deploying the same clauses when scores are static.
+    std::vector<int> by_score = unsat;
+    const auto k = std::min<std::size_t>(by_score.size(),
+                                         static_cast<std::size_t>(
+                                             std::max(opts.top_k, 1)));
+    std::partial_sort(by_score.begin(), by_score.begin() + k,
+                      by_score.end(), [&](int a, int b) {
+                          return solver.clauseActivityScore(a) >
+                                 solver.clauseActivityScore(b);
+                      });
+    const int head = by_score[rng.below(k)];
+
+    // Shared-variable index over the unsatisfied clauses.
+    std::unordered_map<sat::Var, std::vector<int>> var_clauses;
+    for (int ci : unsat)
+        for (sat::Lit p : solver.originalClause(ci))
+            var_clauses[p.var()].push_back(ci);
+
+    // Breadth-first traversal over shared variables.
+    std::vector<int> queue{head};
+    std::unordered_map<int, bool> queued{{head, true}};
+    for (std::size_t at = 0;
+         at < queue.size() &&
+         static_cast<int>(queue.size()) < opts.capacity;
+         ++at) {
+        for (sat::Lit p : solver.originalClause(queue[at])) {
+            for (int ci : var_clauses[p.var()]) {
+                if (queued.emplace(ci, true).second) {
+                    queue.push_back(ci);
+                    if (static_cast<int>(queue.size()) >=
+                        opts.capacity) {
+                        return queue;
+                    }
+                }
+            }
+        }
+    }
+    return queue;
+}
+
+} // namespace hyqsat::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Clause-queue generation (§IV-A): pick a head among the clauses
+ * with top-k conflict-activity scores and breadth-first traverse
+ * shared variables so the queue maximizes variable locality for the
+ * embedder. Only clauses not yet satisfied under the current trail
+ * participate.
+ */
+
+#ifndef HYQSAT_CORE_CLAUSE_QUEUE_H
+#define HYQSAT_CORE_CLAUSE_QUEUE_H
+
+#include <vector>
+
+#include "sat/solver.h"
+#include "util/rng.h"
+
+namespace hyqsat::core {
+
+/** Queue-generation knobs. */
+struct ClauseQueueOptions
+{
+    /** Stop once this many clauses are queued (QA capacity bound). */
+    int capacity = 170;
+
+    /** Head is picked uniformly among the top-k activity clauses. */
+    int top_k = 30;
+
+    /**
+     * Ablation switch (Fig. 14): ignore activity and locality, use a
+     * uniformly random queue instead.
+     */
+    bool random_queue = false;
+};
+
+/**
+ * Generate a clause queue from the solver's current state.
+ * @return original-clause indices in queue order (possibly empty).
+ */
+std::vector<int> generateClauseQueue(const sat::Solver &solver,
+                                     const ClauseQueueOptions &opts,
+                                     Rng &rng);
+
+} // namespace hyqsat::core
+
+#endif // HYQSAT_CORE_CLAUSE_QUEUE_H

@@ -1,0 +1,40 @@
+#include "core/frontend.h"
+
+#include "util/timer.h"
+
+namespace hyqsat::core {
+
+FrontendResult
+Frontend::run(const sat::Solver &solver, Rng &rng) const
+{
+    Timer timer;
+    FrontendResult result;
+
+    result.queue = generateClauseQueue(solver, opts_.queue, rng);
+    if (result.queue.empty()) {
+        result.seconds = timer.seconds();
+        return result;
+    }
+
+    std::vector<sat::LitVec> clauses;
+    clauses.reserve(result.queue.size());
+    for (int ci : result.queue)
+        clauses.push_back(solver.originalClause(ci));
+
+    embed::HyQsatEmbedder embedder(graph_, opts_.embedder);
+    result.embedded = embedder.embedQueue(clauses);
+
+    result.embedded_clauses.assign(
+        result.queue.begin(),
+        result.queue.begin() + result.embedded.embedded_clauses);
+
+    const auto unsat = solver.unsatisfiedOriginalClauses();
+    result.covers_all_unsatisfied =
+        result.embedded.all_embedded &&
+        result.queue.size() == unsat.size();
+
+    result.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace hyqsat::core

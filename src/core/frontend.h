@@ -1,0 +1,71 @@
+/**
+ * @file
+ * HyQSAT frontend (§IV): clause-queue generation, QUBO encoding with
+ * coefficient adjustment, and linear-time hardware embedding. One
+ * run produces everything the annealer needs for one sample.
+ */
+
+#ifndef HYQSAT_CORE_FRONTEND_H
+#define HYQSAT_CORE_FRONTEND_H
+
+#include <vector>
+
+#include "chimera/chimera.h"
+#include "core/clause_queue.h"
+#include "embed/hyqsat_embedder.h"
+#include "sat/solver.h"
+#include "util/rng.h"
+
+namespace hyqsat::core {
+
+/** Frontend configuration. */
+struct FrontendOptions
+{
+    ClauseQueueOptions queue;
+    embed::HyQsatEmbedderOptions embedder;
+};
+
+/** Output of one frontend pass. */
+struct FrontendResult
+{
+    /** Queue of original-clause indices. */
+    std::vector<int> queue;
+
+    /** Embedding + encoding of the embedded queue prefix. */
+    embed::QueueEmbedResult embedded;
+
+    /** Original-clause indices actually embedded. */
+    std::vector<int> embedded_clauses;
+
+    /**
+     * True when every currently-unsatisfied original clause was
+     * queued and embedded: a zero-energy sample then satisfies the
+     * whole remaining formula (strategy 1 precondition).
+     */
+    bool covers_all_unsatisfied = false;
+
+    /** Host CPU seconds for queue + encode + embed. */
+    double seconds = 0.0;
+};
+
+/** The frontend pipeline. */
+class Frontend
+{
+  public:
+    Frontend(const chimera::ChimeraGraph &graph,
+             const FrontendOptions &opts)
+        : graph_(graph), opts_(opts)
+    {
+    }
+
+    /** Run one pass against the solver's current search state. */
+    FrontendResult run(const sat::Solver &solver, Rng &rng) const;
+
+  private:
+    const chimera::ChimeraGraph &graph_;
+    FrontendOptions opts_;
+};
+
+} // namespace hyqsat::core
+
+#endif // HYQSAT_CORE_FRONTEND_H

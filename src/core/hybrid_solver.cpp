@@ -1,0 +1,165 @@
+#include "core/hybrid_solver.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hyqsat::core {
+
+HybridSolver::HybridSolver(const HybridConfig &config) : config_(config)
+{
+}
+
+std::uint64_t
+HybridSolver::estimateIterations(int num_vars, int num_clauses)
+{
+    // Empirical fit to the scale of Table I's classic-CDCL iteration
+    // counts on random 3-SAT (only sqrt(K) matters downstream):
+    // K ~ m * exp(0.012 n), clamped to a sane range.
+    const double k = static_cast<double>(std::max(num_clauses, 16)) *
+                     std::exp(0.012 * static_cast<double>(num_vars));
+    return static_cast<std::uint64_t>(std::min(k, 1e12));
+}
+
+HybridResult
+HybridSolver::solve(const sat::Cnf &formula)
+{
+    Timer total_timer;
+    HybridResult result;
+    result.status = sat::l_Undef;
+
+    if (!formula.isThreeSat()) {
+        fatal("HybridSolver requires 3-SAT input (longest clause has "
+              "%d literals); convert with sat::toThreeSat first",
+              formula.maxClauseSize());
+    }
+
+    const chimera::ChimeraGraph graph(config_.chimera_rows,
+                                      config_.chimera_cols,
+                                      config_.chimera_shore);
+    Frontend frontend(graph, config_.frontend);
+    Backend backend(config_.backend);
+    anneal::QuantumAnnealer annealer(graph, config_.annealer);
+    Rng rng(config_.seed);
+
+    sat::Solver solver(config_.solver);
+    if (!solver.loadCnf(formula)) {
+        result.status = sat::l_False;
+        result.stats = solver.stats();
+        result.time.cdcl_s = total_timer.seconds();
+        return result;
+    }
+
+    std::int64_t warmup = config_.warmup_override;
+    if (warmup < 0) {
+        warmup = static_cast<std::int64_t>(std::llround(std::sqrt(
+            static_cast<double>(estimateIterations(
+                formula.numVars(), formula.numClauses())))));
+    }
+    warmup = std::min(warmup, config_.max_warmup);
+
+    bool qa_solved = false;
+    std::vector<bool> qa_model;
+
+    // The clause queue's activity basis only changes when conflicts
+    // arise (SIV-A: "the top-30 clauses are dynamically updated when
+    // conflict arises"), so the frontend result is cached across
+    // conflict-free decision stretches and only rebuilt after a new
+    // conflict - this is the paper's pipelining of embedding with
+    // queue maintenance.
+    FrontendResult cached_fe;
+    bool have_fe = false;
+    std::uint64_t fe_conflicts = ~0ull;
+
+    solver.setIterationHook([&](sat::Solver &s) {
+        if (static_cast<std::int64_t>(s.stats().iterations) >= warmup) {
+            // Warm-up over. The QA polarity hints stay in force for
+            // the remaining search ("maintain the variable
+            // assignments", SV-B) - clearing them was evaluated and
+            // measurably hurt.
+            return;
+        }
+        ++result.warmup_iterations;
+
+        if (!have_fe || s.stats().conflicts != fe_conflicts) {
+            cached_fe = frontend.run(s, rng);
+            have_fe = true;
+            fe_conflicts = s.stats().conflicts;
+            result.time.frontend_s += cached_fe.seconds;
+        }
+        const FrontendResult &fe = cached_fe;
+        if (fe.embedded_clauses.empty())
+            return;
+
+        Timer qa_timer;
+        anneal::AnnealSample sample;
+        if (config_.use_embedding) {
+            sample = annealer.sample(fe.embedded.problem,
+                                     fe.embedded.embedding);
+        } else {
+            sample = annealer.sampleLogical(fe.embedded.problem);
+        }
+        result.time.qa_host_s += qa_timer.seconds();
+        result.time.qa_device_s += sample.device_time_us * 1e-6;
+        ++result.qa_samples;
+        result.chain_breaks += sample.chain_breaks;
+
+        const BackendOutcome outcome =
+            backend.apply(s, fe, sample, formula);
+        result.time.backend_s += outcome.seconds;
+        if (outcome.strategy >= 1 && outcome.strategy <= 4)
+            ++result.strategy_count[outcome.strategy];
+        if (outcome.solved) {
+            qa_solved = true;
+            qa_model = outcome.model;
+            s.requestStop();
+        }
+    });
+
+    const sat::lbool status = solver.solve();
+    result.stats = solver.stats();
+
+    if (qa_solved) {
+        result.status = sat::l_True;
+        result.model = std::move(qa_model);
+        result.solved_by_qa = true;
+        if (!formula.eval(result.model))
+            panic("strategy-1 model failed verification");
+    } else {
+        result.status = status;
+        if (status.isTrue()) {
+            result.model = solver.boolModel();
+            if (!formula.eval(result.model))
+                panic("CDCL model failed verification");
+        }
+    }
+
+    const double total = total_timer.seconds();
+    result.time.cdcl_s =
+        std::max(0.0, total - result.time.frontend_s -
+                          result.time.backend_s - result.time.qa_host_s);
+    return result;
+}
+
+HybridResult
+solveClassicCdcl(const sat::Cnf &formula, const sat::SolverOptions &opts)
+{
+    Timer timer;
+    HybridResult result;
+    sat::Solver solver(opts);
+    if (!solver.loadCnf(formula)) {
+        result.status = sat::l_False;
+        result.stats = solver.stats();
+        result.time.cdcl_s = timer.seconds();
+        return result;
+    }
+    result.status = solver.solve();
+    result.stats = solver.stats();
+    if (result.status.isTrue())
+        result.model = solver.boolModel();
+    result.time.cdcl_s = timer.seconds();
+    return result;
+}
+
+} // namespace hyqsat::core

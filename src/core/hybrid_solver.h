@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The HyQSAT hybrid solver (§III): classic CDCL whose warm-up
+ * iterations are accelerated by a (simulated) quantum annealer. At
+ * each of the first sqrt(K) decision iterations the frontend ships
+ * the hardest unsatisfied clauses to the annealer and the backend
+ * interprets the sampled energy to prune the CDCL search; the
+ * remaining iterations run as plain CDCL.
+ */
+
+#ifndef HYQSAT_CORE_HYBRID_SOLVER_H
+#define HYQSAT_CORE_HYBRID_SOLVER_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "anneal/annealer.h"
+#include "chimera/chimera.h"
+#include "core/backend.h"
+#include "core/frontend.h"
+#include "sat/cnf.h"
+#include "sat/solver.h"
+
+namespace hyqsat::core {
+
+/** Full configuration of a hybrid run. */
+struct HybridConfig
+{
+    sat::SolverOptions solver = sat::SolverOptions::minisatStyle();
+    anneal::QuantumAnnealer::Options annealer;
+    FrontendOptions frontend;
+    BackendOptions backend;
+
+    /** Chimera topology (D-Wave 2000Q by default). */
+    int chimera_rows = 16;
+    int chimera_cols = 16;
+    int chimera_shore = 4;
+
+    /**
+     * Sample through the hardware embedding (true) or the ideal
+     * all-to-all logical device (false). The §VI-B noise-free
+     * simulator corresponds to embedding with a noise-free model.
+     */
+    bool use_embedding = true;
+
+    /**
+     * Warm-up length: < 0 selects the paper's sqrt(K) policy with K
+     * estimated from the formula size; >= 0 forces a length (0
+     * degenerates to plain CDCL).
+     */
+    std::int64_t warmup_override = -1;
+
+    /** Upper bound on warm-up iterations regardless of policy. */
+    std::int64_t max_warmup = 4096;
+
+    std::uint64_t seed = 0x47a9be57;
+};
+
+/** Host/device time breakdown (Fig. 11). */
+struct TimeBreakdown
+{
+    double frontend_s = 0.0;   ///< queue + encode + embed (host)
+    double qa_device_s = 0.0;  ///< modeled annealer time
+    double backend_s = 0.0;    ///< classification + feedback (host)
+    double cdcl_s = 0.0;       ///< remaining CDCL search (host)
+    double qa_host_s = 0.0;    ///< SA simulation cost (excluded from
+                               ///< the modeled end-to-end time)
+
+    /** Modeled end-to-end time: host work + device time. */
+    double
+    endToEnd() const
+    {
+        return frontend_s + qa_device_s + backend_s + cdcl_s;
+    }
+};
+
+/** Result of a hybrid run. */
+struct HybridResult
+{
+    sat::lbool status;
+    std::vector<bool> model; ///< valid when status.isTrue()
+    sat::SolverStats stats;  ///< CDCL counters (iterations etc.)
+    TimeBreakdown time;
+
+    int warmup_iterations = 0; ///< QA-assisted iterations executed
+    int qa_samples = 0;
+    int chain_breaks = 0; ///< accumulated over all samples
+
+    /** Times each feedback strategy fired (index 1..4). */
+    std::array<std::uint64_t, 5> strategy_count{};
+
+    /** True when strategy 1 produced the model. */
+    bool solved_by_qa = false;
+};
+
+/** The hybrid solver. */
+class HybridSolver
+{
+  public:
+    explicit HybridSolver(const HybridConfig &config = {});
+
+    /** Solve a formula end to end. */
+    HybridResult solve(const sat::Cnf &formula);
+
+    /**
+     * The paper's iteration estimate K for the sqrt(K) warm-up
+     * policy, fit to the scale of Table I's CDCL iteration counts.
+     */
+    static std::uint64_t estimateIterations(int num_vars,
+                                            int num_clauses);
+
+    const HybridConfig &config() const { return config_; }
+
+  private:
+    HybridConfig config_;
+};
+
+/** Convenience: run plain CDCL through the same reporting types. */
+HybridResult solveClassicCdcl(const sat::Cnf &formula,
+                              const sat::SolverOptions &opts);
+
+} // namespace hyqsat::core
+
+#endif // HYQSAT_CORE_HYBRID_SOLVER_H

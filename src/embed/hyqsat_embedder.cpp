@@ -1,0 +1,478 @@
+#include "embed/hyqsat_embedder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hyqsat::embed {
+
+namespace {
+
+using chimera::ChimeraGraph;
+using sat::Lit;
+using sat::LitVec;
+using sat::Var;
+
+/** A qubit segment on one horizontal line spanning [c1, c2]. */
+struct Segment
+{
+    bool owner_is_aux = false;
+    Var owner_var = sat::var_Undef; ///< valid when !owner_is_aux
+    int owner_clause = -1;          ///< valid when owner_is_aux
+    int hline = 0;
+    int c1 = 0, c2 = 0;
+};
+
+/** Canonicalize a clause: sorted, deduped; empty for tautologies. */
+LitVec
+canonical(LitVec clause)
+{
+    std::sort(clause.begin(), clause.end());
+    LitVec out;
+    for (Lit p : clause) {
+        if (!out.empty() && p == out.back())
+            continue;
+        if (!out.empty() && p == ~out.back())
+            return {};
+        out.push_back(p);
+    }
+    return out;
+}
+
+/** Working state of one embedQueue() run. */
+class Builder
+{
+  public:
+    Builder(const ChimeraGraph &graph, const HyQsatEmbedderOptions &opts)
+        : graph_(graph), opts_(opts),
+          hline_used_(graph.numHorizontalLines(),
+                      std::vector<char>(graph.cols(), 0)),
+          line_vars_(graph.numVerticalLines())
+    {
+    }
+
+    /** Try to embed one canonical clause; false leaves state intact. */
+    bool
+    tryClause(const LitVec &clause, int clause_index)
+    {
+        // Undo logs for rollback on failure.
+        std::vector<Var> new_vars;
+        std::vector<std::size_t> new_segments;
+        std::vector<Var> rows_appended;
+        auto rollback = [&]() {
+            for (auto it = new_segments.rbegin();
+                 it != new_segments.rend(); ++it) {
+                const Segment &s = segments_[*it];
+                for (int c = s.c1; c <= s.c2; ++c)
+                    hline_used_[s.hline][c] = 0;
+                segments_.pop_back();
+            }
+            for (Var v : rows_appended)
+                rows_used_[v].pop_back();
+            for (auto it = new_vars.rbegin(); it != new_vars.rend();
+                 ++it) {
+                const int line = var_line_[*it];
+                line_vars_[line].pop_back();
+                var_line_.erase(*it);
+            }
+        };
+
+        // Step 1: allocate vertical lines for unseen variables. The
+        // allocator shares lines between variables (disjoint row
+        // intervals), cycling through lines so occupancy stays even;
+        // variables of the same clause never share a line (their
+        // chains could not be coupled there).
+        for (Lit p : clause) {
+            if (var_line_.count(p.var()))
+                continue;
+            const auto [line, home_row] = pickLine(clause);
+            if (line < 0) {
+                rollback();
+                return false;
+            }
+            var_line_.emplace(p.var(), line);
+            line_vars_[line].push_back(p.var());
+            new_vars.push_back(p.var());
+            // Reserve a home row immediately so every variable owns
+            // a non-empty, non-touching interval from birth.
+            rows_used_[p.var()].push_back(home_row);
+            rows_appended.push_back(p.var());
+        }
+
+        // Step 2: satisfy the clause's connection requirements.
+        auto placeVarVar = [&](Var a, Var b) {
+            if (var_coupled_.count(coupleKey(a, b)))
+                return true;
+            if (!placeSegment(/*aux=*/false, a, -1, {colOf(a), colOf(b)},
+                              {a, b}, &new_segments, &rows_appended)) {
+                return false;
+            }
+            var_coupled_.insert(coupleKey(a, b));
+            return true;
+        };
+
+        bool ok = true;
+        if (clause.size() == 2) {
+            ok = placeVarVar(clause[0].var(), clause[1].var());
+        } else if (clause.size() == 3) {
+            const Var v0 = clause[0].var();
+            const Var v1 = clause[1].var();
+            const Var v2 = clause[2].var();
+            ok = placeVarVar(v0, v1) &&
+                 placeSegment(/*aux=*/true, sat::var_Undef, clause_index,
+                              {colOf(v0), colOf(v1), colOf(v2)},
+                              {v0, v1, v2}, &new_segments,
+                              &rows_appended);
+        }
+        if (!ok) {
+            rollback();
+            return false;
+        }
+        return true;
+    }
+
+    /** Materialize chains for the encoded prefix problem. */
+    Embedding
+    buildEmbedding(const qubo::EncodedProblem &ep) const
+    {
+        Embedding emb(ep.numNodes());
+
+        std::unordered_map<int, const Segment *> aux_segment;
+        std::unordered_map<Var, std::vector<const Segment *>> var_segments;
+        for (const auto &s : segments_) {
+            if (s.owner_is_aux)
+                aux_segment.emplace(s.owner_clause, &s);
+            else
+                var_segments[s.owner_var].push_back(&s);
+        }
+
+        for (int n = 0; n < ep.numNodes(); ++n) {
+            auto &chain = emb.chain(n);
+            const auto &info = ep.nodes[n];
+            if (info.is_aux) {
+                const Segment *s = aux_segment.at(info.clause);
+                for (int c = s->c1; c <= s->c2; ++c)
+                    chain.push_back(
+                        graph_.horizontalLineQubit(s->hline, c));
+                continue;
+            }
+            // Variable: vertical span + owned horizontal segments.
+            const int line = var_line_.at(info.var);
+            const auto [r_min, r_max] = spanOf(info.var);
+            for (int r = r_min; r <= r_max; ++r)
+                chain.push_back(graph_.verticalLineQubit(line, r));
+            const auto segs = var_segments.find(info.var);
+            if (segs != var_segments.end()) {
+                for (const Segment *s : segs->second) {
+                    for (int c = s->c1; c <= s->c2; ++c)
+                        chain.push_back(
+                            graph_.horizontalLineQubit(s->hline, c));
+                }
+            }
+        }
+        return emb;
+    }
+
+  private:
+    static std::uint64_t
+    coupleKey(Var a, Var b)
+    {
+        if (a > b)
+            std::swap(a, b);
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+                << 32) |
+               static_cast<std::uint32_t>(b);
+    }
+
+    int colOf(Var v) const
+    {
+        return graph_.verticalLineColumn(var_line_.at(v));
+    }
+
+    /**
+     * Row interval of a variable's vertical chain. The first entry
+     * is the soft home row reserved at allocation; once real
+     * coupling rows exist the span covers only those, keeping
+     * chains short.
+     */
+    std::pair<int, int>
+    spanOf(Var v) const
+    {
+        const auto it = rows_used_.find(v);
+        if (it == rows_used_.end() || it->second.empty()) {
+            // Cannot happen: a home row is reserved at allocation.
+            return {graph_.rows() - 1, graph_.rows() - 1};
+        }
+        const auto &rows = it->second;
+        const auto begin =
+            rows.size() >= 2 ? rows.begin() + 1 : rows.begin();
+        const auto [lo, hi] = std::minmax_element(begin, rows.end());
+        return {*lo, *hi};
+    }
+
+    /**
+     * Can variable @p v's span grow to include row @p r without its
+     * extended interval touching a co-resident variable's interval
+     * (one row of separation keeps the chains uncoupled)?
+     */
+    bool
+    rowFeasibleOnLine(int line, Var v, int r) const
+    {
+        int lo = r, hi = r;
+        const auto it = rows_used_.find(v);
+        if (it != rows_used_.end() && !it->second.empty()) {
+            const auto [mn, mx] = std::minmax_element(
+                it->second.begin(), it->second.end());
+            lo = std::min(lo, *mn);
+            hi = std::max(hi, *mx);
+        }
+        for (Var other : line_vars_[line]) {
+            if (other == v)
+                continue;
+            const auto oit = rows_used_.find(other);
+            if (oit == rows_used_.end() || oit->second.empty())
+                continue; // mid-rollback transient
+            const auto [omn, omx] = std::minmax_element(
+                oit->second.begin(), oit->second.end());
+            if (lo <= *omx + 1 && *omn <= hi + 1)
+                return false; // intervals would touch
+        }
+        return true;
+    }
+
+    /** Bottom-most row whose single-row interval fits on @p line. */
+    int
+    freeHomeRow(int line) const
+    {
+        for (int r = graph_.rows() - 1; r >= 0; --r) {
+            bool ok = true;
+            for (Var other : line_vars_[line]) {
+                const auto oit = rows_used_.find(other);
+                if (oit == rows_used_.end() || oit->second.empty())
+                    continue;
+                const auto [omn, omx] = std::minmax_element(
+                    oit->second.begin(), oit->second.end());
+                if (r <= *omx + 1 && *omn <= r + 1) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                return r;
+        }
+        return -1;
+    }
+
+    /**
+     * Pick a vertical line and home row for a fresh variable:
+     * sequential allocation in queue order (§IV-B step 1). One
+     * variable per line; consecutive allocations land in adjacent
+     * columns, which preserves the BFS queue's variable locality in
+     * hardware (clause segments then span few columns).
+     *
+     * Row-sharing of vertical lines was evaluated and rejected: two
+     * variables on one line partition the rows, and any clause
+     * coupling variables of different row bands becomes
+     * unembeddable, so shared lines lower - not raise - the
+     * achievable clause capacity.
+     */
+    std::pair<int, int>
+    pickLine(const LitVec &clause)
+    {
+        // Prefer the free line whose column is nearest the clause's
+        // already-placed variables: horizontal segments span the
+        // columns they connect, so column locality directly shrinks
+        // segment width and raises the clause capacity.
+        const int lines = graph_.numVerticalLines();
+        double target_col = -1.0;
+        int placed = 0;
+        for (Lit p : clause) {
+            const auto it = var_line_.find(p.var());
+            if (it != var_line_.end()) {
+                target_col += graph_.verticalLineColumn(it->second);
+                ++placed;
+            }
+        }
+        int best = -1;
+        double best_score = 1e18;
+        for (int line = 0; line < lines; ++line) {
+            if (!line_vars_[line].empty())
+                continue;
+            // Without placed clause-mates, fall back to low index
+            // (columns fill left to right, matching queue order).
+            const double score =
+                placed == 0
+                    ? static_cast<double>(line)
+                    : std::abs(graph_.verticalLineColumn(line) -
+                               (target_col + 1.0) / placed) *
+                              lines +
+                          line;
+            if (score < best_score) {
+                best_score = score;
+                best = line;
+            }
+        }
+        if (best < 0)
+            return {-1, -1};
+        return {best, freeHomeRow(best)};
+    }
+
+    /**
+     * Place (or extend) a horizontal segment for @p owner covering
+     * every column in @p cols; record the crossing row for each
+     * variable in @p touching so vertical spans cover it.
+     */
+    bool
+    placeSegment(bool aux, Var owner_var, int owner_clause,
+                 std::vector<int> cols, const std::vector<Var> &touching,
+                 std::vector<std::size_t> *new_segments,
+                 std::vector<Var> *rows_appended)
+    {
+        // The owner variable's own column must be in the span so the
+        // segment couples to its vertical chain.
+        if (!aux)
+            cols.push_back(colOf(owner_var));
+        const auto [lo, hi] = std::minmax_element(cols.begin(), cols.end());
+        const int c1 = *lo, c2 = *hi;
+
+        auto rowOk = [&](int r) {
+            for (Var v : touching) {
+                if (!rowFeasibleOnLine(var_line_.at(v), v, r))
+                    return false;
+            }
+            if (!aux && !rowFeasibleOnLine(var_line_.at(owner_var),
+                                           owner_var, r)) {
+                return false;
+            }
+            return true;
+        };
+
+        auto markRows = [&](int row) {
+            for (Var v : touching) {
+                rows_used_[v].push_back(row);
+                rows_appended->push_back(v);
+            }
+            if (!aux) {
+                rows_used_[owner_var].push_back(row);
+                rows_appended->push_back(owner_var);
+            }
+        };
+
+        // Try extending one of the owner's existing segments. The
+        // extension is recorded as fresh segments over the newly
+        // covered cells (so rollback stays per-clause); the chains
+        // merge because both segments share the owner and line.
+        if (opts_.reuse_segments && !aux) {
+            for (std::size_t si = 0; si < segments_.size(); ++si) {
+                // Copy the fields: push_back below reallocates.
+                const Segment s = segments_[si];
+                if (s.owner_is_aux || s.owner_var != owner_var)
+                    continue;
+                if (!rowOk(graph_.horizontalLineRow(s.hline)))
+                    continue;
+                const int e1 = std::min(s.c1, c1);
+                const int e2 = std::max(s.c2, c2);
+                bool free = true;
+                for (int c = e1; c <= e2 && free; ++c) {
+                    free &= (c >= s.c1 && c <= s.c2) ||
+                            !hline_used_[s.hline][c];
+                }
+                if (!free)
+                    continue;
+                for (int c = e1; c <= e2; ++c)
+                    hline_used_[s.hline][c] = 1;
+                if (e1 < s.c1) {
+                    segments_.push_back({false, owner_var, -1, s.hline,
+                                         e1, s.c1 - 1});
+                    new_segments->push_back(segments_.size() - 1);
+                }
+                if (e2 > s.c2) {
+                    segments_.push_back({false, owner_var, -1, s.hline,
+                                         s.c2 + 1, e2});
+                    new_segments->push_back(segments_.size() - 1);
+                }
+                markRows(graph_.horizontalLineRow(s.hline));
+                return true;
+            }
+        }
+
+        // First-fit scan, bottom row first, tracks in order.
+        for (int r = graph_.rows() - 1; r >= 0; --r) {
+            if (!rowOk(r))
+                continue;
+            for (int t = 0; t < graph_.shore(); ++t) {
+                const int hline = r * graph_.shore() + t;
+                bool free = true;
+                for (int c = c1; c <= c2 && free; ++c)
+                    free = !hline_used_[hline][c];
+                if (!free)
+                    continue;
+                for (int c = c1; c <= c2; ++c)
+                    hline_used_[hline][c] = 1;
+                segments_.push_back(
+                    {aux, owner_var, owner_clause, hline, c1, c2});
+                new_segments->push_back(segments_.size() - 1);
+                markRows(r);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    const ChimeraGraph &graph_;
+    HyQsatEmbedderOptions opts_;
+
+    std::unordered_map<Var, int> var_line_;
+    std::vector<std::vector<char>> hline_used_;
+    std::vector<std::vector<Var>> line_vars_; // per line occupants
+    int line_cursor_ = 0;
+    std::vector<Segment> segments_;
+    std::unordered_map<Var, std::vector<int>> rows_used_;
+    std::unordered_set<std::uint64_t> var_coupled_;
+};
+
+} // namespace
+
+HyQsatEmbedder::HyQsatEmbedder(const chimera::ChimeraGraph &graph,
+                               const HyQsatEmbedderOptions &opts)
+    : graph_(graph), opts_(opts)
+{
+}
+
+QueueEmbedResult
+HyQsatEmbedder::embedQueue(const std::vector<sat::LitVec> &queue)
+{
+    Timer timer;
+    Builder builder(graph_, opts_);
+
+    QueueEmbedResult result;
+    std::vector<LitVec> accepted;
+    for (const auto &raw : queue) {
+        const LitVec clause = canonical(raw);
+        if (clause.size() > 3) {
+            fatal("HyQsatEmbedder requires 3-SAT clauses (got %zu "
+                  "literals)",
+                  clause.size());
+        }
+        if (!builder.tryClause(clause,
+                               static_cast<int>(accepted.size()))) {
+            break;
+        }
+        // Keep the raw clause: the encoder canonicalizes identically,
+        // and raw tautologies must stay tautologies for it.
+        accepted.push_back(raw);
+    }
+
+    result.embedded_clauses = static_cast<int>(accepted.size());
+    result.all_embedded = accepted.size() == queue.size();
+    result.problem = qubo::encodeClauses(accepted, opts_.encoder);
+    result.embedding = builder.buildEmbedding(result.problem);
+    result.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace hyqsat::embed

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The HyQSAT linear-time, topology-aware embedder of §IV-B.
+ *
+ * The Chimera chip is viewed as a crossbar: each SAT variable is
+ * allocated one *vertical line* (in clause-queue order) and each
+ * connection requirement is met by packing a qubit segment onto a
+ * *horizontal line* whose column span covers the target variables'
+ * columns; the intra-cell coupler at each crossing realizes the
+ * problem-graph edge. Auxiliary variables live purely on horizontal
+ * lines. There is no routing search and no iterative adjustment:
+ * popping a clause costs amortized O(1) line bookkeeping, giving the
+ * paper's O(N_q) total embedding complexity.
+ *
+ * The embedder is prefix-maximal: it embeds clauses in queue order
+ * until the hardware is exhausted and reports how many fit.
+ */
+
+#ifndef HYQSAT_EMBED_HYQSAT_EMBEDDER_H
+#define HYQSAT_EMBED_HYQSAT_EMBEDDER_H
+
+#include <vector>
+
+#include "chimera/chimera.h"
+#include "embed/embedding.h"
+#include "qubo/encoder.h"
+#include "sat/types.h"
+
+namespace hyqsat::embed {
+
+/** Result of embedding a clause queue prefix. */
+struct QueueEmbedResult
+{
+    /** Encoding of the embedded clause prefix. */
+    qubo::EncodedProblem problem;
+
+    /** Chains indexed by the problem's node ids. */
+    Embedding embedding;
+
+    /** How many queue clauses were embedded (prefix length). */
+    int embedded_clauses = 0;
+
+    /** True when the whole queue fit. */
+    bool all_embedded = false;
+
+    /** Wall-clock seconds for the embedding. */
+    double seconds = 0.0;
+};
+
+/** Options for the fast embedder. */
+struct HyQsatEmbedderOptions
+{
+    /**
+     * Try to extend an existing horizontal segment of the owner
+     * instead of opening a new one (improves utilization; part of
+     * the greedy out-of-order allocation of §IV-B).
+     */
+    bool reuse_segments = true;
+
+    /** Encoder options for the embedded prefix's objective. */
+    qubo::EncoderOptions encoder;
+};
+
+/** The §IV-B embedder. Stateless between embedQueue() calls. */
+class HyQsatEmbedder
+{
+  public:
+    explicit HyQsatEmbedder(const chimera::ChimeraGraph &graph,
+                            const HyQsatEmbedderOptions &opts = {});
+
+    /**
+     * Embed the longest prefix of @p queue that fits the hardware.
+     * Clauses must have <= 3 literals (tautologies are tolerated and
+     * consume no hardware).
+     */
+    QueueEmbedResult embedQueue(const std::vector<sat::LitVec> &queue);
+
+  private:
+    const chimera::ChimeraGraph &graph_;
+    HyQsatEmbedderOptions opts_;
+};
+
+} // namespace hyqsat::embed
+
+#endif // HYQSAT_EMBED_HYQSAT_EMBEDDER_H

@@ -1,0 +1,246 @@
+#include "gen/benchmarks.h"
+
+#include "sat/solver.h"
+
+#include "gen/circuit.h"
+#include "gen/crypto.h"
+#include "gen/factorization.h"
+#include "gen/graph_coloring.h"
+#include "gen/inductive.h"
+#include "gen/planning.h"
+#include "gen/random_sat.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hyqsat::gen {
+
+namespace {
+
+std::uint64_t
+instanceSeed(std::uint64_t base, const std::string &id, int index)
+{
+    std::uint64_t h = base ^ 0x9e3779b97f4a7c15ull;
+    for (char c : id)
+        h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ull;
+    h = (h ^ static_cast<std::uint64_t>(index)) * 0x100000001b3ull;
+    return h;
+}
+
+sat::Cnf
+named(sat::Cnf cnf, const std::string &id, int index)
+{
+    cnf.setName(id + "-" + std::to_string(index));
+    return cnf;
+}
+
+/**
+ * Uniform random 3-SAT maker for the AI (uf) series. Like SATLIB's
+ * uf files, instances are filtered to be satisfiable: unsatisfiable
+ * draws at the phase transition are rejected and redrawn.
+ */
+Benchmark
+ufSeries(const std::string &id, int n, int m)
+{
+    Benchmark b;
+    b.id = id;
+    b.name = "UF" + std::to_string(n) + "-" + std::to_string(m);
+    b.domain = "Artificial Intelligence";
+    b.default_count = 10;
+    b.expected_satisfiable = 1; // filtered like SATLIB uf
+    b.make = [id, n, m](int index, std::uint64_t seed) {
+        for (int attempt = 0;; ++attempt) {
+            Rng rng(instanceSeed(seed, id, index) +
+                    0x9e3779b9ull * attempt);
+            sat::Cnf cnf = uniformRandom3Sat(n, m, rng);
+            sat::Solver filter;
+            if (filter.loadCnf(cnf) && filter.solve().isTrue())
+                return named(std::move(cnf), id, index);
+            if (attempt > 64)
+                fatal("ufSeries: no satisfiable draw for %s[%d]",
+                      id.c_str(), index);
+        }
+    };
+    return b;
+}
+
+Benchmark
+gcSeries(const std::string &id, int vertices, int edges)
+{
+    Benchmark b;
+    b.id = id;
+    b.name = "Flat" + std::to_string(vertices) + "-" +
+             std::to_string(edges);
+    b.domain = "Graph Coloring";
+    b.default_count = 10;
+    b.expected_satisfiable = 1;
+    b.make = [id, vertices, edges](int index, std::uint64_t seed) {
+        Rng rng(instanceSeed(seed, id, index));
+        return named(flatColoringCnf(vertices, edges, 3, rng), id,
+                     index);
+    };
+    return b;
+}
+
+std::vector<Benchmark>
+buildRegistry()
+{
+    std::vector<Benchmark> registry;
+
+    // Graph colouring: the flat series shapes of Table I
+    // (vertices x 3 colours = #Variable; 360/417/479 edges).
+    registry.push_back(gcSeries("GC1", 150, 360));
+    registry.push_back(gcSeries("GC2", 175, 417));
+    registry.push_back(gcSeries("GC3", 200, 479));
+
+    // Circuit fault analysis: fault-free miters (unsatisfiable,
+    // like the ssa CFA files) over random circuits of Table I scale.
+    {
+        Benchmark b;
+        b.id = "CFA";
+        b.name = "FaultMiter";
+        b.domain = "Circuit Fault Analysis";
+        b.default_count = 4;
+        b.expected_satisfiable = 0;
+        b.make = [](int index, std::uint64_t seed) {
+            Rng rng(instanceSeed(seed, "CFA", index));
+            const int inputs = 20 + 10 * (index % 4);
+            const int gates = 120 + 80 * (index % 4);
+            const Circuit c = randomCircuit(inputs, gates, 8, rng);
+            return named(
+                sat::toThreeSat(faultMiter(c, -1, false)), "CFA",
+                index);
+        };
+        registry.push_back(b);
+    }
+
+    // Block planning: easy, conflict-poor satisfiable instances.
+    {
+        Benchmark b;
+        b.id = "BP";
+        b.name = "BlocksWorld";
+        b.domain = "Block Planning";
+        b.default_count = 5;
+        b.expected_satisfiable = 1;
+        b.make = [](int index, std::uint64_t seed) {
+            Rng rng(instanceSeed(seed, "BP", index));
+            const int blocks = 3 + index % 5;
+            return named(sat::toThreeSat(blocksWorldCnf(blocks, rng)),
+                         "BP", index);
+        };
+        registry.push_back(b);
+    }
+
+    // Inductive inference: k-term DNF consistency (satisfiable).
+    {
+        Benchmark b;
+        b.id = "II";
+        b.name = "DnfInference";
+        b.domain = "Inductive Inference";
+        b.default_count = 41;
+        b.expected_satisfiable = 1;
+        b.make = [](int index, std::uint64_t seed) {
+            Rng rng(instanceSeed(seed, "II", index));
+            const int features = 8 + index % 6;
+            const int terms = 2 + index % 3;
+            const int examples = 16 + 2 * (index % 10);
+            return named(
+                sat::toThreeSat(inductiveInferenceCnf(
+                    features, terms, examples, rng)),
+                "II", index);
+        };
+        registry.push_back(b);
+    }
+
+    // Integer factorization.
+    {
+        Benchmark b;
+        b.id = "IF1";
+        b.name = "EzFact";
+        b.domain = "Integer Factorization";
+        b.default_count = 30;
+        b.expected_satisfiable = 1;
+        b.make = [](int index, std::uint64_t seed) {
+            Rng rng(instanceSeed(seed, "IF1", index));
+            return named(
+                sat::toThreeSat(randomSemiprimeCnf(8, 8, rng)), "IF1",
+                index);
+        };
+        registry.push_back(b);
+    }
+    {
+        Benchmark b;
+        b.id = "IF2";
+        b.name = "Lisa";
+        b.domain = "Integer Factorization";
+        b.default_count = 14;
+        b.expected_satisfiable = 1;
+        b.make = [](int index, std::uint64_t seed) {
+            Rng rng(instanceSeed(seed, "IF2", index));
+            return named(
+                sat::toThreeSat(randomSemiprimeCnf(10, 10, rng)),
+                "IF2", index);
+        };
+        registry.push_back(b);
+    }
+
+    // Cryptography: adder/comparator verification (unsatisfiable,
+    // refuted in a handful of iterations like Cmpadd).
+    {
+        Benchmark b;
+        b.id = "CRY";
+        b.name = "Cmpadd";
+        b.domain = "Cryptography";
+        b.default_count = 5;
+        b.expected_satisfiable = 0;
+        b.make = [](int index, std::uint64_t seed) {
+            (void)seed;
+            const int width = 8 + 4 * (index % 5);
+            if (index % 2 == 0)
+                return named(sat::toThreeSat(cmpAddCnf(width)), "CRY",
+                             index);
+            return named(sat::toThreeSat(adderEquivalenceCnf(width)),
+                         "CRY", index);
+        };
+        registry.push_back(b);
+    }
+
+    // Artificial intelligence: the uf series of Table I.
+    registry.push_back(ufSeries("AI1", 150, 645));
+    registry.push_back(ufSeries("AI2", 175, 753));
+    registry.push_back(ufSeries("AI3", 200, 860));
+    registry.push_back(ufSeries("AI4", 225, 960));
+    registry.push_back(ufSeries("AI5", 250, 1065));
+
+    return registry;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+BenchmarkSuite::all()
+{
+    static const std::vector<Benchmark> registry = buildRegistry();
+    return registry;
+}
+
+const Benchmark &
+BenchmarkSuite::byId(const std::string &id)
+{
+    for (const auto &b : all())
+        if (b.id == id)
+            return b;
+    fatal("unknown benchmark id: %s", id.c_str());
+}
+
+std::vector<sat::Cnf>
+BenchmarkSuite::instances(const Benchmark &benchmark, int count,
+                          std::uint64_t seed)
+{
+    std::vector<sat::Cnf> out;
+    out.reserve(count);
+    for (int i = 0; i < count; ++i)
+        out.push_back(benchmark.make(i, seed));
+    return out;
+}
+
+} // namespace hyqsat::gen

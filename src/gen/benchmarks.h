@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The paper's 14-benchmark suite (Table I) as a registry of
+ * generators. Instances are synthetic stand-ins for the SATLIB /
+ * SAT2002 files (see DESIGN.md): matched domain structure and, where
+ * practical, matched scale. Every instance is returned in 3-SAT
+ * form (long clauses chain-split), ready for both the CDCL solver
+ * and the annealer frontend.
+ */
+
+#ifndef HYQSAT_GEN_BENCHMARKS_H
+#define HYQSAT_GEN_BENCHMARKS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace hyqsat::gen {
+
+/** One registered benchmark family. */
+struct Benchmark
+{
+    std::string id;     ///< e.g. "AI3"
+    std::string name;   ///< e.g. "UF200-860"
+    std::string domain; ///< e.g. "Artificial Intelligence"
+
+    /** Instances evaluated in Table I (#Problem column). */
+    int default_count = 10;
+
+    /** Known satisfiability (for validation): 1 sat, 0 unsat, -1 mixed. */
+    int expected_satisfiable = -1;
+
+    /** Generate instance @p index with the given base seed. */
+    std::function<sat::Cnf(int index, std::uint64_t seed)> make;
+};
+
+/** Registry of the paper's 14 benchmarks. */
+class BenchmarkSuite
+{
+  public:
+    /** All 14 benchmarks in Table I order. */
+    static const std::vector<Benchmark> &all();
+
+    /** Look up one benchmark by id; fatal() if unknown. */
+    static const Benchmark &byId(const std::string &id);
+
+    /** Generate @p count instances of a benchmark. */
+    static std::vector<sat::Cnf>
+    instances(const Benchmark &benchmark, int count,
+              std::uint64_t seed = 0xbe9c5eed);
+};
+
+} // namespace hyqsat::gen
+
+#endif // HYQSAT_GEN_BENCHMARKS_H

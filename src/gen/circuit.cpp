@@ -1,0 +1,361 @@
+#include "gen/circuit.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hyqsat::gen {
+
+using sat::Cnf;
+using sat::Lit;
+using sat::mkLit;
+using sat::Var;
+
+int
+Circuit::push(GateKind kind, int a, int b, bool value)
+{
+    const int wire = numWires();
+    if (a >= wire || b >= wire)
+        panic("circuit wires must reference earlier wires");
+    gates_.push_back({kind, a, b, value});
+    return wire;
+}
+
+int
+Circuit::addInput()
+{
+    const int wire = push(GateKind::Input);
+    inputs_.push_back(wire);
+    return wire;
+}
+
+int
+Circuit::addConst(bool value)
+{
+    return push(GateKind::Const, -1, -1, value);
+}
+
+int
+Circuit::addNot(int a)
+{
+    return push(GateKind::Not, a);
+}
+
+int
+Circuit::addAnd(int a, int b)
+{
+    return push(GateKind::And, a, b);
+}
+
+int
+Circuit::addOr(int a, int b)
+{
+    return push(GateKind::Or, a, b);
+}
+
+int
+Circuit::addXor(int a, int b)
+{
+    return push(GateKind::Xor, a, b);
+}
+
+int
+Circuit::addNand(int a, int b)
+{
+    return push(GateKind::Nand, a, b);
+}
+
+int
+Circuit::addNor(int a, int b)
+{
+    return push(GateKind::Nor, a, b);
+}
+
+std::vector<bool>
+Circuit::eval(const std::vector<bool> &input_values) const
+{
+    if (static_cast<int>(input_values.size()) != numInputs())
+        fatal("Circuit::eval: expected %d inputs, got %zu", numInputs(),
+              input_values.size());
+    std::vector<bool> value(numWires(), false);
+    std::size_t next_input = 0;
+    for (int w = 0; w < numWires(); ++w) {
+        const Gate &g = gates_[w];
+        switch (g.kind) {
+          case GateKind::Input:
+            value[w] = input_values[next_input++];
+            break;
+          case GateKind::Const:
+            value[w] = g.value;
+            break;
+          case GateKind::Not:
+            value[w] = !value[g.a];
+            break;
+          case GateKind::And:
+            value[w] = value[g.a] && value[g.b];
+            break;
+          case GateKind::Or:
+            value[w] = value[g.a] || value[g.b];
+            break;
+          case GateKind::Xor:
+            value[w] = value[g.a] != value[g.b];
+            break;
+          case GateKind::Nand:
+            value[w] = !(value[g.a] && value[g.b]);
+            break;
+          case GateKind::Nor:
+            value[w] = !(value[g.a] || value[g.b]);
+            break;
+        }
+    }
+    return value;
+}
+
+Circuit::Encoding
+Circuit::tseitin() const
+{
+    Encoding enc;
+    enc.cnf = Cnf(numWires());
+    enc.wire_var.resize(numWires());
+    for (int w = 0; w < numWires(); ++w)
+        enc.wire_var[w] = w;
+
+    auto lit = [&](int wire, bool neg = false) {
+        return mkLit(enc.wire_var[wire], neg);
+    };
+
+    for (int w = 0; w < numWires(); ++w) {
+        const Gate &g = gates_[w];
+        const Lit y = lit(w);
+        switch (g.kind) {
+          case GateKind::Input:
+            break;
+          case GateKind::Const:
+            enc.cnf.addClause(g.value ? y : ~y);
+            break;
+          case GateKind::Not:
+            enc.cnf.addClause(y, lit(g.a));
+            enc.cnf.addClause(~y, ~lit(g.a));
+            break;
+          case GateKind::And:
+            enc.cnf.addClause(~y, lit(g.a));
+            enc.cnf.addClause(~y, lit(g.b));
+            enc.cnf.addClause(y, ~lit(g.a), ~lit(g.b));
+            break;
+          case GateKind::Or:
+            enc.cnf.addClause(y, ~lit(g.a));
+            enc.cnf.addClause(y, ~lit(g.b));
+            enc.cnf.addClause(~y, lit(g.a), lit(g.b));
+            break;
+          case GateKind::Xor:
+            enc.cnf.addClause(~y, lit(g.a), lit(g.b));
+            enc.cnf.addClause(~y, ~lit(g.a), ~lit(g.b));
+            enc.cnf.addClause(y, ~lit(g.a), lit(g.b));
+            enc.cnf.addClause(y, lit(g.a), ~lit(g.b));
+            break;
+          case GateKind::Nand:
+            enc.cnf.addClause(y, lit(g.a));
+            enc.cnf.addClause(y, lit(g.b));
+            enc.cnf.addClause(~y, ~lit(g.a), ~lit(g.b));
+            break;
+          case GateKind::Nor:
+            enc.cnf.addClause(~y, ~lit(g.a));
+            enc.cnf.addClause(~y, ~lit(g.b));
+            enc.cnf.addClause(y, lit(g.a), lit(g.b));
+            break;
+        }
+    }
+    return enc;
+}
+
+std::pair<int, int>
+Circuit::fullAdder(int a, int b, int carry_in)
+{
+    const int axb = addXor(a, b);
+    const int sum = addXor(axb, carry_in);
+    const int ab = addAnd(a, b);
+    const int cab = addAnd(carry_in, axb);
+    const int carry = addOr(ab, cab);
+    return {sum, carry};
+}
+
+std::vector<int>
+Circuit::rippleCarryAdder(const std::vector<int> &a,
+                          const std::vector<int> &b)
+{
+    if (a.size() != b.size())
+        fatal("rippleCarryAdder: width mismatch (%zu vs %zu)", a.size(),
+              b.size());
+    std::vector<int> sum;
+    int carry = addConst(false);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto [s, c] = fullAdder(a[i], b[i], carry);
+        sum.push_back(s);
+        carry = c;
+    }
+    sum.push_back(carry);
+    return sum;
+}
+
+std::vector<int>
+Circuit::multiplier(const std::vector<int> &a, const std::vector<int> &b)
+{
+    // Shift-and-add array multiplier over partial products.
+    const auto wa = a.size(), wb = b.size();
+    std::vector<int> product(wa + wb, addConst(false));
+    for (std::size_t j = 0; j < wb; ++j) {
+        // Partial product row: a << j, gated by b[j].
+        int carry = addConst(false);
+        for (std::size_t i = 0; i < wa; ++i) {
+            const int pp = addAnd(a[i], b[j]);
+            const auto [s, c] = fullAdder(product[i + j], pp, carry);
+            product[i + j] = s;
+            carry = c;
+        }
+        // Propagate the final carry into the higher bits.
+        for (std::size_t k = wa + j; k < wa + wb && carry >= 0; ++k) {
+            const int zero = addConst(false);
+            const auto [s, c] = fullAdder(product[k], carry, zero);
+            product[k] = s;
+            carry = c;
+        }
+    }
+    return product;
+}
+
+int
+Circuit::greaterEqual(const std::vector<int> &a, const std::vector<int> &b)
+{
+    if (a.size() != b.size())
+        fatal("greaterEqual: width mismatch");
+    // ge_i = (a_i > b_i) or (a_i == b_i and ge_{i-1}); ge_{-1} = true.
+    int ge = addConst(true);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const int gt = addAnd(a[i], addNot(b[i]));
+        const int eq = addNot(addXor(a[i], b[i]));
+        ge = addOr(gt, addAnd(eq, ge));
+    }
+    return ge;
+}
+
+Circuit
+randomCircuit(int num_inputs, int num_gates, int num_outputs, Rng &rng)
+{
+    Circuit circuit;
+    for (int i = 0; i < num_inputs; ++i)
+        circuit.addInput();
+    for (int i = 0; i < num_gates; ++i) {
+        const int n = circuit.numWires();
+        const int a = static_cast<int>(rng.below(n));
+        const int b = static_cast<int>(rng.below(n));
+        switch (rng.below(5)) {
+          case 0:
+            circuit.addAnd(a, b);
+            break;
+          case 1:
+            circuit.addOr(a, b);
+            break;
+          case 2:
+            circuit.addXor(a, b);
+            break;
+          case 3:
+            circuit.addNand(a, b);
+            break;
+          default:
+            circuit.addNot(a);
+            break;
+        }
+    }
+    const int first_output =
+        std::max(circuit.numWires() - num_outputs, 0);
+    for (int w = first_output; w < circuit.numWires(); ++w)
+        circuit.markOutput(w);
+    return circuit;
+}
+
+sat::Cnf
+faultMiter(const Circuit &circuit, int fault_wire, bool stuck_value)
+{
+    // Build one combined circuit: the original plus a copy sharing
+    // its inputs, with the faulted wire replaced by a constant.
+    Circuit miter;
+    std::vector<int> orig_map(circuit.numWires());
+    std::vector<int> copy_map(circuit.numWires());
+
+    for (int w = 0; w < circuit.numWires(); ++w) {
+        const Gate &g = circuit.gate(w);
+        switch (g.kind) {
+          case GateKind::Input:
+            orig_map[w] = miter.addInput();
+            break;
+          case GateKind::Const:
+            orig_map[w] = miter.addConst(g.value);
+            break;
+          case GateKind::Not:
+            orig_map[w] = miter.addNot(orig_map[g.a]);
+            break;
+          case GateKind::And:
+            orig_map[w] = miter.addAnd(orig_map[g.a], orig_map[g.b]);
+            break;
+          case GateKind::Or:
+            orig_map[w] = miter.addOr(orig_map[g.a], orig_map[g.b]);
+            break;
+          case GateKind::Xor:
+            orig_map[w] = miter.addXor(orig_map[g.a], orig_map[g.b]);
+            break;
+          case GateKind::Nand:
+            orig_map[w] = miter.addNand(orig_map[g.a], orig_map[g.b]);
+            break;
+          case GateKind::Nor:
+            orig_map[w] = miter.addNor(orig_map[g.a], orig_map[g.b]);
+            break;
+        }
+    }
+    for (int w = 0; w < circuit.numWires(); ++w) {
+        if (w == fault_wire) {
+            copy_map[w] = miter.addConst(stuck_value);
+            continue;
+        }
+        const Gate &g = circuit.gate(w);
+        switch (g.kind) {
+          case GateKind::Input:
+            copy_map[w] = orig_map[w]; // shared primary inputs
+            break;
+          case GateKind::Const:
+            copy_map[w] = miter.addConst(g.value);
+            break;
+          case GateKind::Not:
+            copy_map[w] = miter.addNot(copy_map[g.a]);
+            break;
+          case GateKind::And:
+            copy_map[w] = miter.addAnd(copy_map[g.a], copy_map[g.b]);
+            break;
+          case GateKind::Or:
+            copy_map[w] = miter.addOr(copy_map[g.a], copy_map[g.b]);
+            break;
+          case GateKind::Xor:
+            copy_map[w] = miter.addXor(copy_map[g.a], copy_map[g.b]);
+            break;
+          case GateKind::Nand:
+            copy_map[w] = miter.addNand(copy_map[g.a], copy_map[g.b]);
+            break;
+          case GateKind::Nor:
+            copy_map[w] = miter.addNor(copy_map[g.a], copy_map[g.b]);
+            break;
+        }
+    }
+
+    // Some output must differ.
+    int any_diff = miter.addConst(false);
+    for (int out : circuit.outputs()) {
+        const int diff = miter.addXor(orig_map[out], copy_map[out]);
+        any_diff = miter.addOr(any_diff, diff);
+    }
+    miter.markOutput(any_diff);
+
+    auto enc = miter.tseitin();
+    enc.cnf.addClause(mkLit(enc.wire_var[any_diff]));
+    return enc.cnf;
+}
+
+} // namespace hyqsat::gen

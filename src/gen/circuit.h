@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Gate-level combinational circuit builder with Tseitin CNF
+ * encoding. Substrate for three of the paper's benchmark domains:
+ * circuit fault analysis (stuck-at miters), integer factorization
+ * (multiplier circuits) and cryptography (adder/comparator
+ * equivalence).
+ *
+ * All gates are at most 2-input, so every Tseitin clause has at most
+ * three literals and the encoded formulas are native 3-SAT.
+ */
+
+#ifndef HYQSAT_GEN_CIRCUIT_H
+#define HYQSAT_GEN_CIRCUIT_H
+
+#include <vector>
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace hyqsat::gen {
+
+/** Kinds of circuit nodes. */
+enum class GateKind
+{
+    Input,
+    Const,
+    Not,
+    And,
+    Or,
+    Xor,
+    Nand,
+    Nor,
+};
+
+/** One node of the circuit DAG. */
+struct Gate
+{
+    GateKind kind = GateKind::Input;
+    int a = -1;         ///< first fan-in wire (unused for Input/Const)
+    int b = -1;         ///< second fan-in wire (unused for Not)
+    bool value = false; ///< constant value (Const only)
+};
+
+/** A combinational circuit as an append-only DAG of wires. */
+class Circuit
+{
+  public:
+    /** @return a fresh primary-input wire. */
+    int addInput();
+
+    /** @return a constant wire. */
+    int addConst(bool value);
+
+    int addNot(int a);
+    int addAnd(int a, int b);
+    int addOr(int a, int b);
+    int addXor(int a, int b);
+    int addNand(int a, int b);
+    int addNor(int a, int b);
+
+    /** Mark a wire as a primary output. */
+    void markOutput(int wire) { outputs_.push_back(wire); }
+
+    int numWires() const { return static_cast<int>(gates_.size()); }
+    int numInputs() const { return static_cast<int>(inputs_.size()); }
+    const std::vector<int> &inputs() const { return inputs_; }
+    const std::vector<int> &outputs() const { return outputs_; }
+    const Gate &gate(int wire) const { return gates_[wire]; }
+
+    /** Evaluate every wire for the given primary-input values. */
+    std::vector<bool> eval(const std::vector<bool> &input_values) const;
+
+    /** Tseitin encoding result. */
+    struct Encoding
+    {
+        sat::Cnf cnf;
+        /** Wire index -> CNF variable. */
+        std::vector<sat::Var> wire_var;
+    };
+
+    /**
+     * Tseitin-encode the whole circuit. Every wire gets one CNF
+     * variable constrained to its gate function; inputs are free.
+     */
+    Encoding tseitin() const;
+
+    // ------------------------------------------------------------------
+    // Arithmetic building blocks
+    // ------------------------------------------------------------------
+
+    /** Full adder: returns {sum, carry_out}. */
+    std::pair<int, int> fullAdder(int a, int b, int carry_in);
+
+    /**
+     * Ripple-carry adder over little-endian bit vectors (equal
+     * width); returns sum bits plus the final carry appended.
+     */
+    std::vector<int> rippleCarryAdder(const std::vector<int> &a,
+                                      const std::vector<int> &b);
+
+    /**
+     * Array multiplier over little-endian bit vectors; returns
+     * product bits of width |a| + |b|.
+     */
+    std::vector<int> multiplier(const std::vector<int> &a,
+                                const std::vector<int> &b);
+
+    /** Unsigned a >= b comparator over equal-width vectors. */
+    int greaterEqual(const std::vector<int> &a,
+                     const std::vector<int> &b);
+
+  private:
+    int push(GateKind kind, int a = -1, int b = -1, bool value = false);
+
+    std::vector<Gate> gates_;
+    std::vector<int> inputs_;
+    std::vector<int> outputs_;
+};
+
+/**
+ * Random 2-input combinational circuit: @p num_inputs inputs,
+ * @p num_gates random gates over earlier wires, last few wires
+ * marked as outputs.
+ */
+Circuit randomCircuit(int num_inputs, int num_gates, int num_outputs,
+                      Rng &rng);
+
+/**
+ * Miter of @p circuit against a copy with wire @p fault_wire stuck
+ * at @p stuck_value: the CNF asserts that some output differs.
+ * Satisfiable iff the fault is detectable; with fault_wire = -1 the
+ * copy is fault-free and the miter is unsatisfiable (the CFA
+ * benchmark's unsatisfiable shape).
+ */
+sat::Cnf faultMiter(const Circuit &circuit, int fault_wire,
+                    bool stuck_value);
+
+} // namespace hyqsat::gen
+
+#endif // HYQSAT_GEN_CIRCUIT_H

@@ -1,0 +1,79 @@
+#include "gen/crypto.h"
+
+#include "gen/circuit.h"
+#include "util/logging.h"
+
+namespace hyqsat::gen {
+
+using sat::mkLit;
+
+sat::Cnf
+cmpAddCnf(int width)
+{
+    // a + b (with the carry kept) is always >= a for unsigned
+    // operands; assert the comparator output low => UNSAT.
+    Circuit circuit;
+    std::vector<int> a, b;
+    for (int i = 0; i < width; ++i)
+        a.push_back(circuit.addInput());
+    for (int i = 0; i < width; ++i)
+        b.push_back(circuit.addInput());
+
+    auto sum = circuit.rippleCarryAdder(a, b); // width + 1 bits
+    std::vector<int> a_ext = a;
+    a_ext.push_back(circuit.addConst(false));
+    const int ge = circuit.greaterEqual(sum, a_ext);
+    circuit.markOutput(ge);
+
+    auto enc = circuit.tseitin();
+    enc.cnf.addClause(mkLit(enc.wire_var[ge], true));
+    return enc.cnf;
+}
+
+sat::Cnf
+adderEquivalenceCnf(int width)
+{
+    Circuit circuit;
+    std::vector<int> a, b;
+    for (int i = 0; i < width; ++i)
+        a.push_back(circuit.addInput());
+    for (int i = 0; i < width; ++i)
+        b.push_back(circuit.addInput());
+
+    const auto sum1 = circuit.rippleCarryAdder(a, b);
+    const auto sum2 = circuit.rippleCarryAdder(b, a); // commuted twin
+
+    int any_diff = circuit.addConst(false);
+    for (std::size_t i = 0; i < sum1.size(); ++i)
+        any_diff =
+            circuit.addOr(any_diff, circuit.addXor(sum1[i], sum2[i]));
+    circuit.markOutput(any_diff);
+
+    auto enc = circuit.tseitin();
+    enc.cnf.addClause(mkLit(enc.wire_var[any_diff]));
+    return enc.cnf;
+}
+
+sat::Cnf
+adderTargetCnf(int width, Rng &rng)
+{
+    Circuit circuit;
+    std::vector<int> a, b;
+    for (int i = 0; i < width; ++i)
+        a.push_back(circuit.addInput());
+    for (int i = 0; i < width; ++i)
+        b.push_back(circuit.addInput());
+    const auto sum = circuit.rippleCarryAdder(a, b);
+
+    // Reachable target: sum of two random width-bit values.
+    const std::uint64_t target = rng.below(1ull << width) +
+                                 rng.below(1ull << width);
+    auto enc = circuit.tseitin();
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+        const bool bit = (target >> i) & 1;
+        enc.cnf.addClause(mkLit(enc.wire_var[sum[i]], !bit));
+    }
+    return enc.cnf;
+}
+
+} // namespace hyqsat::gen

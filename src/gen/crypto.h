@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Cryptography-domain circuit-verification instances (the paper's
+ * CRY "Cmpadd" benchmark): adder + comparator properties checked by
+ * a miter. The properties hold, so the instances are unsatisfiable
+ * and a CDCL solver refutes them quickly - matching the benchmark's
+ * tiny iteration counts in Table I.
+ */
+
+#ifndef HYQSAT_GEN_CRYPTO_H
+#define HYQSAT_GEN_CRYPTO_H
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace hyqsat::gen {
+
+/**
+ * "Compare-add" verification instance: asserts that for @p width-bit
+ * a and b, NOT (a + b >= a) - i.e. the (true) monotonicity property
+ * fails somewhere. Unsatisfiable.
+ */
+sat::Cnf cmpAddCnf(int width);
+
+/**
+ * Adder-equivalence instance: asserts that a ripple-carry adder and
+ * a re-built copy disagree on some sum bit. Unsatisfiable.
+ */
+sat::Cnf adderEquivalenceCnf(int width);
+
+/**
+ * A satisfiable variant for testing: asserts a + b == target for a
+ * random target, which some (a, b) achieves.
+ */
+sat::Cnf adderTargetCnf(int width, Rng &rng);
+
+} // namespace hyqsat::gen
+
+#endif // HYQSAT_GEN_CRYPTO_H

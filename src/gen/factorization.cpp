@@ -1,0 +1,81 @@
+#include "gen/factorization.h"
+
+#include "gen/circuit.h"
+#include "util/logging.h"
+
+namespace hyqsat::gen {
+
+using sat::mkLit;
+
+bool
+isPrime(std::uint64_t n)
+{
+    if (n < 2)
+        return false;
+    if (n % 2 == 0)
+        return n == 2;
+    for (std::uint64_t d = 3; d * d <= n; d += 2)
+        if (n % d == 0)
+            return false;
+    return true;
+}
+
+std::uint64_t
+randomPrime(int bits, Rng &rng)
+{
+    if (bits < 2 || bits > 32)
+        fatal("randomPrime supports 2..32 bits (got %d)", bits);
+    const std::uint64_t lo = 1ull << (bits - 1);
+    const std::uint64_t hi = (1ull << bits) - 1;
+    for (int tries = 0; tries < 100000; ++tries) {
+        const std::uint64_t candidate =
+            lo + rng.below(hi - lo + 1);
+        if (isPrime(candidate))
+            return candidate;
+    }
+    fatal("randomPrime: no prime found with %d bits", bits);
+}
+
+sat::Cnf
+factorizationCnf(std::uint64_t n, int width_p, int width_q)
+{
+    Circuit circuit;
+    std::vector<int> p_bits, q_bits;
+    for (int i = 0; i < width_p; ++i)
+        p_bits.push_back(circuit.addInput());
+    for (int i = 0; i < width_q; ++i)
+        q_bits.push_back(circuit.addInput());
+
+    const auto product = circuit.multiplier(p_bits, q_bits);
+    auto enc = circuit.tseitin();
+    auto &cnf = enc.cnf;
+
+    // Output bits must equal n.
+    for (std::size_t i = 0; i < product.size(); ++i) {
+        const bool bit = (n >> i) & 1;
+        cnf.addClause(mkLit(enc.wire_var[product[i]], !bit));
+    }
+    if (product.size() < 64 && (n >> product.size()) != 0)
+        fatal("factorizationCnf: n does not fit the product width");
+
+    // Exclude the trivial factors p <= 1 and q <= 1: some bit above
+    // bit 0 must be set.
+    sat::LitVec p_nontrivial, q_nontrivial;
+    for (int i = 1; i < width_p; ++i)
+        p_nontrivial.push_back(mkLit(enc.wire_var[p_bits[i]]));
+    for (int i = 1; i < width_q; ++i)
+        q_nontrivial.push_back(mkLit(enc.wire_var[q_bits[i]]));
+    cnf.addClause(p_nontrivial);
+    cnf.addClause(q_nontrivial);
+    return cnf;
+}
+
+sat::Cnf
+randomSemiprimeCnf(int width_p, int width_q, Rng &rng)
+{
+    const std::uint64_t p = randomPrime(width_p, rng);
+    const std::uint64_t q = randomPrime(width_q, rng);
+    return factorizationCnf(p * q, width_p, width_q);
+}
+
+} // namespace hyqsat::gen

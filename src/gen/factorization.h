@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Integer-factorization SAT instances (the paper's IF1 "EzFact" and
+ * IF2 "Lisa" domains): a multiplier circuit p * q = N is
+ * Tseitin-encoded and the output bits are constrained to N.
+ * Satisfiable iff N has a factorization of the requested widths with
+ * both factors > 1.
+ */
+
+#ifndef HYQSAT_GEN_FACTORIZATION_H
+#define HYQSAT_GEN_FACTORIZATION_H
+
+#include <cstdint>
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace hyqsat::gen {
+
+/**
+ * Encode "find p (width_p bits) and q (width_q bits), both > 1,
+ * with p * q == n" as CNF.
+ */
+sat::Cnf factorizationCnf(std::uint64_t n, int width_p, int width_q);
+
+/**
+ * Generate a semiprime factorization instance: draws two random
+ * primes of the given bit widths and encodes n = p * q (guaranteed
+ * satisfiable).
+ */
+sat::Cnf randomSemiprimeCnf(int width_p, int width_q, Rng &rng);
+
+/** @return a uniformly random prime with exactly @p bits bits. */
+std::uint64_t randomPrime(int bits, Rng &rng);
+
+/** Trial-division primality test (for generator-internal use). */
+bool isPrime(std::uint64_t n);
+
+} // namespace hyqsat::gen
+
+#endif // HYQSAT_GEN_FACTORIZATION_H

@@ -1,0 +1,82 @@
+#include "gen/graph_coloring.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace hyqsat::gen {
+
+using sat::Cnf;
+using sat::mkLit;
+using sat::Var;
+
+ColoringInstance
+flatGraph(int vertices, int num_edges, int colors, Rng &rng)
+{
+    if (colors < 2)
+        fatal("flatGraph needs at least two colours");
+    ColoringInstance instance;
+    instance.vertices = vertices;
+    instance.colors = colors;
+    instance.hidden_coloring.resize(vertices);
+    for (int v = 0; v < vertices; ++v)
+        instance.hidden_coloring[v] = v % colors; // balanced classes
+    rng.shuffle(instance.hidden_coloring);
+
+    std::unordered_set<std::uint64_t> seen;
+    int guard = 0;
+    while (static_cast<int>(instance.edges.size()) < num_edges) {
+        if (++guard > 100 * num_edges)
+            fatal("flatGraph: cannot place %d cross-class edges",
+                  num_edges);
+        int a = static_cast<int>(rng.below(vertices));
+        int b = static_cast<int>(rng.below(vertices));
+        if (a == b ||
+            instance.hidden_coloring[a] == instance.hidden_coloring[b])
+            continue;
+        if (a > b)
+            std::swap(a, b);
+        const auto key = (static_cast<std::uint64_t>(a) << 32) |
+                         static_cast<std::uint32_t>(b);
+        if (seen.insert(key).second)
+            instance.edges.emplace_back(a, b);
+    }
+    return instance;
+}
+
+Cnf
+encodeColoring(const ColoringInstance &instance)
+{
+    const int k = instance.colors;
+    Cnf cnf(instance.vertices * k);
+    auto var = [&](int vertex, int color) -> Var {
+        return vertex * k + color;
+    };
+
+    for (int v = 0; v < instance.vertices; ++v) {
+        // At least one colour.
+        sat::LitVec alo;
+        for (int c = 0; c < k; ++c)
+            alo.push_back(mkLit(var(v, c)));
+        cnf.addClause(alo);
+        // At most one colour (pairwise).
+        for (int c1 = 0; c1 < k; ++c1)
+            for (int c2 = c1 + 1; c2 < k; ++c2)
+                cnf.addClause(mkLit(var(v, c1), true),
+                              mkLit(var(v, c2), true));
+    }
+    for (const auto &[a, b] : instance.edges) {
+        for (int c = 0; c < k; ++c)
+            cnf.addClause(mkLit(var(a, c), true),
+                          mkLit(var(b, c), true));
+    }
+    return cnf;
+}
+
+Cnf
+flatColoringCnf(int vertices, int num_edges, int colors, Rng &rng)
+{
+    return encodeColoring(flatGraph(vertices, num_edges, colors, rng));
+}
+
+} // namespace hyqsat::gen

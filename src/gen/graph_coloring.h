@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Graph-colouring instances reproducing SATLIB's "flat" series
+ * (GC1-GC3 in the paper): random k-colourable flat graphs encoded to
+ * CNF. A hidden balanced partition guarantees colourability, so the
+ * encoded formula is satisfiable like the flatXX benchmarks.
+ *
+ * Encoding: one variable per (vertex, colour); per vertex an
+ * at-least-one clause (k literals) and pairwise at-most-one clauses;
+ * per edge and colour a not-both clause. With k = 3 all clauses have
+ * at most three literals.
+ */
+
+#ifndef HYQSAT_GEN_GRAPH_COLORING_H
+#define HYQSAT_GEN_GRAPH_COLORING_H
+
+#include <utility>
+#include <vector>
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace hyqsat::gen {
+
+/** A colourable random graph plus its generation metadata. */
+struct ColoringInstance
+{
+    int vertices = 0;
+    int colors = 0;
+    std::vector<std::pair<int, int>> edges;
+    /** The hidden colouring that witnesses satisfiability. */
+    std::vector<int> hidden_coloring;
+};
+
+/**
+ * Generate a random flat (k-colourable, triangle-poor) graph:
+ * vertices are split into k balanced classes and @p num_edges edges
+ * are drawn uniformly between distinct classes without duplicates.
+ */
+ColoringInstance flatGraph(int vertices, int num_edges, int colors,
+                           Rng &rng);
+
+/** Encode a colouring instance to CNF (see file comment). */
+sat::Cnf encodeColoring(const ColoringInstance &instance);
+
+/**
+ * Convenience: the paper's GC benchmark shape - e.g. flat(150, 545)
+ * gives 450 variables like GC1.
+ */
+sat::Cnf flatColoringCnf(int vertices, int num_edges, int colors,
+                         Rng &rng);
+
+} // namespace hyqsat::gen
+
+#endif // HYQSAT_GEN_GRAPH_COLORING_H

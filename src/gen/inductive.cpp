@@ -1,0 +1,112 @@
+#include "gen/inductive.h"
+
+#include "util/logging.h"
+
+namespace hyqsat::gen {
+
+using sat::Cnf;
+using sat::LitVec;
+using sat::mkLit;
+using sat::Var;
+
+Cnf
+inductiveInferenceCnf(int num_features, int num_terms, int num_examples,
+                      Rng &rng)
+{
+    const int f = num_features;
+    const int k = num_terms;
+
+    // Hidden DNF: per term, each feature appears positive / negative
+    // / absent with probability 1/4, 1/4, 1/2.
+    // 0 = absent, 1 = positive, 2 = negative.
+    std::vector<std::vector<int>> hidden(k, std::vector<int>(f, 0));
+    for (auto &term : hidden)
+        for (auto &lit : term)
+            lit = static_cast<int>(rng.below(4)) % 3;
+
+    auto term_covers = [&](const std::vector<int> &term,
+                           const std::vector<bool> &x) {
+        for (int i = 0; i < f; ++i) {
+            if (term[i] == 1 && !x[i])
+                return false;
+            if (term[i] == 2 && x[i])
+                return false;
+        }
+        return true;
+    };
+
+    // Examples with their hidden labels.
+    std::vector<std::vector<bool>> examples(num_examples);
+    std::vector<bool> labels(num_examples);
+    for (int e = 0; e < num_examples; ++e) {
+        examples[e].resize(f);
+        for (int i = 0; i < f; ++i)
+            examples[e][i] = rng.chance(0.5);
+        bool label = false;
+        for (const auto &term : hidden)
+            label |= term_covers(term, examples[e]);
+        labels[e] = label;
+    }
+
+    // Variables:
+    //   p(t, i): feature i appears positively in term t
+    //   n(t, i): feature i appears negatively in term t
+    //   c(t, e): term t covers positive example e
+    int num_positive = 0;
+    std::vector<int> positive_index(num_examples, -1);
+    for (int e = 0; e < num_examples; ++e)
+        if (labels[e])
+            positive_index[e] = num_positive++;
+
+    const int pn_vars = 2 * k * f;
+    Cnf cnf(pn_vars + k * num_positive);
+    auto p = [&](int t, int i) -> Var { return (t * f + i) * 2; };
+    auto n = [&](int t, int i) -> Var { return (t * f + i) * 2 + 1; };
+    auto c = [&](int t, int pe) -> Var {
+        return pn_vars + t * num_positive + pe;
+    };
+
+    // A feature cannot be both positive and negative in one term.
+    for (int t = 0; t < k; ++t)
+        for (int i = 0; i < f; ++i)
+            cnf.addClause(mkLit(p(t, i), true), mkLit(n(t, i), true));
+
+    for (int e = 0; e < num_examples; ++e) {
+        if (labels[e]) {
+            const int pe = positive_index[e];
+            // Some term covers the positive example...
+            LitVec some;
+            for (int t = 0; t < k; ++t)
+                some.push_back(mkLit(c(t, pe)));
+            cnf.addClause(some);
+            // ... and covering forbids conflicting literals.
+            for (int t = 0; t < k; ++t) {
+                for (int i = 0; i < f; ++i) {
+                    if (examples[e][i]) {
+                        cnf.addClause(mkLit(c(t, pe), true),
+                                      mkLit(n(t, i), true));
+                    } else {
+                        cnf.addClause(mkLit(c(t, pe), true),
+                                      mkLit(p(t, i), true));
+                    }
+                }
+            }
+        } else {
+            // No term may cover a negative example: each term must
+            // contain a literal the example falsifies.
+            for (int t = 0; t < k; ++t) {
+                LitVec blocked;
+                for (int i = 0; i < f; ++i) {
+                    if (examples[e][i])
+                        blocked.push_back(mkLit(n(t, i)));
+                    else
+                        blocked.push_back(mkLit(p(t, i)));
+                }
+                cnf.addClause(blocked);
+            }
+        }
+    }
+    return cnf;
+}
+
+} // namespace hyqsat::gen

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Inductive-inference instances (the paper's II domain, after
+ * SATLIB's ii series): find a k-term DNF over f Boolean features
+ * consistent with a set of labeled examples. Examples are labeled
+ * by a hidden DNF, so the instances are satisfiable.
+ */
+
+#ifndef HYQSAT_GEN_INDUCTIVE_H
+#define HYQSAT_GEN_INDUCTIVE_H
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace hyqsat::gen {
+
+/**
+ * Encode the DNF-consistency problem.
+ * @param num_features Boolean features per example
+ * @param num_terms DNF terms the learner may use
+ * @param num_examples labeled examples (drawn uniformly, labeled by
+ *        a hidden random DNF with @p num_terms terms)
+ */
+sat::Cnf inductiveInferenceCnf(int num_features, int num_terms,
+                               int num_examples, Rng &rng);
+
+} // namespace hyqsat::gen
+
+#endif // HYQSAT_GEN_INDUCTIVE_H

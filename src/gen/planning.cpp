@@ -1,0 +1,145 @@
+#include "gen/planning.h"
+
+#include "util/logging.h"
+
+namespace hyqsat::gen {
+
+using sat::Cnf;
+using sat::LitVec;
+using sat::mkLit;
+using sat::Var;
+
+BlocksWorldTask
+randomBlocksWorld(int num_blocks, Rng &rng)
+{
+    BlocksWorldTask task;
+    task.num_blocks = num_blocks;
+
+    auto random_config = [&]() {
+        // Build random stacks by inserting blocks in random order
+        // either on the table or on a current stack top.
+        std::vector<int> under(num_blocks, -1);
+        std::vector<int> tops;
+        std::vector<int> order(num_blocks);
+        for (int i = 0; i < num_blocks; ++i)
+            order[i] = i;
+        rng.shuffle(order);
+        for (int b : order) {
+            if (!tops.empty() && rng.chance(0.6)) {
+                const std::size_t pick = rng.below(tops.size());
+                under[b] = tops[pick];
+                tops[pick] = b;
+            } else {
+                tops.push_back(b);
+            }
+        }
+        return under;
+    };
+    task.initial_under = random_config();
+    task.goal_under = random_config();
+    return task;
+}
+
+Cnf
+encodeBlocksWorld(const BlocksWorldTask &task, int horizon)
+{
+    const int b = task.num_blocks;
+    const int places = b + 1; // blocks plus the table (index b)
+    const int steps = horizon + 1;
+
+    // on(x, y, t): block x sits on place y at time t (y != x).
+    Cnf cnf(b * places * steps);
+    auto on = [&](int x, int y, int t) -> Var {
+        return (x * places + y) * steps + t;
+    };
+
+    for (int t = 0; t < steps; ++t) {
+        for (int x = 0; x < b; ++x) {
+            // Each block is somewhere (at least one position)...
+            LitVec somewhere;
+            for (int y = 0; y < places; ++y)
+                if (y != x)
+                    somewhere.push_back(mkLit(on(x, y, t)));
+            cnf.addClause(somewhere);
+            // ... and in at most one position.
+            for (int y1 = 0; y1 < places; ++y1) {
+                if (y1 == x)
+                    continue;
+                for (int y2 = y1 + 1; y2 < places; ++y2) {
+                    if (y2 == x)
+                        continue;
+                    cnf.addClause(mkLit(on(x, y1, t), true),
+                                  mkLit(on(x, y2, t), true));
+                }
+            }
+        }
+        // A block carries at most one block (the table is unbounded).
+        for (int y = 0; y < b; ++y) {
+            for (int x1 = 0; x1 < b; ++x1) {
+                if (x1 == y)
+                    continue;
+                for (int x2 = x1 + 1; x2 < b; ++x2) {
+                    if (x2 == y)
+                        continue;
+                    cnf.addClause(mkLit(on(x1, y, t), true),
+                                  mkLit(on(x2, y, t), true));
+                }
+            }
+        }
+    }
+
+    // Transitions: moving x from y to z requires x clear at t and z
+    // clear at t (when z is a block).
+    for (int t = 0; t + 1 < steps; ++t) {
+        for (int x = 0; x < b; ++x) {
+            for (int y = 0; y < places; ++y) {
+                if (y == x)
+                    continue;
+                for (int z = 0; z < places; ++z) {
+                    if (z == x || z == y)
+                        continue;
+                    // on(x,y,t) & on(x,z,t+1) -> x was clear:
+                    // no w on x at t.
+                    for (int w = 0; w < b; ++w) {
+                        if (w == x)
+                            continue;
+                        cnf.addClause(mkLit(on(x, y, t), true),
+                                      mkLit(on(x, z, t + 1), true),
+                                      mkLit(on(w, x, t), true));
+                    }
+                    // ... and z was clear (z a block): no w on z at t.
+                    if (z < b) {
+                        for (int w = 0; w < b; ++w) {
+                            if (w == z || w == x)
+                                continue;
+                            cnf.addClause(
+                                mkLit(on(x, y, t), true),
+                                mkLit(on(x, z, t + 1), true),
+                                mkLit(on(w, z, t), true));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Initial and goal states as units.
+    for (int x = 0; x < b; ++x) {
+        const int init_y =
+            task.initial_under[x] < 0 ? b : task.initial_under[x];
+        const int goal_y =
+            task.goal_under[x] < 0 ? b : task.goal_under[x];
+        cnf.addClause(mkLit(on(x, init_y, 0)));
+        cnf.addClause(mkLit(on(x, goal_y, horizon)));
+    }
+    return cnf;
+}
+
+Cnf
+blocksWorldCnf(int num_blocks, Rng &rng)
+{
+    const auto task = randomBlocksWorld(num_blocks, rng);
+    return encodeBlocksWorld(task, 2 * num_blocks);
+}
+
+} // namespace hyqsat::gen

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Blocks-world planning instances (the paper's BP domain). A
+ * parallel-move blocks-world encoding without explicit action
+ * variables: positions per timestep plus move-precondition clauses.
+ * The generated instances use a generous horizon, so they are
+ * satisfiable and - like SATLIB's bw suite - nearly conflict-free
+ * for CDCL.
+ */
+
+#ifndef HYQSAT_GEN_PLANNING_H
+#define HYQSAT_GEN_PLANNING_H
+
+#include <vector>
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace hyqsat::gen {
+
+/** A blocks-world task: initial and goal configurations. */
+struct BlocksWorldTask
+{
+    int num_blocks = 0;
+    /** under[x] = block below x, or -1 for the table. */
+    std::vector<int> initial_under;
+    std::vector<int> goal_under;
+};
+
+/** Random task: random stacks initially and as the goal. */
+BlocksWorldTask randomBlocksWorld(int num_blocks, Rng &rng);
+
+/**
+ * Encode reaching the goal within @p horizon steps. A horizon of
+ * 2 * num_blocks always suffices (unstack everything, rebuild).
+ */
+sat::Cnf encodeBlocksWorld(const BlocksWorldTask &task, int horizon);
+
+/** Convenience: random task with the always-sufficient horizon. */
+sat::Cnf blocksWorldCnf(int num_blocks, Rng &rng);
+
+} // namespace hyqsat::gen
+
+#endif // HYQSAT_GEN_PLANNING_H

@@ -1,0 +1,88 @@
+#include "gen/random_sat.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hyqsat::gen {
+
+using sat::Cnf;
+using sat::Lit;
+using sat::LitVec;
+using sat::mkLit;
+using sat::Var;
+
+namespace {
+
+LitVec
+randomClause(int num_vars, int k, Rng &rng)
+{
+    LitVec clause;
+    while (static_cast<int>(clause.size()) < k) {
+        const Var v = static_cast<Var>(rng.below(num_vars));
+        bool fresh = true;
+        for (Lit p : clause)
+            fresh &= (p.var() != v);
+        if (fresh)
+            clause.push_back(mkLit(v, rng.chance(0.5)));
+    }
+    return clause;
+}
+
+} // namespace
+
+Cnf
+uniformRandomKSat(int num_vars, int num_clauses, int k, Rng &rng)
+{
+    if (k > num_vars)
+        fatal("uniformRandomKSat: k=%d exceeds %d variables", k,
+              num_vars);
+    Cnf cnf(num_vars);
+    for (int i = 0; i < num_clauses; ++i)
+        cnf.addClause(randomClause(num_vars, k, rng));
+    return cnf;
+}
+
+Cnf
+plantedRandom3Sat(int num_vars, int num_clauses, Rng &rng)
+{
+    std::vector<bool> hidden(num_vars);
+    for (int v = 0; v < num_vars; ++v)
+        hidden[v] = rng.chance(0.5);
+
+    Cnf cnf(num_vars);
+    while (cnf.numClauses() < num_clauses) {
+        const LitVec clause = randomClause(num_vars, 3, rng);
+        bool satisfied = false;
+        for (Lit p : clause)
+            satisfied |= (hidden[p.var()] != p.sign());
+        if (satisfied)
+            cnf.addClause(clause);
+    }
+    return cnf;
+}
+
+Cnf
+randomHornLike(int num_vars, int num_clauses, double horn_fraction,
+               Rng &rng)
+{
+    Cnf cnf(num_vars);
+    for (int i = 0; i < num_clauses; ++i) {
+        LitVec clause = randomClause(num_vars, 3, rng);
+        if (rng.chance(horn_fraction)) {
+            // Keep at most one positive literal.
+            bool kept_positive = false;
+            for (Lit &p : clause) {
+                if (!p.sign()) {
+                    if (kept_positive)
+                        p = ~p;
+                    kept_positive = true;
+                }
+            }
+        }
+        cnf.addClause(clause);
+    }
+    return cnf;
+}
+
+} // namespace hyqsat::gen

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Random 3-SAT instance generators, reproducing the SATLIB "uf"
+ * (uniform random at the phase transition) series the paper's AI
+ * benchmarks draw from.
+ */
+
+#ifndef HYQSAT_GEN_RANDOM_SAT_H
+#define HYQSAT_GEN_RANDOM_SAT_H
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace hyqsat::gen {
+
+/**
+ * Uniform random k-SAT: each clause draws k distinct variables with
+ * random polarity. At ratio m/n ~ 4.26 (k = 3) instances sit at the
+ * satisfiability phase transition.
+ */
+sat::Cnf uniformRandomKSat(int num_vars, int num_clauses, int k,
+                           Rng &rng);
+
+/** Uniform random 3-SAT (the paper's AI domain). */
+inline sat::Cnf
+uniformRandom3Sat(int num_vars, int num_clauses, Rng &rng)
+{
+    return uniformRandomKSat(num_vars, num_clauses, 3, rng);
+}
+
+/**
+ * Planted random 3-SAT: like uniform, but every clause is checked to
+ * be satisfied by a hidden random assignment, so the instance is
+ * guaranteed satisfiable.
+ */
+sat::Cnf plantedRandom3Sat(int num_vars, int num_clauses, Rng &rng);
+
+/**
+ * Random Horn-heavy instance: clauses have at most one positive
+ * literal with probability @p horn_fraction. Near-Horn formulas
+ * solve with almost no conflicts (the paper's BP/II behaviour).
+ */
+sat::Cnf randomHornLike(int num_vars, int num_clauses,
+                        double horn_fraction, Rng &rng);
+
+} // namespace hyqsat::gen
+
+#endif // HYQSAT_GEN_RANDOM_SAT_H

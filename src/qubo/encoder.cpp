@@ -1,0 +1,267 @@
+#include "qubo/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hyqsat::qubo {
+
+namespace {
+
+/**
+ * Literal penalty helper: H_l(x) = s + t*x with (s,t) = (0,+1) for a
+ * positive literal and (1,-1) for a negated literal, so H_l == 1
+ * exactly when the literal is true.
+ */
+struct Affine
+{
+    double s;
+    double t;
+    int node;
+};
+
+Affine
+literalPenalty(sat::Lit l, int node)
+{
+    if (l.sign())
+        return {1.0, -1.0, node};
+    return {0.0, 1.0, node};
+}
+
+/**
+ * Sub-clause c_{k,1} = a <-> (l1 v l2), Eq. 4 top:
+ * H = a + H1 + H2 - 2 a H1 - 2 a H2 + H1 H2.
+ */
+QuboModel
+equivalencePenalty(const Affine &h1, const Affine &h2, int aux)
+{
+    QuboModel q;
+    q.addOffset(h1.s + h2.s + h1.s * h2.s);
+    q.addLinear(aux, 1.0 - 2.0 * h1.s - 2.0 * h2.s);
+    q.addLinear(h1.node, h1.t + h2.s * h1.t);
+    q.addLinear(h2.node, h2.t + h1.s * h2.t);
+    q.addQuadratic(aux, h1.node, -2.0 * h1.t);
+    q.addQuadratic(aux, h2.node, -2.0 * h2.t);
+    q.addQuadratic(h1.node, h2.node, h1.t * h2.t);
+    return q;
+}
+
+/**
+ * Sub-clause c_{k,2} = l3 v a, Eq. 4 bottom:
+ * H = 1 - a - H3 + a H3.
+ */
+QuboModel
+orWithAuxPenalty(const Affine &h3, int aux)
+{
+    QuboModel q;
+    q.addOffset(1.0 - h3.s);
+    q.addLinear(aux, -1.0 + h3.s);
+    q.addLinear(h3.node, -h3.t);
+    q.addQuadratic(aux, h3.node, h3.t);
+    return q;
+}
+
+/** Two-literal clause: H = (1 - H1)(1 - H2), no auxiliary needed. */
+QuboModel
+pairPenalty(const Affine &h1, const Affine &h2)
+{
+    QuboModel q;
+    q.addOffset((1.0 - h1.s) * (1.0 - h2.s));
+    q.addLinear(h1.node, -h1.t * (1.0 - h2.s));
+    q.addLinear(h2.node, -h2.t * (1.0 - h1.s));
+    q.addQuadratic(h1.node, h2.node, h1.t * h2.t);
+    return q;
+}
+
+/** Unit clause: H = 1 - H1. */
+QuboModel
+unitPenalty(const Affine &h1)
+{
+    QuboModel q;
+    q.addOffset(1.0 - h1.s);
+    q.addLinear(h1.node, -h1.t);
+    return q;
+}
+
+/** Canonicalize: deduplicate literals; empty result for tautology. */
+sat::LitVec
+canonicalize(sat::LitVec clause, bool *tautology)
+{
+    std::sort(clause.begin(), clause.end());
+    sat::LitVec out;
+    *tautology = false;
+    for (sat::Lit p : clause) {
+        if (!out.empty() && p == out.back())
+            continue;
+        if (!out.empty() && p == ~out.back()) {
+            *tautology = true;
+            return {};
+        }
+        out.push_back(p);
+    }
+    return out;
+}
+
+/** Per-item maximum coefficient of Eqs. 6-7 over a term set. */
+double
+maxItemCoefficient(const QuboModel &items, const QuboModel &full)
+{
+    double d = 0.0;
+    for (int i = 0; i < items.numVars(); ++i) {
+        if (items.linear(i) != 0.0)
+            d = std::max(d, std::fabs(full.linear(i)) / 2.0);
+    }
+    for (const auto &[key, c] : items.quadraticTerms()) {
+        if (c != 0.0) {
+            d = std::max(
+                d, std::fabs(full.quadratic(key.first(), key.second())));
+        }
+    }
+    return d;
+}
+
+} // namespace
+
+std::vector<std::pair<int, int>>
+EncodedProblem::edges() const
+{
+    std::vector<std::pair<int, int>> out;
+    for (const auto &[key, c] : objective.quadraticTerms())
+        if (c != 0.0)
+            out.emplace_back(key.first(), key.second());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+EncodedProblem::clausesSatisfied(const std::vector<bool> &node_bits) const
+{
+    for (const auto &clause : clauses) {
+        bool sat = clause.empty(); // dropped tautologies stay satisfied
+        for (sat::Lit p : clause) {
+            const int node = var_node.at(p.var());
+            if (node_bits[node] != p.sign()) {
+                sat = true;
+                break;
+            }
+        }
+        if (!sat)
+            return false;
+    }
+    return true;
+}
+
+std::unordered_map<sat::Var, bool>
+EncodedProblem::decode(const std::vector<bool> &node_bits) const
+{
+    std::unordered_map<sat::Var, bool> out;
+    for (const auto &[v, node] : var_node)
+        out[v] = node_bits[node];
+    return out;
+}
+
+EncodedProblem
+encodeClauses(const std::vector<sat::LitVec> &clauses,
+              const EncoderOptions &opts)
+{
+    EncodedProblem ep;
+
+    auto nodeOf = [&ep](sat::Var v) {
+        const auto it = ep.var_node.find(v);
+        if (it != ep.var_node.end())
+            return it->second;
+        const int node = ep.numNodes();
+        ep.var_node.emplace(v, node);
+        ep.nodes.push_back({false, v, -1});
+        return node;
+    };
+
+    for (const auto &raw : clauses) {
+        bool tautology = false;
+        sat::LitVec clause = canonicalize(raw, &tautology);
+        const int clause_index = static_cast<int>(ep.clauses.size());
+        if (tautology || raw.empty()) {
+            // Tautologies carry no penalty; empty clauses cannot be
+            // encoded as a bounded penalty and are rejected.
+            if (raw.empty())
+                fatal("cannot encode an empty clause");
+            ep.clauses.push_back({});
+            ep.clause_aux.push_back(-1);
+            continue;
+        }
+        if (clause.size() > 3)
+            fatal("encodeClauses requires <= 3 literals per clause "
+                  "(got %zu); run toThreeSat first",
+                  clause.size());
+        ep.clauses.push_back(clause);
+
+        if (clause.size() == 1) {
+            const Affine h1 =
+                literalPenalty(clause[0], nodeOf(clause[0].var()));
+            ep.clause_aux.push_back(-1);
+            SubClause sc;
+            sc.clause = clause_index;
+            sc.sub = 0;
+            sc.penalty = unitPenalty(h1);
+            ep.sub_clauses.push_back(std::move(sc));
+        } else if (clause.size() == 2) {
+            const Affine h1 =
+                literalPenalty(clause[0], nodeOf(clause[0].var()));
+            const Affine h2 =
+                literalPenalty(clause[1], nodeOf(clause[1].var()));
+            ep.clause_aux.push_back(-1);
+            SubClause sc;
+            sc.clause = clause_index;
+            sc.sub = 0;
+            sc.penalty = pairPenalty(h1, h2);
+            ep.sub_clauses.push_back(std::move(sc));
+        } else {
+            const Affine h1 =
+                literalPenalty(clause[0], nodeOf(clause[0].var()));
+            const Affine h2 =
+                literalPenalty(clause[1], nodeOf(clause[1].var()));
+            const Affine h3 =
+                literalPenalty(clause[2], nodeOf(clause[2].var()));
+            const int aux = ep.numNodes();
+            ep.nodes.push_back({true, sat::var_Undef, clause_index});
+            ep.clause_aux.push_back(aux);
+
+            SubClause sc1;
+            sc1.clause = clause_index;
+            sc1.sub = 0;
+            sc1.penalty = equivalencePenalty(h1, h2, aux);
+            ep.sub_clauses.push_back(std::move(sc1));
+
+            SubClause sc2;
+            sc2.clause = clause_index;
+            sc2.sub = 1;
+            sc2.penalty = orWithAuxPenalty(h3, aux);
+            ep.sub_clauses.push_back(std::move(sc2));
+        }
+    }
+
+    // Unit objective (every alpha = 1).
+    ep.unit_objective.ensureVars(ep.numNodes());
+    for (const auto &sc : ep.sub_clauses)
+        ep.unit_objective.addScaled(sc.penalty, 1.0);
+
+    // Coefficient adjustment (Eqs. 6-9).
+    const double d_star_unit = ep.unit_objective.normalizationDivisor();
+    for (auto &sc : ep.sub_clauses) {
+        sc.d = maxItemCoefficient(sc.penalty, ep.unit_objective);
+        sc.alpha = (opts.adjust_coefficients && sc.d > 0)
+                       ? d_star_unit / sc.d
+                       : 1.0;
+    }
+
+    ep.objective.ensureVars(ep.numNodes());
+    for (const auto &sc : ep.sub_clauses)
+        ep.objective.addScaled(sc.penalty, sc.alpha);
+
+    ep.d_star = ep.objective.normalizationDivisor();
+    ep.normalized = ep.objective.normalized();
+    return ep;
+}
+
+} // namespace hyqsat::qubo

@@ -1,0 +1,108 @@
+#include "qubo/gap.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace hyqsat::qubo {
+
+EnergyLandscape
+analyzeLandscape(const EncodedProblem &ep, ObjectiveKind kind)
+{
+    const int n = ep.numNodes();
+    if (n > 24)
+        fatal("analyzeLandscape limited to 24 nodes (got %d)", n);
+
+    const QuboModel &model = kind == ObjectiveKind::Unit ? ep.unit_objective
+                             : kind == ObjectiveKind::Weighted
+                                 ? ep.objective
+                                 : ep.normalized;
+
+    EnergyLandscape out;
+    out.ground = std::numeric_limits<double>::infinity();
+    out.gap = std::numeric_limits<double>::infinity();
+
+    std::vector<bool> bits(n);
+    const std::uint64_t total = n == 0 ? 1 : (1ull << n);
+    for (std::uint64_t pattern = 0; pattern < total; ++pattern) {
+        for (int i = 0; i < n; ++i)
+            bits[i] = (pattern >> i) & 1;
+        const double e = model.energy(bits);
+        out.ground = std::min(out.ground, e);
+        if (ep.clausesSatisfied(bits))
+            out.satisfiable = true;
+        else
+            out.gap = std::min(out.gap, e);
+    }
+    if (!std::isfinite(out.gap)) {
+        // Every assignment satisfies the clauses: no violating level.
+        out.gap = 0.0;
+    }
+    return out;
+}
+
+double
+meanViolatingEnergy(const EncodedProblem &ep, ObjectiveKind kind)
+{
+    const int n = ep.numNodes();
+    if (n > 24)
+        fatal("meanViolatingEnergy limited to 24 nodes (got %d)", n);
+
+    const QuboModel &model = kind == ObjectiveKind::Unit ? ep.unit_objective
+                             : kind == ObjectiveKind::Weighted
+                                 ? ep.objective
+                                 : ep.normalized;
+
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    std::vector<bool> bits(n);
+    const std::uint64_t total = n == 0 ? 1 : (1ull << n);
+    for (std::uint64_t pattern = 0; pattern < total; ++pattern) {
+        for (int i = 0; i < n; ++i)
+            bits[i] = (pattern >> i) & 1;
+        if (ep.clausesSatisfied(bits))
+            continue;
+        sum += model.energy(bits);
+        ++count;
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double
+surfaceImprovement(const std::vector<sat::LitVec> &clauses)
+{
+    EncoderOptions with;
+    with.adjust_coefficients = true;
+    EncoderOptions without;
+    without.adjust_coefficients = false;
+
+    const double lifted = meanViolatingEnergy(
+        encodeClauses(clauses, with), ObjectiveKind::Normalized);
+    const double plain = meanViolatingEnergy(
+        encodeClauses(clauses, without), ObjectiveKind::Normalized);
+    if (plain <= 0.0)
+        return 1.0;
+    return lifted / plain;
+}
+
+double
+gapImprovement(const std::vector<sat::LitVec> &clauses)
+{
+    EncoderOptions with;
+    with.adjust_coefficients = true;
+    EncoderOptions without;
+    without.adjust_coefficients = false;
+
+    const auto adjusted = encodeClauses(clauses, with);
+    const auto plain = encodeClauses(clauses, without);
+    const auto gap_adj =
+        analyzeLandscape(adjusted, ObjectiveKind::Normalized).gap;
+    const auto gap_plain =
+        analyzeLandscape(plain, ObjectiveKind::Normalized).gap;
+    if (gap_plain <= 0.0)
+        return 1.0;
+    return gap_adj / gap_plain;
+}
+
+} // namespace hyqsat::qubo

@@ -1,0 +1,138 @@
+#include "qubo/qubo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hyqsat::qubo {
+
+double
+QuboModel::energy(const std::vector<bool> &x) const
+{
+    if (static_cast<int>(x.size()) < numVars())
+        panic("QuboModel::energy: assignment shorter than model");
+    double e = offset_;
+    for (int i = 0; i < numVars(); ++i)
+        if (x[i])
+            e += linear_[i];
+    for (const auto &[key, c] : quadratic_)
+        if (x[key.first()] && x[key.second()])
+            e += c;
+    return e;
+}
+
+double
+QuboModel::maxAbsLinear() const
+{
+    double m = 0.0;
+    for (double b : linear_)
+        m = std::max(m, std::fabs(b));
+    return m;
+}
+
+double
+QuboModel::maxAbsQuadratic() const
+{
+    double m = 0.0;
+    for (const auto &[key, c] : quadratic_)
+        m = std::max(m, std::fabs(c));
+    return m;
+}
+
+double
+QuboModel::normalizationDivisor() const
+{
+    return std::max(maxAbsLinear() / 2.0, maxAbsQuadratic());
+}
+
+void
+QuboModel::scale(double inv_d)
+{
+    offset_ *= inv_d;
+    for (double &b : linear_)
+        b *= inv_d;
+    for (auto &[key, c] : quadratic_)
+        c *= inv_d;
+}
+
+QuboModel
+QuboModel::normalized() const
+{
+    QuboModel out = *this;
+    const double d = normalizationDivisor();
+    if (d > 0)
+        out.scale(1.0 / d);
+    return out;
+}
+
+void
+QuboModel::addScaled(const QuboModel &other, double alpha)
+{
+    ensureVars(other.numVars());
+    offset_ += alpha * other.offset_;
+    for (int i = 0; i < other.numVars(); ++i)
+        if (other.linear_[i] != 0.0)
+            linear_[i] += alpha * other.linear_[i];
+    for (const auto &[key, c] : other.quadratic_)
+        quadratic_[key] += alpha * c;
+}
+
+double
+IsingModel::energy(const std::vector<std::int8_t> &s) const
+{
+    if (static_cast<int>(s.size()) < numSpins())
+        panic("IsingModel::energy: spin vector shorter than model");
+    double e = offset_;
+    for (int i = 0; i < numSpins(); ++i)
+        e += h_[i] * s[i];
+    for (const auto &[key, c] : couplings_)
+        e += c * s[key.first()] * s[key.second()];
+    return e;
+}
+
+IsingModel
+quboToIsing(const QuboModel &q)
+{
+    IsingModel ising(q.numVars());
+    ising.addOffset(q.offset());
+    // x_i = (1 + s_i)/2:
+    //   B x       -> B/2 + (B/2) s
+    //   J x_i x_j -> J/4 + (J/4)(s_i + s_j) + (J/4) s_i s_j
+    for (int i = 0; i < q.numVars(); ++i) {
+        const double b = q.linear(i);
+        if (b != 0.0) {
+            ising.addOffset(b / 2.0);
+            ising.addField(i, b / 2.0);
+        }
+    }
+    for (const auto &[key, c] : q.quadraticTerms()) {
+        if (c == 0.0)
+            continue;
+        ising.addOffset(c / 4.0);
+        ising.addField(key.first(), c / 4.0);
+        ising.addField(key.second(), c / 4.0);
+        ising.addCoupling(key.first(), key.second(), c / 4.0);
+    }
+    return ising;
+}
+
+std::vector<bool>
+spinsToBits(const std::vector<std::int8_t> &s)
+{
+    std::vector<bool> x(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i)
+        x[i] = (s[i] > 0);
+    return x;
+}
+
+std::vector<std::int8_t>
+bitsToSpins(const std::vector<bool> &x)
+{
+    std::vector<std::int8_t> s(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        s[i] = x[i] ? 1 : -1;
+    return s;
+}
+
+} // namespace hyqsat::qubo

@@ -1,0 +1,62 @@
+#include "sat/brute_force.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hyqsat::sat {
+
+namespace {
+
+std::vector<bool>
+unpack(std::uint64_t bits, int n)
+{
+    std::vector<bool> a(n);
+    for (int v = 0; v < n; ++v)
+        a[v] = (bits >> v) & 1;
+    return a;
+}
+
+} // namespace
+
+BruteForceResult
+bruteForceSolve(const Cnf &cnf, bool count_all)
+{
+    const int n = cnf.numVars();
+    if (n > 30)
+        fatal("bruteForceSolve limited to 30 variables (got %d)", n);
+
+    BruteForceResult result;
+    const std::uint64_t total = 1ull << n;
+    for (std::uint64_t bits = 0; bits < total; ++bits) {
+        const auto a = unpack(bits, n);
+        if (cnf.eval(a)) {
+            if (!result.satisfiable) {
+                result.satisfiable = true;
+                result.model = a;
+            }
+            ++result.num_models;
+            if (!count_all)
+                return result;
+        }
+    }
+    return result;
+}
+
+int
+bruteForceMinViolated(const Cnf &cnf)
+{
+    const int n = cnf.numVars();
+    if (n > 30)
+        fatal("bruteForceMinViolated limited to 30 variables (got %d)", n);
+
+    int best = cnf.numClauses();
+    const std::uint64_t total = 1ull << n;
+    for (std::uint64_t bits = 0; bits < total && best > 0; ++bits) {
+        const auto a = unpack(bits, n);
+        best = std::min(best, cnf.countViolated(a));
+    }
+    return best;
+}
+
+} // namespace hyqsat::sat

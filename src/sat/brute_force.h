@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Exhaustive reference solver used to validate the CDCL solver and
+ * the QUBO encoder on small instances.
+ */
+
+#ifndef HYQSAT_SAT_BRUTE_FORCE_H
+#define HYQSAT_SAT_BRUTE_FORCE_H
+
+#include <optional>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace hyqsat::sat {
+
+/** Result of an exhaustive search. */
+struct BruteForceResult
+{
+    bool satisfiable = false;
+    /** A satisfying assignment when satisfiable. */
+    std::vector<bool> model;
+    /** Number of satisfying assignments (counted exhaustively). */
+    std::uint64_t num_models = 0;
+};
+
+/**
+ * Enumerate all 2^n assignments of @p cnf (n must be <= 30).
+ * @param count_all when false, stops at the first model
+ *        (num_models is then 0 or 1).
+ */
+BruteForceResult bruteForceSolve(const Cnf &cnf, bool count_all = false);
+
+/**
+ * @return the minimum number of violated clauses over all
+ * assignments (0 iff satisfiable); n must be <= 30.
+ */
+int bruteForceMinViolated(const Cnf &cnf);
+
+} // namespace hyqsat::sat
+
+#endif // HYQSAT_SAT_BRUTE_FORCE_H

@@ -1,0 +1,89 @@
+#include "sat/cnf.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hyqsat::sat {
+
+void
+Cnf::addClause(LitVec clause)
+{
+    for (Lit p : clause) {
+        if (p.var() < 0)
+            panic("clause contains an undefined literal");
+        ensureVars(p.var() + 1);
+    }
+    clauses_.push_back(std::move(clause));
+}
+
+bool
+Cnf::eval(const std::vector<bool> &assignment) const
+{
+    for (int i = 0; i < numClauses(); ++i)
+        if (!clauseSatisfied(i, assignment))
+            return false;
+    return true;
+}
+
+int
+Cnf::countViolated(const std::vector<bool> &assignment) const
+{
+    int violated = 0;
+    for (int i = 0; i < numClauses(); ++i)
+        if (!clauseSatisfied(i, assignment))
+            ++violated;
+    return violated;
+}
+
+bool
+Cnf::clauseSatisfied(int i, const std::vector<bool> &assignment) const
+{
+    for (Lit p : clauses_[i]) {
+        if (p.var() >= static_cast<int>(assignment.size()))
+            panic("assignment too short for clause literal");
+        if (assignment[p.var()] != p.sign())
+            return true;
+    }
+    return false;
+}
+
+int
+Cnf::maxClauseSize() const
+{
+    int longest = 0;
+    for (const auto &c : clauses_)
+        longest = std::max(longest, static_cast<int>(c.size()));
+    return longest;
+}
+
+Cnf
+toThreeSat(const Cnf &input)
+{
+    Cnf out(input.numVars());
+    out.setName(input.name());
+    for (const auto &c : input.clauses()) {
+        if (c.size() <= 3) {
+            out.addClause(c);
+            continue;
+        }
+        // Chain split: first clause keeps two literals plus a link.
+        Var link = out.newVar();
+        out.addClause(c[0], c[1], mkLit(link));
+        std::size_t i = 2;
+        while (i + 2 < c.size()) {
+            Var next = out.newVar();
+            out.addClause(mkLit(link, true), c[i], mkLit(next));
+            link = next;
+            ++i;
+        }
+        // Last clause absorbs the remaining (at most two) literals.
+        if (i + 2 == c.size())
+            out.addClause(mkLit(link, true), c[i], c[i + 1]);
+        else
+            out.addClause(mkLit(link, true), c[i]);
+    }
+    return out;
+}
+
+} // namespace hyqsat::sat

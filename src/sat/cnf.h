@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A CNF formula container independent of any solver: an ordered list
+ * of clauses over a fixed variable count, with evaluation helpers.
+ * Generators produce Cnf instances; solvers consume them.
+ */
+
+#ifndef HYQSAT_SAT_CNF_H
+#define HYQSAT_SAT_CNF_H
+
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace hyqsat::sat {
+
+/** An immutable-after-build CNF formula. */
+class Cnf
+{
+  public:
+    Cnf() = default;
+
+    /** Construct with @p num_vars variables and no clauses. */
+    explicit Cnf(int num_vars) : num_vars_(num_vars) {}
+
+    /** @return the number of variables. */
+    int numVars() const { return num_vars_; }
+
+    /** @return the number of clauses. */
+    int numClauses() const { return static_cast<int>(clauses_.size()); }
+
+    /** Ensure the variable count is at least @p n. */
+    void
+    ensureVars(int n)
+    {
+        if (n > num_vars_)
+            num_vars_ = n;
+    }
+
+    /** Allocate and return a fresh variable. */
+    Var
+    newVar()
+    {
+        return num_vars_++;
+    }
+
+    /**
+     * Append a clause; grows the variable count to cover its
+     * literals. Duplicate literals are kept verbatim (solvers
+     * deduplicate); an empty clause is legal and unsatisfiable.
+     */
+    void addClause(LitVec clause);
+
+    /** Convenience overloads for short clauses. */
+    void addClause(Lit a) { addClause(LitVec{a}); }
+    void addClause(Lit a, Lit b) { addClause(LitVec{a, b}); }
+    void addClause(Lit a, Lit b, Lit c) { addClause(LitVec{a, b, c}); }
+
+    /** @return clause @p i. */
+    const LitVec &clause(int i) const { return clauses_[i]; }
+
+    /** @return all clauses. */
+    const std::vector<LitVec> &clauses() const { return clauses_; }
+
+    /**
+     * Evaluate the formula under a complete assignment
+     * (assignment[v] == true means variable v is true).
+     * @return true iff every clause is satisfied.
+     */
+    bool eval(const std::vector<bool> &assignment) const;
+
+    /** @return the number of clauses violated by @p assignment. */
+    int countViolated(const std::vector<bool> &assignment) const;
+
+    /** @return true iff clause @p i is satisfied by @p assignment. */
+    bool clauseSatisfied(int i, const std::vector<bool> &assignment) const;
+
+    /** @return the length of the longest clause (0 if none). */
+    int maxClauseSize() const;
+
+    /** @return true if every clause has at most three literals. */
+    bool isThreeSat() const { return maxClauseSize() <= 3; }
+
+    /** Optional human-readable name (benchmark id etc.). */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+  private:
+    int num_vars_ = 0;
+    std::vector<LitVec> clauses_;
+    std::string name_;
+};
+
+/**
+ * Rewrite a general CNF into 3-SAT by splitting long clauses with
+ * fresh chaining variables: (l1 v l2 v l3 v l4 ...) becomes
+ * (l1 v l2 v y1) (~y1 v l3 v y2) (~y2 v l4 ...) etc. Clauses of
+ * size <= 3 are copied verbatim.
+ */
+Cnf toThreeSat(const Cnf &input);
+
+} // namespace hyqsat::sat
+
+#endif // HYQSAT_SAT_CNF_H

@@ -1,0 +1,120 @@
+#include "sat/dimacs.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace hyqsat::sat {
+
+std::optional<Cnf>
+parseDimacs(std::istream &in)
+{
+    Cnf cnf;
+    bool saw_header = false;
+    int declared_vars = 0;
+    int declared_clauses = 0;
+
+    std::string line;
+    LitVec current;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == 'c')
+            continue;
+        if (line[0] == '%') {
+            // SATLIB files end with a "%\n0" trailer; stop here.
+            break;
+        }
+        if (line[0] == 'p') {
+            std::istringstream hdr(line);
+            std::string p, fmt;
+            hdr >> p >> fmt >> declared_vars >> declared_clauses;
+            if (fmt != "cnf" || hdr.fail() || declared_vars < 0 ||
+                declared_clauses < 0) {
+                warn("malformed DIMACS header: %s", line.c_str());
+                return std::nullopt;
+            }
+            saw_header = true;
+            cnf.ensureVars(declared_vars);
+            continue;
+        }
+        std::istringstream body(line);
+        long long v;
+        while (body >> v) {
+            if (v == 0) {
+                cnf.addClause(current);
+                current.clear();
+            } else {
+                if (v > INT32_MAX || v < INT32_MIN) {
+                    warn("DIMACS literal out of range: %lld", v);
+                    return std::nullopt;
+                }
+                current.push_back(fromDimacs(static_cast<int>(v)));
+            }
+        }
+        if (!body.eof() && body.fail()) {
+            // Non-numeric token outside a comment line.
+            warn("malformed DIMACS clause line: %s", line.c_str());
+            return std::nullopt;
+        }
+    }
+    if (!current.empty()) {
+        // A final clause without its 0 terminator is accepted.
+        cnf.addClause(current);
+    }
+    if (!saw_header) {
+        warn("DIMACS input has no 'p cnf' header");
+        return std::nullopt;
+    }
+    if (cnf.numClauses() != declared_clauses) {
+        warn("DIMACS header declares %d clauses but %d were read",
+             declared_clauses, cnf.numClauses());
+    }
+    return cnf;
+}
+
+std::optional<Cnf>
+parseDimacsString(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseDimacs(in);
+}
+
+std::optional<Cnf>
+parseDimacsFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open DIMACS file: %s", path.c_str());
+    return parseDimacs(in);
+}
+
+std::string
+toDimacsString(const Cnf &cnf)
+{
+    std::ostringstream out;
+    if (!cnf.name().empty())
+        out << "c " << cnf.name() << "\n";
+    out << "p cnf " << cnf.numVars() << " " << cnf.numClauses() << "\n";
+    for (const auto &clause : cnf.clauses()) {
+        for (Lit p : clause)
+            out << toDimacs(p) << " ";
+        out << "0\n";
+    }
+    return out.str();
+}
+
+void
+writeDimacsFile(const Cnf &cnf, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open file for writing: %s", path.c_str());
+    out << toDimacsString(cnf);
+    if (!out)
+        fatal("I/O error while writing: %s", path.c_str());
+}
+
+} // namespace hyqsat::sat

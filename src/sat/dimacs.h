@@ -1,0 +1,42 @@
+/**
+ * @file
+ * DIMACS CNF reader and writer, so the library interoperates with
+ * standard SAT benchmark files (SATLIB, SAT competition).
+ */
+
+#ifndef HYQSAT_SAT_DIMACS_H
+#define HYQSAT_SAT_DIMACS_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sat/cnf.h"
+
+namespace hyqsat::sat {
+
+/**
+ * Parse a DIMACS CNF stream.
+ * Accepts comment lines ('c ...'), one 'p cnf <vars> <clauses>'
+ * header, and 0-terminated clauses. Tolerates a clause count that
+ * disagrees with the header (warns).
+ *
+ * @return the formula, or std::nullopt on malformed input.
+ */
+std::optional<Cnf> parseDimacs(std::istream &in);
+
+/** Parse a DIMACS CNF from a string. */
+std::optional<Cnf> parseDimacsString(const std::string &text);
+
+/** Parse a DIMACS CNF file; fatal() if the file cannot be opened. */
+std::optional<Cnf> parseDimacsFile(const std::string &path);
+
+/** Serialize @p cnf in DIMACS format. */
+std::string toDimacsString(const Cnf &cnf);
+
+/** Write @p cnf to @p path; fatal() on I/O failure. */
+void writeDimacsFile(const Cnf &cnf, const std::string &path);
+
+} // namespace hyqsat::sat
+
+#endif // HYQSAT_SAT_DIMACS_H

@@ -1,0 +1,245 @@
+#include "sat/simplify.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace hyqsat::sat {
+
+namespace {
+
+/** 64-bit clause signature: bit per (var % 64). */
+std::uint64_t
+signature(const LitVec &clause)
+{
+    std::uint64_t sig = 0;
+    for (Lit p : clause)
+        sig |= 1ull << (p.var() & 63);
+    return sig;
+}
+
+/** Is @p small a subset of @p big (both sorted)? */
+bool
+subset(const LitVec &small, const LitVec &big)
+{
+    std::size_t j = 0;
+    for (Lit p : small) {
+        while (j < big.size() && big[j] < p)
+            ++j;
+        if (j == big.size() || !(big[j] == p))
+            return false;
+        ++j;
+    }
+    return true;
+}
+
+/** Working clause set with liveness flags and occurrence lists. */
+struct Working
+{
+    std::vector<LitVec> clauses;
+    std::vector<char> dead;
+    std::vector<std::uint64_t> sigs;
+    // var -> clause indices containing the var (stale entries are
+    // filtered through 'dead' on use).
+    std::unordered_map<Var, std::vector<int>> occurs;
+
+    void
+    add(LitVec clause)
+    {
+        const int idx = static_cast<int>(clauses.size());
+        for (Lit p : clause)
+            occurs[p.var()].push_back(idx);
+        sigs.push_back(signature(clause));
+        clauses.push_back(std::move(clause));
+        dead.push_back(0);
+    }
+
+    void
+    refreshMeta(int idx)
+    {
+        sigs[idx] = signature(clauses[idx]);
+    }
+};
+
+} // namespace
+
+SimplifyResult
+simplifyCnf(const Cnf &cnf, const SimplifyOptions &opts)
+{
+    SimplifyResult result;
+    Working work;
+
+    // Assignment fixed so far: l_Undef until a unit binds the var.
+    std::vector<lbool> fixed_value(cnf.numVars(), l_Undef);
+    LitVec unit_queue;
+
+    // --- Load with duplicate/tautology cleanup.
+    for (const auto &raw : cnf.clauses()) {
+        LitVec clause = raw;
+        std::sort(clause.begin(), clause.end());
+        clause.erase(std::unique(clause.begin(), clause.end()),
+                     clause.end());
+        bool tautology = false;
+        for (std::size_t i = 0; i + 1 < clause.size(); ++i) {
+            if (clause[i] == ~clause[i + 1]) {
+                tautology = true;
+                break;
+            }
+        }
+        if (tautology) {
+            ++result.tautologies;
+            continue;
+        }
+        if (clause.empty()) {
+            result.satisfiable_possible = false;
+            result.cnf = Cnf(cnf.numVars());
+            result.cnf.addClause(LitVec{});
+            return result;
+        }
+        if (clause.size() == 1)
+            unit_queue.push_back(clause[0]);
+        work.add(std::move(clause));
+    }
+
+    auto contradiction = [&]() {
+        result.satisfiable_possible = false;
+        result.cnf = Cnf(cnf.numVars());
+        result.cnf.addClause(LitVec{});
+    };
+
+    for (int round = 0; round < opts.max_rounds; ++round) {
+        bool changed = false;
+
+        // --- Unit propagation to fixpoint.
+        while (opts.unit_propagation && !unit_queue.empty()) {
+            const Lit unit = unit_queue.back();
+            unit_queue.pop_back();
+            const lbool current = fixed_value[unit.var()];
+            if (!current.isUndef()) {
+                if (current == lbool(unit.sign())) {
+                    // Fixed to the opposite polarity: contradiction.
+                    contradiction();
+                    return result;
+                }
+                continue;
+            }
+            fixed_value[unit.var()] = lbool(!unit.sign());
+            result.fixed.push_back(unit);
+            ++result.units_propagated;
+            changed = true;
+
+            for (int ci : work.occurs[unit.var()]) {
+                if (work.dead[ci])
+                    continue;
+                auto &clause = work.clauses[ci];
+                const auto it = std::find_if(
+                    clause.begin(), clause.end(), [&](Lit p) {
+                        return p.var() == unit.var();
+                    });
+                if (it == clause.end())
+                    continue; // stale occurrence
+                if (*it == unit) {
+                    work.dead[ci] = 1; // clause satisfied
+                    continue;
+                }
+                clause.erase(it); // falsified literal drops out
+                work.refreshMeta(ci);
+                if (clause.empty()) {
+                    contradiction();
+                    return result;
+                }
+                if (clause.size() == 1)
+                    unit_queue.push_back(clause[0]);
+            }
+        }
+
+        // --- Subsumption and self-subsuming resolution. For each
+        // live clause C pick its rarest variable and test against
+        // that occurrence list only.
+        if (opts.subsumption || opts.self_subsumption) {
+            for (int ci = 0;
+                 ci < static_cast<int>(work.clauses.size()); ++ci) {
+                if (work.dead[ci])
+                    continue;
+                const auto &c = work.clauses[ci];
+
+                Var rare = c[0].var();
+                std::size_t best = static_cast<std::size_t>(-1);
+                for (Lit p : c) {
+                    const auto sz = work.occurs[p.var()].size();
+                    if (sz < best) {
+                        best = sz;
+                        rare = p.var();
+                    }
+                }
+                for (int di : work.occurs[rare]) {
+                    if (di == ci || work.dead[di] || work.dead[ci])
+                        continue;
+                    auto &d = work.clauses[di];
+                    if (d.size() < c.size())
+                        continue;
+                    if ((work.sigs[ci] & ~work.sigs[di]) != 0)
+                        continue; // signature filter
+
+                    if (opts.subsumption && subset(c, d)) {
+                        work.dead[di] = 1;
+                        ++result.subsumed;
+                        changed = true;
+                        continue;
+                    }
+                    if (!opts.self_subsumption)
+                        continue;
+                    // Self-subsumption: c with one literal flipped
+                    // subsumes d => remove that flipped literal
+                    // from d.
+                    for (Lit p : c) {
+                        LitVec flipped = c;
+                        *std::find(flipped.begin(), flipped.end(),
+                                   p) = ~p;
+                        std::sort(flipped.begin(), flipped.end());
+                        if (!subset(flipped, d))
+                            continue;
+                        const auto it = std::find(d.begin(), d.end(),
+                                                  ~p);
+                        if (it == d.end())
+                            break;
+                        d.erase(it);
+                        work.refreshMeta(di);
+                        ++result.strengthened;
+                        changed = true;
+                        if (d.empty()) {
+                            contradiction();
+                            return result;
+                        }
+                        if (d.size() == 1)
+                            unit_queue.push_back(d[0]);
+                        break;
+                    }
+                }
+            }
+        }
+
+        if (!changed && unit_queue.empty())
+            break;
+    }
+
+    // --- Emit the surviving clauses (units excluded: they live in
+    // 'fixed'). Clauses satisfied by fixed literals are dropped;
+    // none should remain false.
+    result.cnf = Cnf(cnf.numVars());
+    for (int ci = 0; ci < static_cast<int>(work.clauses.size());
+         ++ci) {
+        if (work.dead[ci])
+            continue;
+        const auto &clause = work.clauses[ci];
+        if (clause.size() == 1 &&
+            !fixed_value[clause[0].var()].isUndef()) {
+            continue; // absorbed into 'fixed'
+        }
+        result.cnf.addClause(clause);
+    }
+    return result;
+}
+
+} // namespace hyqsat::sat

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Equivalence-preserving CNF preprocessing, SatELite-style:
+ * top-level unit propagation, duplicate-literal / tautology
+ * cleanup, subsumption (drop any clause that is a superset of
+ * another) and self-subsuming resolution (strengthen a clause by
+ * removing a literal whose resolvent is subsumed).
+ *
+ * All rewrites preserve logical equivalence over the original
+ * variable set, so a model of the simplified formula (together with
+ * the fixed units) is a model of the original - no reconstruction
+ * stack is needed.
+ */
+
+#ifndef HYQSAT_SAT_SIMPLIFY_H
+#define HYQSAT_SAT_SIMPLIFY_H
+
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace hyqsat::sat {
+
+/** Preprocessing switches. */
+struct SimplifyOptions
+{
+    bool unit_propagation = true;
+    bool subsumption = true;
+    bool self_subsumption = true;
+
+    /** Repeat the pipeline until it stops changing the formula. */
+    int max_rounds = 8;
+};
+
+/** Result of preprocessing. */
+struct SimplifyResult
+{
+    /** Simplified formula over the same variable indices. */
+    Cnf cnf;
+
+    /** False iff a top-level contradiction was derived. */
+    bool satisfiable_possible = true;
+
+    /** Literals fixed by unit propagation (part of every model). */
+    LitVec fixed;
+
+    // Statistics.
+    int units_propagated = 0;
+    int subsumed = 0;
+    int strengthened = 0;
+    int tautologies = 0;
+
+    /**
+     * Extend a model of the simplified formula with the fixed
+     * literals to form a model of the original formula.
+     */
+    std::vector<bool>
+    extendModel(std::vector<bool> model) const
+    {
+        for (Lit p : fixed) {
+            if (p.var() >= static_cast<Var>(model.size()))
+                model.resize(p.var() + 1, false);
+            model[p.var()] = !p.sign();
+        }
+        return model;
+    }
+};
+
+/** Preprocess @p cnf (see file comment). */
+SimplifyResult simplifyCnf(const Cnf &cnf,
+                           const SimplifyOptions &opts = {});
+
+} // namespace hyqsat::sat
+
+#endif // HYQSAT_SAT_SIMPLIFY_H

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Conflict-driven clause-learning SAT solver.
+ *
+ * A from-scratch MiniSat-class solver: two-watched-literal
+ * propagation over arena clauses, first-UIP learning with recursive
+ * minimization, VSIDS or CHB branching, phase saving, Luby restarts
+ * and activity-driven learnt-database reduction.
+ *
+ * Beyond a plain solver it provides the integration surface HyQSAT
+ * needs: per-original-clause visit counters and conflict-frequency
+ * activity scores (§IV-A of the paper), an iteration hook invoked at
+ * every decision so the hybrid layer can interpose quantum feedback,
+ * externally forced polarities (feedback strategy 2) and variable
+ * priority bumps (feedback strategy 4).
+ */
+
+#ifndef HYQSAT_SAT_SOLVER_H
+#define HYQSAT_SAT_SOLVER_H
+
+#include <functional>
+#include <vector>
+
+#include "sat/clause.h"
+#include "sat/cnf.h"
+#include "sat/heap.h"
+#include "sat/solver_options.h"
+#include "sat/types.h"
+#include "util/rng.h"
+
+namespace hyqsat::sat {
+
+/** CDCL solver. See file comment for the feature set. */
+class Solver
+{
+  public:
+    explicit Solver(const SolverOptions &opts = {});
+
+    // ------------------------------------------------------------------
+    // Problem construction
+    // ------------------------------------------------------------------
+
+    /** Allocate a fresh variable and return its index. */
+    Var newVar();
+
+    /** @return the number of variables. */
+    int numVars() const { return static_cast<int>(assigns_.size()); }
+
+    /**
+     * Add a clause (top-level). Performs the standard root-level
+     * simplifications (drop duplicate/false literals, detect
+     * tautologies, enqueue units).
+     *
+     * @param lits the clause literals
+     * @param original_index index of this clause in the source Cnf
+     *        for instrumentation, or -1 for an anonymous clause
+     * @return false iff the formula became trivially unsatisfiable
+     */
+    bool addClause(LitVec lits, int original_index = -1);
+
+    /** Load every clause of @p cnf, recording original indices. */
+    bool loadCnf(const Cnf &cnf);
+
+    // ------------------------------------------------------------------
+    // Solving
+    // ------------------------------------------------------------------
+
+    /**
+     * Run the CDCL search to completion or budget exhaustion.
+     * @return l_True (satisfiable; model() is valid), l_False
+     *         (unsatisfiable) or l_Undef (budget/stop request).
+     */
+    lbool solve();
+
+    /**
+     * Solve under assumptions: the given literals are forced as the
+     * first decisions. On l_False, finalConflict() holds the subset
+     * of assumptions the refutation used (negated), enabling
+     * incremental use (unsat cores over assumptions).
+     */
+    lbool solveWithAssumptions(const LitVec &assumptions);
+
+    /**
+     * After solveWithAssumptions() returned l_False: the clause
+     * over negated assumptions implied by the formula (empty when
+     * the formula is unsatisfiable on its own).
+     */
+    const LitVec &finalConflict() const { return final_conflict_; }
+
+    /** @return the satisfying assignment after solve()==l_True. */
+    const std::vector<lbool> &model() const { return model_; }
+
+    /** @return model as a plain bool vector (undef mapped to false). */
+    std::vector<bool> boolModel() const;
+
+    /** @return false once the formula is known unsatisfiable. */
+    bool okay() const { return ok_; }
+
+    /** Current value of a variable / literal under the trail. */
+    lbool value(Var v) const { return assigns_[v]; }
+    lbool value(Lit p) const { return assigns_[p.var()] ^ p.sign(); }
+
+    /** @return the current decision level. */
+    int decisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+
+    // ------------------------------------------------------------------
+    // Budgets and interruption
+    // ------------------------------------------------------------------
+
+    /** Limit the number of conflicts (negative = unlimited). */
+    void setConflictBudget(std::int64_t b) { conflict_budget_ = b; }
+
+    /** Limit the number of decisions (negative = unlimited). */
+    void setDecisionBudget(std::int64_t b) { decision_budget_ = b; }
+
+    /** Ask the search to stop at the next decision boundary. */
+    void requestStop() { stop_requested_ = true; }
+
+    // ------------------------------------------------------------------
+    // Hybrid-integration surface
+    // ------------------------------------------------------------------
+
+    /**
+     * Hook invoked at the top of every decision iteration, before
+     * the branching literal is picked. The hook may inspect the
+     * solver, force phases, bump variables or requestStop().
+     */
+    using IterationHook = std::function<void(Solver &)>;
+    void setIterationHook(IterationHook hook) { hook_ = std::move(hook); }
+
+    /**
+     * Force the next decisions on @p v to use polarity @p phase
+     * (true = positive). Overrides phase saving until reassigned.
+     */
+    void setPhase(Var v, bool phase);
+
+    /**
+     * Soft polarity hint: seeds the phase-saving state with @p
+     * phase, so the next decision on @p v starts there but later
+     * assignments overwrite it (safer than setPhase for external
+     * guidance that may be stale).
+     */
+    void suggestPhase(Var v, bool phase);
+
+    /** Clear a forced phase, returning @p v to saved-phase policy. */
+    void clearPhase(Var v);
+
+    /**
+     * Multiply-bump a variable's branching score so it is decided
+     * soon (used by feedback strategy 4).
+     */
+    void bumpVarPriority(Var v, double factor = 1.0);
+
+    // ------------------------------------------------------------------
+    // Instrumentation (per original clause; requires
+    // SolverOptions::instrument_clauses)
+    // ------------------------------------------------------------------
+
+    /** Visits of clause @p idx during propagation (Fig. 5). */
+    std::uint64_t
+    clausePropagationVisits(int idx) const
+    {
+        return visits_prop_[idx];
+    }
+
+    /** Visits of clause @p idx during conflict resolving (Fig. 5). */
+    std::uint64_t
+    clauseConflictVisits(int idx) const
+    {
+        return visits_confl_[idx];
+    }
+
+    /**
+     * Conflict-frequency activity score of original clause @p idx
+     * (starts at 1, +1 whenever the clause participates in a
+     * conflict resolution; §IV-A).
+     */
+    double clauseActivityScore(int idx) const { return paper_score_[idx]; }
+
+    /** Number of instrumented original clauses. */
+    int numOriginalClauses() const
+    {
+        return static_cast<int>(paper_score_.size());
+    }
+
+    /** @return literals of original clause @p idx (from the input). */
+    const LitVec &originalClause(int idx) const { return source_[idx]; }
+
+    /**
+     * @return true iff original clause @p idx is satisfied under the
+     * current (possibly partial) trail.
+     */
+    bool originalClauseSatisfiedNow(int idx) const;
+
+    /** Indices of original clauses not yet satisfied by the trail. */
+    std::vector<int> unsatisfiedOriginalClauses() const;
+
+    /** Search statistics. */
+    const SolverStats &stats() const { return stats_; }
+
+    /** @return the configured options (read-only). */
+    const SolverOptions &options() const { return opts_; }
+
+  private:
+    // --- internal types ------------------------------------------------
+    struct Watcher
+    {
+        CRef cref;
+        Lit blocker;
+    };
+
+    struct VarData
+    {
+        CRef reason = CRef_Undef;
+        int level = 0;
+    };
+
+    // --- propagation ---------------------------------------------------
+    void attachClause(CRef cr);
+    void detachClause(CRef cr);
+    bool enqueue(Lit p, CRef from);
+    CRef propagate();
+
+    // --- conflict analysis ----------------------------------------------
+    void analyze(CRef confl, LitVec &out_learnt, int &out_btlevel);
+    void analyzeFinal(Lit p, LitVec &out_conflict);
+    bool litRedundant(Lit p, std::uint32_t abstract_levels);
+    void cancelUntil(int level);
+
+    // --- branching -------------------------------------------------------
+    Lit pickBranchLit();
+    void insertVarOrder(Var v);
+    void bumpVarActivity(Var v, double inc);
+    void decayVarActivity();
+    void chbUpdate(Var v, bool in_conflict);
+
+    // --- learnt DB management ---------------------------------------------
+    void bumpClauseActivity(Clause &c);
+    void decayClauseActivity();
+    void reduceDB();
+    void removeClause(CRef cr);
+    bool isLocked(const Clause &c) const;
+    void garbageCollect();
+    void relocAll(ClauseArena &to);
+    bool simplifyAtRoot();
+
+    // --- search ------------------------------------------------------------
+    lbool solveInternal();
+    lbool search(int max_conflicts);
+    double restartLimit(int restart_number) const;
+    bool budgetExhausted() const;
+
+    void noteClauseInConflict(const Clause &c);
+
+    // --- data ----------------------------------------------------------------
+    SolverOptions opts_;
+    Rng rng_;
+
+    ClauseArena arena_;
+    std::vector<CRef> originals_;
+    std::vector<CRef> learnts_;
+
+    std::vector<std::vector<Watcher>> watches_; // indexed by Lit.x
+    std::vector<lbool> assigns_;
+    std::vector<VarData> vardata_;
+    std::vector<bool> polarity_;     // saved phase (true = negative!)
+    std::vector<lbool> user_phase_;  // forced phase, l_Undef if none
+    std::vector<char> seen_;
+    std::vector<Lit> analyze_stack_;
+    std::vector<Lit> analyze_clear_;
+
+    std::vector<Lit> trail_;
+    std::vector<int> trail_lim_;
+    int qhead_ = 0;
+
+    std::vector<double> scores_; // branching scores (VSIDS or CHB)
+    VarOrderHeap order_heap_;
+    double var_inc_ = 1.0;
+    double cla_inc_ = 1.0;
+    double chb_alpha_ = 0.4;
+    std::vector<std::uint64_t> chb_last_conflict_;
+
+    double max_learnts_ = 0.0;
+    int learntsize_adjust_cnt_ = 0;
+    double learntsize_adjust_confl_ = 0.0;
+
+    bool ok_ = true;
+    bool stop_requested_ = false;
+    std::int64_t conflict_budget_ = -1;
+    std::int64_t decision_budget_ = -1;
+
+    std::vector<lbool> model_;
+    LitVec assumptions_;
+    LitVec final_conflict_;
+    SolverStats stats_;
+    IterationHook hook_;
+
+    // Instrumentation state (parallel to the source Cnf clauses).
+    std::vector<LitVec> source_;
+    std::vector<std::uint64_t> visits_prop_;
+    std::vector<std::uint64_t> visits_confl_;
+    std::vector<double> paper_score_;
+};
+
+} // namespace hyqsat::sat
+
+#endif // HYQSAT_SAT_SOLVER_H

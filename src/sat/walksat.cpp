@@ -1,0 +1,160 @@
+#include "sat/walksat.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace hyqsat::sat {
+
+namespace {
+
+/** Incremental bookkeeping of clause satisfaction counts. */
+class State
+{
+  public:
+    State(const Cnf &cnf, Rng &rng) : cnf_(cnf)
+    {
+        assign_.resize(cnf.numVars());
+        for (int v = 0; v < cnf.numVars(); ++v)
+            assign_[v] = rng.chance(0.5);
+        occurrences_.resize(cnf.numVars());
+        for (int i = 0; i < cnf.numClauses(); ++i)
+            for (Lit p : cnf.clause(i))
+                occurrences_[p.var()].push_back(i);
+        true_count_.assign(cnf.numClauses(), 0);
+        for (int i = 0; i < cnf.numClauses(); ++i) {
+            for (Lit p : cnf.clause(i))
+                if (litTrue(p))
+                    ++true_count_[i];
+            if (true_count_[i] == 0)
+                unsat_.push_back(i);
+        }
+        unsat_pos_.assign(cnf.numClauses(), -1);
+        for (std::size_t k = 0; k < unsat_.size(); ++k)
+            unsat_pos_[unsat_[k]] = static_cast<int>(k);
+    }
+
+    bool litTrue(Lit p) const { return assign_[p.var()] != p.sign(); }
+
+    int numUnsat() const { return static_cast<int>(unsat_.size()); }
+
+    int unsatClause(std::size_t k) const { return unsat_[k]; }
+
+    const std::vector<bool> &assignment() const { return assign_; }
+
+    /** Number of clauses that become unsatisfied if @p v flips. */
+    int
+    breakCount(Var v) const
+    {
+        int breaks = 0;
+        for (int ci : occurrences_[v]) {
+            if (true_count_[ci] == 1) {
+                // The single true literal must be the one over v.
+                for (Lit p : cnf_.clause(ci)) {
+                    if (p.var() == v && litTrue(p)) {
+                        ++breaks;
+                        break;
+                    }
+                }
+            }
+        }
+        return breaks;
+    }
+
+    void
+    flip(Var v)
+    {
+        assign_[v] = !assign_[v];
+        for (int ci : occurrences_[v]) {
+            int delta = 0;
+            for (Lit p : cnf_.clause(ci))
+                if (p.var() == v)
+                    delta += litTrue(p) ? 1 : -1;
+            const int before = true_count_[ci];
+            true_count_[ci] += delta;
+            if (before == 0 && true_count_[ci] > 0)
+                removeUnsat(ci);
+            else if (before > 0 && true_count_[ci] == 0)
+                addUnsat(ci);
+        }
+    }
+
+  private:
+    void
+    addUnsat(int ci)
+    {
+        unsat_pos_[ci] = static_cast<int>(unsat_.size());
+        unsat_.push_back(ci);
+    }
+
+    void
+    removeUnsat(int ci)
+    {
+        const int pos = unsat_pos_[ci];
+        const int last = unsat_.back();
+        unsat_[pos] = last;
+        unsat_pos_[last] = pos;
+        unsat_.pop_back();
+        unsat_pos_[ci] = -1;
+    }
+
+    const Cnf &cnf_;
+    std::vector<bool> assign_;
+    std::vector<std::vector<int>> occurrences_;
+    std::vector<int> true_count_;
+    std::vector<int> unsat_;
+    std::vector<int> unsat_pos_;
+};
+
+} // namespace
+
+WalkSatResult
+walkSat(const Cnf &cnf, const WalkSatOptions &opts)
+{
+    WalkSatResult result;
+    Rng rng(opts.seed);
+
+    // An empty clause can never be satisfied by flipping.
+    for (const auto &c : cnf.clauses())
+        if (c.empty())
+            return result;
+
+    for (int attempt = 0; attempt < opts.max_tries; ++attempt) {
+        State state(cnf, rng);
+        const std::uint64_t flips_per_try =
+            opts.max_flips / std::max(opts.max_tries, 1);
+        for (std::uint64_t f = 0; f < flips_per_try; ++f) {
+            if (state.numUnsat() == 0) {
+                result.satisfiable = true;
+                result.model = state.assignment();
+                return result;
+            }
+            const int ci = state.unsatClause(
+                rng.below(static_cast<std::uint64_t>(state.numUnsat())));
+            const auto &clause = cnf.clause(ci);
+
+            Var pick = var_Undef;
+            if (rng.chance(opts.noise)) {
+                pick = clause[rng.below(clause.size())].var();
+            } else {
+                int best_break = INT32_MAX;
+                for (Lit p : clause) {
+                    const int b = state.breakCount(p.var());
+                    if (b < best_break) {
+                        best_break = b;
+                        pick = p.var();
+                    }
+                }
+            }
+            state.flip(pick);
+            ++result.flips;
+        }
+        if (state.numUnsat() == 0) {
+            result.satisfiable = true;
+            result.model = state.assignment();
+            return result;
+        }
+    }
+    return result;
+}
+
+} // namespace hyqsat::sat

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * WalkSAT stochastic local search. Used as a classical point of
+ * comparison and inside tests as an independent satisfiability
+ * witness generator.
+ */
+
+#ifndef HYQSAT_SAT_WALKSAT_H
+#define HYQSAT_SAT_WALKSAT_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace hyqsat::sat {
+
+/** WalkSAT configuration. */
+struct WalkSatOptions
+{
+    /** Probability of a random (non-greedy) flip inside a clause. */
+    double noise = 0.5;
+    /** Maximum variable flips before giving up. */
+    std::uint64_t max_flips = 1'000'000;
+    /** Number of random restarts. */
+    int max_tries = 10;
+    std::uint64_t seed = 0xda7a5eed;
+};
+
+/** WalkSAT outcome. */
+struct WalkSatResult
+{
+    bool satisfiable = false;      ///< model found (UNSAT is never proven)
+    std::vector<bool> model;       ///< valid when satisfiable
+    std::uint64_t flips = 0;       ///< total flips across tries
+};
+
+/** Run WalkSAT on @p cnf. */
+WalkSatResult walkSat(const Cnf &cnf, const WalkSatOptions &opts = {});
+
+} // namespace hyqsat::sat
+
+#endif // HYQSAT_SAT_WALKSAT_H

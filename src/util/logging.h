@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Status-message helpers in the gem5 idiom: inform() for status,
+ * warn() for suspicious-but-survivable conditions, fatal() for user
+ * error (exit), panic() for internal invariant violations (abort).
+ */
+
+#ifndef HYQSAT_UTIL_LOGGING_H
+#define HYQSAT_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace hyqsat {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global verbosity; messages below the level are dropped. */
+void setLogLevel(LogLevel level);
+
+/** @return the current global verbosity. */
+LogLevel logLevel();
+
+/** Print an informational status message (printf-style). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message, shown only at LogLevel::Debug. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warn about a condition that might indicate misbehaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate with exit(1) for a condition that is the user's fault
+ * (bad configuration, invalid arguments), not a library bug.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort for a condition that should never happen regardless of what
+ * the user does, i.e. an internal bug.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace hyqsat
+
+#endif // HYQSAT_UTIL_LOGGING_H

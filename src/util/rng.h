@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the whole library.
+ *
+ * All stochastic components (solvers, annealers, generators) take an
+ * explicit Rng so experiments are reproducible from a single seed.
+ * The engine is xoshiro256** seeded through splitmix64, which is fast
+ * and has no observable bias for our use cases.
+ */
+
+#ifndef HYQSAT_UTIL_RNG_H
+#define HYQSAT_UTIL_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace hyqsat {
+
+/** xoshiro256** pseudo-random generator with convenience draws. */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (any value, including 0). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialize the state from a new seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into four state words.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** UniformRandomBitGenerator interface. */
+    std::uint64_t operator()() { return next(); }
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ull; }
+
+    /** @return an integer uniform in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = -bound % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** @return an integer uniform in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** @return a double uniform in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** @return a standard normal draw (Marsaglia polar method). */
+    double
+    normal()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u, v, s;
+        do {
+            u = 2.0 * uniform() - 1.0;
+            v = 2.0 * uniform() - 1.0;
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double mul = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * mul;
+        have_spare_ = true;
+        return u * mul;
+    }
+
+    /** @return a normal draw with the given mean and stddev. */
+    double gaussian(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Fisher-Yates shuffle of a random-access container. */
+    template <typename Container>
+    void
+    shuffle(Container &c)
+    {
+        for (std::size_t i = c.size(); i > 1; --i) {
+            std::size_t j = below(i);
+            using std::swap;
+            swap(c[i - 1], c[j]);
+        }
+    }
+
+    /** Pick a uniformly random element of a non-empty container. */
+    template <typename Container>
+    auto &
+    pick(Container &c)
+    {
+        return c[below(c.size())];
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace hyqsat
+
+#endif // HYQSAT_UTIL_RNG_H

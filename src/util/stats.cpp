@@ -1,0 +1,122 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hyqsat {
+
+void
+OnlineStats::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x == 0.0)
+        saw_zero_ = true;
+    else
+        log_sum_ += std::log(std::fabs(x));
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+OnlineStats::geomean() const
+{
+    if (n_ == 0 || saw_zero_)
+        return 0.0;
+    return std::exp(log_sum_ / static_cast<double>(n_));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        panic("Histogram requires at least one bin");
+    if (hi <= lo)
+        panic("Histogram range [%f, %f) is empty", lo, hi);
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::int64_t>(std::floor((x - lo_) / width));
+    idx = std::clamp<std::int64_t>(
+        idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    OnlineStats s;
+    for (double v : values)
+        s.add(v);
+    return s.geomean();
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    OnlineStats s;
+    for (double v : values)
+        s.add(v);
+    return s.mean();
+}
+
+double
+variance(const std::vector<double> &values)
+{
+    OnlineStats s;
+    for (double v : values)
+        s.add(v);
+    return s.variance();
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+} // namespace hyqsat

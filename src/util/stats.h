@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Small statistics toolkit: online mean/variance (Welford), geometric
+ * mean, min/max tracking, and a fixed-bin histogram. Used by the
+ * benchmark harnesses to report the paper's avg / geomean / max / min
+ * reduction columns and the energy distributions.
+ */
+
+#ifndef HYQSAT_UTIL_STATS_H
+#define HYQSAT_UTIL_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hyqsat {
+
+/** Online accumulator for mean, variance, geomean, min and max. */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** @return the number of observations. */
+    std::uint64_t count() const { return n_; }
+
+    /** @return the arithmetic mean (0 if empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** @return the population variance (0 if fewer than 2 samples). */
+    double variance() const;
+
+    /** @return the population standard deviation. */
+    double stddev() const;
+
+    /**
+     * @return the geometric mean of the absolute values seen
+     * (0 if empty or if any observation was 0).
+     */
+    double geomean() const;
+
+    /** @return the smallest observation (+inf if empty). */
+    double min() const { return min_; }
+
+    /** @return the largest observation (-inf if empty). */
+    double max() const { return max_; }
+
+    /** @return the sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double log_sum_ = 0.0;
+    bool saw_zero_ = false;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width-bin histogram over [lo, hi); out-of-range clamps. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin
+     * @param hi upper edge of the last bin (must exceed lo)
+     * @param bins number of bins (must be > 0)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one observation (clamped into the edge bins). */
+    void add(double x);
+
+    /** @return the count in bin @p i. */
+    std::uint64_t binCount(std::size_t i) const { return counts_[i]; }
+
+    /** @return the center value of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** @return the number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** @return the total number of observations. */
+    std::uint64_t total() const { return total_; }
+
+    /** @return the fraction of mass in bin @p i (0 if empty). */
+    double binFraction(std::size_t i) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** @return the geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &values);
+
+/** @return the arithmetic mean (0 for an empty vector). */
+double mean(const std::vector<double> &values);
+
+/** @return the population variance (0 for fewer than 2 values). */
+double variance(const std::vector<double> &values);
+
+/** @return the median (0 for an empty vector). */
+double median(std::vector<double> values);
+
+} // namespace hyqsat
+
+#endif // HYQSAT_UTIL_STATS_H

@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hyqsat {
+
+namespace {
+const std::string kRule = "\x01";
+} // namespace
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.push_back({kRule});
+}
+
+std::string
+Table::str() const
+{
+    // Compute column widths over header and all data rows.
+    std::vector<std::size_t> widths;
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (row.size() == 1 && row[0] == kRule)
+            return;
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            out << cell;
+            out << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        out << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        out << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kRule)
+            out << std::string(total, '-') << "\n";
+        else
+            emit(row);
+    }
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::sci(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", digits, v);
+    return buf;
+}
+
+} // namespace hyqsat

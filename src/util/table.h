@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Console table printer used by the bench binaries to emit the
+ * paper's tables and figure series in a readable fixed-width layout.
+ */
+
+#ifndef HYQSAT_UTIL_TABLE_H
+#define HYQSAT_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace hyqsat {
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class Table
+{
+  public:
+    /** @param title optional caption printed above the table. */
+    explicit Table(std::string title = "");
+
+    /** Set the column headers. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the whole table to a string. */
+    std::string str() const;
+
+    /** Print the table to stdout. */
+    void print() const;
+
+    /** Format a double with @p digits decimal places. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format a double in scientific notation with @p digits places. */
+    static std::string sci(double v, int digits = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    // A row holding the single sentinel cell "\x01" renders as a rule.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hyqsat
+
+#endif // HYQSAT_UTIL_TABLE_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the benchmark harnesses and the
+ * HybridSolver time breakdown.
+ */
+
+#ifndef HYQSAT_UTIL_TIMER_H
+#define HYQSAT_UTIL_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace hyqsat {
+
+/** Monotonic wall-clock stopwatch with microsecond reporting. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** @return elapsed seconds since construction or reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** @return elapsed microseconds. */
+    double micros() const { return seconds() * 1e6; }
+
+    /** @return elapsed milliseconds. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Accumulates the total time of several timed sections. */
+class TimeAccumulator
+{
+  public:
+    /** RAII guard that adds the section's duration on destruction. */
+    class Scope
+    {
+      public:
+        explicit Scope(TimeAccumulator &acc) : acc_(acc) {}
+        ~Scope() { acc_.add(timer_.seconds()); }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        TimeAccumulator &acc_;
+        Timer timer_;
+    };
+
+    /** Add @p seconds to the running total. */
+    void
+    add(double seconds)
+    {
+        total_ += seconds;
+        ++count_;
+    }
+
+    /** @return accumulated seconds. */
+    double seconds() const { return total_; }
+
+    /** @return number of timed sections. */
+    std::uint64_t count() const { return count_; }
+
+    /** Clear the accumulator. */
+    void
+    clear()
+    {
+        total_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double total_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace hyqsat
+
+#endif // HYQSAT_UTIL_TIMER_H

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "anneal/sa_sampler.h"
+
+namespace hyqsat::anneal {
+namespace {
+
+TEST(SaSampler, FindsGroundStateOfSingleSpin)
+{
+    qubo::IsingModel m(1);
+    m.addField(0, 1.0); // ground state: s = -1
+    SaSampler sampler(m);
+    Rng rng(1);
+    const auto r = sampler.sample({}, rng);
+    EXPECT_EQ(r.spins[0], -1);
+    EXPECT_DOUBLE_EQ(r.energy, -1.0);
+}
+
+TEST(SaSampler, FerromagneticPairAligns)
+{
+    qubo::IsingModel m(2);
+    m.addCoupling(0, 1, -1.0); // alignment favoured
+    SaSampler sampler(m);
+    Rng rng(2);
+    for (int round = 0; round < 10; ++round) {
+        const auto r = sampler.sample({}, rng);
+        EXPECT_EQ(r.spins[0], r.spins[1]);
+        EXPECT_DOUBLE_EQ(r.energy, -1.0);
+    }
+}
+
+TEST(SaSampler, AntiferromagneticPairOpposes)
+{
+    qubo::IsingModel m(2);
+    m.addCoupling(0, 1, 1.0);
+    SaSampler sampler(m);
+    Rng rng(3);
+    const auto r = sampler.sample({}, rng);
+    EXPECT_NE(r.spins[0], r.spins[1]);
+}
+
+TEST(SaSampler, GroundStateOfFerromagneticChain)
+{
+    const int n = 32;
+    qubo::IsingModel m(n);
+    for (int i = 0; i + 1 < n; ++i)
+        m.addCoupling(i, i + 1, -1.0);
+    m.addField(0, -0.5); // break the symmetry: all-up ground state
+    SaSampler sampler(m);
+    Rng rng(4);
+    SaOptions opts;
+    opts.sweeps = 256;
+    const auto r = sampler.sample(opts, rng);
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(r.spins[i], 1) << "spin " << i;
+    EXPECT_DOUBLE_EQ(r.energy, -(n - 1) - 0.5);
+}
+
+TEST(SaSampler, ReportedEnergyMatchesRecomputation)
+{
+    qubo::IsingModel m(6);
+    Rng setup(5);
+    for (int i = 0; i < 6; ++i)
+        m.addField(i, setup.gaussian(0, 1));
+    for (int i = 0; i < 6; ++i)
+        for (int j = i + 1; j < 6; ++j)
+            if (setup.chance(0.6))
+                m.addCoupling(i, j, setup.gaussian(0, 1));
+    SaSampler sampler(m);
+    Rng rng(6);
+    const auto r = sampler.sample({}, rng);
+    EXPECT_NEAR(r.energy, m.energy(r.spins), 1e-9);
+    EXPECT_NEAR(r.energy, sampler.energy(r.spins), 1e-9);
+}
+
+TEST(SaSampler, GreedyFinishNeverWorsens)
+{
+    qubo::IsingModel m(8);
+    Rng setup(7);
+    for (int i = 0; i < 8; ++i)
+        for (int j = i + 1; j < 8; ++j)
+            m.addCoupling(i, j, setup.gaussian(0, 1));
+
+    SaSampler sampler(m);
+    SaOptions with, without;
+    with.greedy_finish = true;
+    without.greedy_finish = false;
+    double sum_with = 0, sum_without = 0;
+    for (int round = 0; round < 20; ++round) {
+        Rng rng_a(100 + round), rng_b(100 + round);
+        sum_with += sampler.sample(with, rng_a).energy;
+        sum_without += sampler.sample(without, rng_b).energy;
+    }
+    EXPECT_LE(sum_with, sum_without + 1e-9);
+}
+
+TEST(SaSampler, HotScheduleIsRandomish)
+{
+    // At essentially zero beta the sampler cannot find the ground
+    // state of a frustrated system reliably: energies vary.
+    qubo::IsingModel m(16);
+    Rng setup(8);
+    for (int i = 0; i < 16; ++i)
+        for (int j = i + 1; j < 16; ++j)
+            m.addCoupling(i, j, setup.chance(0.5) ? 1.0 : -1.0);
+    SaSampler sampler(m);
+    SaOptions hot;
+    hot.beta_start = 1e-6;
+    hot.beta_end = 1e-5;
+    hot.greedy_finish = false;
+    Rng rng(9);
+    double min_e = 1e300, max_e = -1e300;
+    for (int round = 0; round < 20; ++round) {
+        const double e = sampler.sample(hot, rng).energy;
+        min_e = std::min(min_e, e);
+        max_e = std::max(max_e, e);
+    }
+    EXPECT_GT(max_e - min_e, 1.0);
+}
+
+TEST(SaSampler, GroupMovesFlipBlocks)
+{
+    // Two 4-spin chains with strong internal ferromagnetic coupling
+    // and a weak antiferromagnetic link: the ground state has the
+    // chains anti-aligned; block moves find it quickly.
+    qubo::IsingModel m(8);
+    for (int i = 0; i + 1 < 4; ++i) {
+        m.addCoupling(i, i + 1, -4.0);
+        m.addCoupling(4 + i, 4 + i + 1, -4.0);
+    }
+    m.addCoupling(0, 4, 1.0);
+    SaSampler sampler(m);
+    sampler.setGroups({{0, 1, 2, 3}, {4, 5, 6, 7}});
+    Rng rng(10);
+    SaOptions opts;
+    opts.sweeps = 64;
+    const auto r = sampler.sample(opts, rng);
+    // Chains internally aligned, mutually opposed.
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_EQ(r.spins[i], r.spins[0]);
+        EXPECT_EQ(r.spins[4 + i], r.spins[4]);
+    }
+    EXPECT_NE(r.spins[0], r.spins[4]);
+}
+
+TEST(SaSampler, DeterministicForSameRngState)
+{
+    qubo::IsingModel m(10);
+    Rng setup(11);
+    for (int i = 0; i < 10; ++i)
+        m.addField(i, setup.gaussian(0, 1));
+    SaSampler sampler(m);
+    Rng a(42), b(42);
+    const auto ra = sampler.sample({}, a);
+    const auto rb = sampler.sample({}, b);
+    EXPECT_EQ(ra.spins, rb.spins);
+    EXPECT_EQ(ra.energy, rb.energy);
+}
+
+} // namespace
+} // namespace hyqsat::anneal

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "anneal/schedule.h"
+
+namespace hyqsat::anneal {
+namespace {
+
+TEST(Schedule, GeometricEndpointsAndMonotonicity)
+{
+    const auto betas = geometricBetaSchedule(0.1, 10.0, 32);
+    ASSERT_EQ(betas.size(), 32u);
+    EXPECT_NEAR(betas.front(), 0.1, 1e-12);
+    EXPECT_NEAR(betas.back(), 10.0, 1e-9);
+    for (std::size_t i = 1; i < betas.size(); ++i)
+        EXPECT_GT(betas[i], betas[i - 1]);
+}
+
+TEST(Schedule, GeometricConstantRatio)
+{
+    const auto betas = geometricBetaSchedule(1.0, 8.0, 4);
+    EXPECT_NEAR(betas[1] / betas[0], betas[2] / betas[1], 1e-12);
+    EXPECT_NEAR(betas[2] / betas[1], betas[3] / betas[2], 1e-12);
+}
+
+TEST(Schedule, GeometricSingleSweepUsesFinalBeta)
+{
+    const auto betas = geometricBetaSchedule(0.1, 5.0, 1);
+    ASSERT_EQ(betas.size(), 1u);
+    EXPECT_DOUBLE_EQ(betas[0], 5.0);
+}
+
+TEST(Schedule, LinearEndpointsAndSpacing)
+{
+    const auto betas = linearBetaSchedule(1.0, 3.0, 5);
+    ASSERT_EQ(betas.size(), 5u);
+    EXPECT_DOUBLE_EQ(betas.front(), 1.0);
+    EXPECT_DOUBLE_EQ(betas.back(), 3.0);
+    EXPECT_DOUBLE_EQ(betas[1] - betas[0], 0.5);
+    EXPECT_DOUBLE_EQ(betas[3] - betas[2], 0.5);
+}
+
+TEST(Schedule, LinearSingleSweep)
+{
+    const auto betas = linearBetaSchedule(0.5, 2.0, 1);
+    ASSERT_EQ(betas.size(), 1u);
+    EXPECT_DOUBLE_EQ(betas[0], 2.0);
+}
+
+} // namespace
+} // namespace hyqsat::anneal

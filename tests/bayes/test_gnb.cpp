@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "bayes/gnb.h"
+#include "util/rng.h"
+
+namespace hyqsat::bayes {
+namespace {
+
+TEST(GaussianNaiveBayes, UnfittedByDefault)
+{
+    GaussianNaiveBayes gnb;
+    EXPECT_FALSE(gnb.fitted());
+}
+
+TEST(GaussianNaiveBayes, FitsMeansAndVariances)
+{
+    GaussianNaiveBayes gnb;
+    gnb.fit({{1.0}, {3.0}, {10.0}, {14.0}}, {0, 0, 1, 1}, 2);
+    EXPECT_TRUE(gnb.fitted());
+    EXPECT_DOUBLE_EQ(gnb.mean(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(gnb.mean(1, 0), 12.0);
+    EXPECT_DOUBLE_EQ(gnb.variance(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(gnb.variance(1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(gnb.prior(0), 0.5);
+}
+
+TEST(GaussianNaiveBayes, SeparatedClassesClassifyPerfectly)
+{
+    Rng rng(1);
+    std::vector<std::vector<double>> x;
+    std::vector<int> y;
+    for (int i = 0; i < 200; ++i) {
+        x.push_back({rng.gaussian(0.0, 1.0)});
+        y.push_back(0);
+        x.push_back({rng.gaussian(20.0, 1.0)});
+        y.push_back(1);
+    }
+    GaussianNaiveBayes gnb;
+    gnb.fit(x, y, 2);
+    EXPECT_EQ(gnb.predict({-0.5}), 0);
+    EXPECT_EQ(gnb.predict({19.5}), 1);
+    EXPECT_GT(gnb.accuracy(x, y), 0.99);
+}
+
+TEST(GaussianNaiveBayes, PosteriorsSumToOne)
+{
+    GaussianNaiveBayes gnb;
+    gnb.fit({{0.0}, {1.0}, {5.0}, {6.0}}, {0, 0, 1, 1}, 2);
+    for (double e : {-1.0, 0.5, 3.0, 5.5, 10.0}) {
+        const auto post = gnb.posterior({e});
+        EXPECT_NEAR(post[0] + post[1], 1.0, 1e-9);
+        EXPECT_GE(post[0], 0.0);
+        EXPECT_GE(post[1], 0.0);
+    }
+}
+
+TEST(GaussianNaiveBayes, PosteriorMonotoneBetweenClassMeans)
+{
+    GaussianNaiveBayes gnb;
+    Rng rng(2);
+    std::vector<std::vector<double>> x;
+    std::vector<int> y;
+    for (int i = 0; i < 500; ++i) {
+        x.push_back({rng.gaussian(2.0, 1.5)});
+        y.push_back(1);
+        x.push_back({rng.gaussian(9.0, 2.0)});
+        y.push_back(0);
+    }
+    gnb.fit(x, y, 2);
+    double last = 1.0;
+    for (double e = 2.0; e <= 9.0; e += 0.5) {
+        const double p = gnb.posterior({e})[1];
+        EXPECT_LE(p, last + 1e-9);
+        last = p;
+    }
+}
+
+TEST(GaussianNaiveBayes, MultiFeatureIndependenceAssumption)
+{
+    // Classes differ only in the second feature.
+    GaussianNaiveBayes gnb;
+    gnb.fit({{1.0, 0.0}, {1.1, 0.2}, {0.9, 10.0}, {1.0, 9.8}},
+            {0, 0, 1, 1}, 2);
+    EXPECT_EQ(gnb.predict({1.0, 0.1}), 0);
+    EXPECT_EQ(gnb.predict({1.0, 9.9}), 1);
+}
+
+TEST(GaussianNaiveBayes, ImbalancedPriorsRespected)
+{
+    Rng rng(3);
+    std::vector<std::vector<double>> x;
+    std::vector<int> y;
+    for (int i = 0; i < 90; ++i) {
+        x.push_back({rng.gaussian(0.0, 2.0)});
+        y.push_back(0);
+    }
+    for (int i = 0; i < 10; ++i) {
+        x.push_back({rng.gaussian(1.0, 2.0)});
+        y.push_back(1);
+    }
+    GaussianNaiveBayes gnb;
+    gnb.fit(x, y, 2);
+    EXPECT_DOUBLE_EQ(gnb.prior(0), 0.9);
+    // Overlapping classes: the prior should dominate at the midpoint.
+    EXPECT_EQ(gnb.predict({0.5}), 0);
+}
+
+TEST(GaussianNaiveBayes, DegenerateConstantFeatureSurvives)
+{
+    GaussianNaiveBayes gnb;
+    gnb.fit({{5.0}, {5.0}, {7.0}, {7.0}}, {0, 0, 1, 1}, 2);
+    EXPECT_EQ(gnb.predict({5.0}), 0);
+    EXPECT_EQ(gnb.predict({7.0}), 1);
+}
+
+TEST(GaussianNaiveBayes, EmptyClassGetsZeroPosterior)
+{
+    GaussianNaiveBayes gnb;
+    gnb.fit({{1.0}, {2.0}}, {0, 0}, 2); // class 1 never seen
+    const auto post = gnb.posterior({1.5});
+    EXPECT_DOUBLE_EQ(post[1], 0.0);
+    EXPECT_NEAR(post[0], 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace hyqsat::bayes

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "bayes/intervals.h"
+#include "util/rng.h"
+
+namespace hyqsat::bayes {
+namespace {
+
+TEST(EnergyClassifier, PaperDefaultCutPoints)
+{
+    EnergyClassifier c;
+    EXPECT_DOUBLE_EQ(c.nearSatCut(), 4.5);
+    EXPECT_DOUBLE_EQ(c.nearUnsatCut(), 8.0);
+}
+
+TEST(EnergyClassifier, PaperIntervalsClassify)
+{
+    // §V-A: [0,0], (0,4.5], (4.5,8], (8,inf).
+    EnergyClassifier c;
+    EXPECT_EQ(c.classify(0.0), SatisfactionClass::Satisfiable);
+    EXPECT_EQ(c.classify(0.1), SatisfactionClass::NearSatisfiable);
+    EXPECT_EQ(c.classify(4.5), SatisfactionClass::NearSatisfiable);
+    EXPECT_EQ(c.classify(4.6), SatisfactionClass::Uncertain);
+    EXPECT_EQ(c.classify(8.0), SatisfactionClass::Uncertain);
+    EXPECT_EQ(c.classify(8.1), SatisfactionClass::NearUnsatisfiable);
+    EXPECT_EQ(c.classify(100.0),
+              SatisfactionClass::NearUnsatisfiable);
+}
+
+TEST(EnergyClassifier, ExplicitCutPointsRespected)
+{
+    EnergyClassifier c(2.0, 5.0);
+    EXPECT_EQ(c.classify(1.5), SatisfactionClass::NearSatisfiable);
+    EXPECT_EQ(c.classify(3.0), SatisfactionClass::Uncertain);
+    EXPECT_EQ(c.classify(6.0), SatisfactionClass::NearUnsatisfiable);
+}
+
+TEST(EnergyClassifier, FitSeparatedDistributions)
+{
+    Rng rng(1);
+    std::vector<double> energies;
+    std::vector<bool> sat;
+    for (int i = 0; i < 500; ++i) {
+        energies.push_back(std::max(0.0, rng.gaussian(1.0, 1.0)));
+        sat.push_back(true);
+        energies.push_back(rng.gaussian(12.0, 2.0));
+        sat.push_back(false);
+    }
+    EnergyClassifier c;
+    c.fit(energies, sat, 0.9);
+    // Cuts land between the class means, in order.
+    EXPECT_GT(c.nearSatCut(), 0.0);
+    EXPECT_LT(c.nearSatCut(), c.nearUnsatCut());
+    EXPECT_LT(c.nearUnsatCut(), 12.0);
+    // Low energies classify satisfiable-ish, high unsatisfiable-ish.
+    EXPECT_EQ(c.classify(0.5), SatisfactionClass::NearSatisfiable);
+    EXPECT_EQ(c.classify(14.0),
+              SatisfactionClass::NearUnsatisfiable);
+}
+
+TEST(EnergyClassifier, PosteriorMatchesConfidenceAtCut)
+{
+    Rng rng(2);
+    std::vector<double> energies;
+    std::vector<bool> sat;
+    for (int i = 0; i < 2000; ++i) {
+        energies.push_back(std::fabs(rng.gaussian(2.0, 1.5)));
+        sat.push_back(true);
+        energies.push_back(std::fabs(rng.gaussian(10.0, 2.5)));
+        sat.push_back(false);
+    }
+    EnergyClassifier c;
+    c.fit(energies, sat, 0.9);
+    EXPECT_NEAR(c.posteriorSatisfiable(c.nearSatCut()), 0.9, 0.05);
+    EXPECT_NEAR(c.posteriorSatisfiable(c.nearUnsatCut()), 0.1, 0.05);
+}
+
+TEST(EnergyClassifier, UncertainFractionShrinksWithSeparation)
+{
+    Rng rng(3);
+    auto fraction_for = [&](double unsat_mean) {
+        std::vector<double> energies;
+        std::vector<bool> sat;
+        for (int i = 0; i < 1000; ++i) {
+            energies.push_back(std::fabs(rng.gaussian(1.5, 1.0)));
+            sat.push_back(true);
+            energies.push_back(
+                std::fabs(rng.gaussian(unsat_mean, 2.0)));
+            sat.push_back(false);
+        }
+        EnergyClassifier c;
+        c.fit(energies, sat, 0.9);
+        return c.uncertainFraction(20.0);
+    };
+    // Pulling the unsatisfiable band away shrinks the uncertain
+    // interval - the Fig. 15b effect.
+    EXPECT_LT(fraction_for(14.0), fraction_for(6.0));
+}
+
+TEST(EnergyClassifier, ClassNamesAreStable)
+{
+    EXPECT_STREQ(
+        satisfactionClassName(SatisfactionClass::Satisfiable),
+        "satisfiable");
+    EXPECT_STREQ(
+        satisfactionClassName(SatisfactionClass::NearUnsatisfiable),
+        "near-unsatisfiable");
+}
+
+TEST(EnergyClassifier, ZeroEnergyAlwaysSatisfiableClass)
+{
+    EnergyClassifier c(0.1, 0.2);
+    EXPECT_EQ(c.classify(0.0), SatisfactionClass::Satisfiable);
+    EXPECT_EQ(c.classify(-1e-9), SatisfactionClass::Satisfiable);
+}
+
+} // namespace
+} // namespace hyqsat::bayes

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/clause_queue.h"
+#include "tests/sat/helpers.h"
+
+namespace hyqsat::core {
+namespace {
+
+sat::Solver
+loadedSolver(const sat::Cnf &cnf)
+{
+    sat::Solver solver;
+    EXPECT_TRUE(solver.loadCnf(cnf));
+    return solver;
+}
+
+TEST(ClauseQueue, EmptyWhenAllClausesSatisfied)
+{
+    sat::Cnf cnf(1);
+    cnf.addClause(sat::mkLit(0));
+    auto solver = loadedSolver(cnf); // unit propagates at load
+    Rng rng(1);
+    EXPECT_TRUE(generateClauseQueue(solver, {}, rng).empty());
+}
+
+TEST(ClauseQueue, ContainsOnlyUnsatisfiedClauses)
+{
+    Rng gen(2);
+    const auto cnf = sat::testing::randomCnf(30, 90, 3, gen);
+    auto solver = loadedSolver(cnf);
+    Rng rng(3);
+    const auto queue = generateClauseQueue(solver, {}, rng);
+    const auto unsat = solver.unsatisfiedOriginalClauses();
+    const std::set<int> unsat_set(unsat.begin(), unsat.end());
+    for (int ci : queue)
+        EXPECT_TRUE(unsat_set.count(ci)) << "clause " << ci;
+}
+
+TEST(ClauseQueue, NoDuplicates)
+{
+    Rng gen(4);
+    const auto cnf = sat::testing::randomCnf(40, 150, 3, gen);
+    auto solver = loadedSolver(cnf);
+    Rng rng(5);
+    const auto queue = generateClauseQueue(solver, {}, rng);
+    std::set<int> seen(queue.begin(), queue.end());
+    EXPECT_EQ(seen.size(), queue.size());
+}
+
+TEST(ClauseQueue, RespectsCapacity)
+{
+    Rng gen(6);
+    const auto cnf = sat::testing::randomCnf(60, 260, 3, gen);
+    auto solver = loadedSolver(cnf);
+    ClauseQueueOptions opts;
+    opts.capacity = 25;
+    Rng rng(7);
+    const auto queue = generateClauseQueue(solver, opts, rng);
+    EXPECT_LE(queue.size(), 25u);
+    EXPECT_EQ(queue.size(), 25u); // plenty of unsatisfied clauses
+}
+
+TEST(ClauseQueue, BfsKeepsVariableLocality)
+{
+    // Consecutive queue clauses should share variables with some
+    // earlier queue clause (it is a BFS tree over shared variables).
+    Rng gen(8);
+    const auto cnf = sat::testing::randomCnf(50, 210, 3, gen);
+    auto solver = loadedSolver(cnf);
+    Rng rng(9);
+    ClauseQueueOptions opts;
+    opts.capacity = 40;
+    const auto queue = generateClauseQueue(solver, opts, rng);
+    ASSERT_GT(queue.size(), 5u);
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+        bool shares = false;
+        for (std::size_t j = 0; j < i && !shares; ++j) {
+            for (sat::Lit p : solver.originalClause(queue[i])) {
+                for (sat::Lit q : solver.originalClause(queue[j])) {
+                    if (p.var() == q.var()) {
+                        shares = true;
+                        break;
+                    }
+                }
+                if (shares)
+                    break;
+            }
+        }
+        EXPECT_TRUE(shares) << "queue position " << i;
+    }
+}
+
+TEST(ClauseQueue, HeadHasCompetitiveActivity)
+{
+    Rng gen(10);
+    const auto cnf = sat::testing::randomCnf(40, 170, 3, gen);
+    auto solver = loadedSolver(cnf);
+    // Give a few clauses large activity by solving a bit first.
+    solver.setConflictBudget(200);
+    solver.solve();
+    Rng rng(11);
+    ClauseQueueOptions opts;
+    opts.top_k = 5;
+    const auto queue = generateClauseQueue(solver, opts, rng);
+    if (queue.empty())
+        GTEST_SKIP() << "instance solved within budget";
+    // The head must be among the top-5 activities of unsatisfied
+    // clauses.
+    auto unsat = solver.unsatisfiedOriginalClauses();
+    std::sort(unsat.begin(), unsat.end(), [&](int a, int b) {
+        return solver.clauseActivityScore(a) >
+               solver.clauseActivityScore(b);
+    });
+    const double head_score = solver.clauseActivityScore(queue[0]);
+    const double fifth_score = solver.clauseActivityScore(
+        unsat[std::min<std::size_t>(4, unsat.size() - 1)]);
+    EXPECT_GE(head_score, fifth_score);
+}
+
+TEST(ClauseQueue, RandomModeShuffles)
+{
+    Rng gen(12);
+    const auto cnf = sat::testing::randomCnf(40, 170, 3, gen);
+    auto solver = loadedSolver(cnf);
+    ClauseQueueOptions opts;
+    opts.random_queue = true;
+    opts.capacity = 30;
+    Rng rng_a(13), rng_b(14);
+    const auto qa = generateClauseQueue(solver, opts, rng_a);
+    const auto qb = generateClauseQueue(solver, opts, rng_b);
+    EXPECT_EQ(qa.size(), 30u);
+    EXPECT_NE(qa, qb); // different seeds shuffle differently
+}
+
+TEST(ClauseQueue, DeterministicPerRngState)
+{
+    Rng gen(15);
+    const auto cnf = sat::testing::randomCnf(30, 120, 3, gen);
+    auto solver = loadedSolver(cnf);
+    Rng a(77), b(77);
+    EXPECT_EQ(generateClauseQueue(solver, {}, a),
+              generateClauseQueue(solver, {}, b));
+}
+
+} // namespace
+} // namespace hyqsat::core

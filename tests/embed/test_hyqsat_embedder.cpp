@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "embed/hyqsat_embedder.h"
+#include "tests/sat/helpers.h"
+
+namespace hyqsat::embed {
+namespace {
+
+using chimera::ChimeraGraph;
+using sat::LitVec;
+using sat::mkLit;
+
+TEST(HyQsatEmbedder, SingleClauseEmbedsAndValidates)
+{
+    const ChimeraGraph g(4, 4, 4);
+    HyQsatEmbedder embedder(g);
+    const std::vector<LitVec> queue{{mkLit(0), mkLit(1), mkLit(2)}};
+    const auto r = embedder.embedQueue(queue);
+    EXPECT_TRUE(r.all_embedded);
+    EXPECT_EQ(r.embedded_clauses, 1);
+    ASSERT_EQ(r.problem.numNodes(), 4);
+    std::string why;
+    EXPECT_TRUE(r.embedding.isValid(g, r.problem.edges(), &why)) << why;
+}
+
+TEST(HyQsatEmbedder, TwoLiteralClause)
+{
+    const ChimeraGraph g(2, 2, 4);
+    HyQsatEmbedder embedder(g);
+    const std::vector<LitVec> queue{{mkLit(0), mkLit(1, true)}};
+    const auto r = embedder.embedQueue(queue);
+    EXPECT_TRUE(r.all_embedded);
+    std::string why;
+    EXPECT_TRUE(r.embedding.isValid(g, r.problem.edges(), &why)) << why;
+}
+
+TEST(HyQsatEmbedder, UnitClauseUsesOneChain)
+{
+    const ChimeraGraph g(2, 2, 4);
+    HyQsatEmbedder embedder(g);
+    const std::vector<LitVec> queue{{mkLit(5)}};
+    const auto r = embedder.embedQueue(queue);
+    EXPECT_TRUE(r.all_embedded);
+    EXPECT_EQ(r.problem.numNodes(), 1);
+    EXPECT_TRUE(r.embedding.isValid(g, r.problem.edges()));
+}
+
+TEST(HyQsatEmbedder, TautologyConsumesNoHardware)
+{
+    const ChimeraGraph g(2, 2, 4);
+    HyQsatEmbedder embedder(g);
+    const std::vector<LitVec> tautologies(
+        50, LitVec{mkLit(0), mkLit(0, true), mkLit(1)});
+    const auto r = embedder.embedQueue(tautologies);
+    EXPECT_TRUE(r.all_embedded);
+    EXPECT_EQ(r.embedded_clauses, 50);
+    EXPECT_EQ(r.problem.numNodes(), 0);
+}
+
+TEST(HyQsatEmbedder, SharedVariableClausesValidate)
+{
+    const ChimeraGraph g(4, 4, 4);
+    HyQsatEmbedder embedder(g);
+    // The paper's Fig. 6 queue shape: clauses chained on x0.
+    const std::vector<LitVec> queue{
+        {mkLit(0), mkLit(1), mkLit(2)},
+        {mkLit(0), mkLit(4, true), mkLit(6)},
+        {mkLit(0, true), mkLit(5, true)},
+    };
+    const auto r = embedder.embedQueue(queue);
+    EXPECT_TRUE(r.all_embedded);
+    std::string why;
+    EXPECT_TRUE(r.embedding.isValid(g, r.problem.edges(), &why)) << why;
+}
+
+TEST(HyQsatEmbedder, PrefixSemanticsOnOverflow)
+{
+    // A tiny chip cannot host many distinct variables; the embedder
+    // must embed a strict prefix and stay valid.
+    const ChimeraGraph g(2, 2, 2); // 4 vertical lines only
+    HyQsatEmbedder embedder(g);
+    std::vector<LitVec> queue;
+    for (int i = 0; i < 10; ++i)
+        queue.push_back(
+            {mkLit(3 * i), mkLit(3 * i + 1), mkLit(3 * i + 2)});
+    const auto r = embedder.embedQueue(queue);
+    EXPECT_FALSE(r.all_embedded);
+    EXPECT_LT(r.embedded_clauses, 10);
+    EXPECT_GE(r.embedded_clauses, 1);
+    std::string why;
+    EXPECT_TRUE(r.embedding.isValid(g, r.problem.edges(), &why)) << why;
+}
+
+TEST(HyQsatEmbedder, LargerChipEmbedsMoreClauses)
+{
+    Rng rng(7);
+    const auto queue_cnf = sat::testing::randomCnf(60, 120, 3, rng);
+    const std::vector<LitVec> queue(queue_cnf.clauses().begin(),
+                                    queue_cnf.clauses().end());
+
+    const ChimeraGraph small(4, 4, 4);
+    const ChimeraGraph large(16, 16, 4);
+    const auto rs = HyQsatEmbedder(small).embedQueue(queue);
+    const auto rl = HyQsatEmbedder(large).embedQueue(queue);
+    EXPECT_GE(rl.embedded_clauses, rs.embedded_clauses);
+    EXPECT_GT(rl.embedded_clauses, 0);
+    std::string why;
+    EXPECT_TRUE(rl.embedding.isValid(large, rl.problem.edges(), &why))
+        << why;
+    EXPECT_TRUE(rs.embedding.isValid(small, rs.problem.edges(), &why))
+        << why;
+}
+
+TEST(HyQsatEmbedder, RandomQueuesAlwaysValidOn2000q)
+{
+    const auto g = ChimeraGraph::dwave2000q();
+    Rng rng(21);
+    for (int round = 0; round < 5; ++round) {
+        const auto cnf =
+            sat::testing::randomCnf(50 + 10 * round, 200, 3, rng);
+        const std::vector<LitVec> queue(cnf.clauses().begin(),
+                                        cnf.clauses().end());
+        HyQsatEmbedder embedder(g);
+        const auto r = embedder.embedQueue(queue);
+        EXPECT_GT(r.embedded_clauses, 0);
+        std::string why;
+        ASSERT_TRUE(r.embedding.isValid(g, r.problem.edges(), &why))
+            << "round " << round << ": " << why;
+    }
+}
+
+TEST(HyQsatEmbedder, EmbeddingIsFast)
+{
+    const auto g = ChimeraGraph::dwave2000q();
+    Rng rng(23);
+    const auto cnf = sat::testing::randomCnf(64, 250, 3, rng);
+    const std::vector<LitVec> queue(cnf.clauses().begin(),
+                                    cnf.clauses().end());
+    HyQsatEmbedder embedder(g);
+    const auto r = embedder.embedQueue(queue);
+    // The paper reports ~15.7us; allow generous slack for CI noise
+    // but stay orders of magnitude under Minorminer's seconds.
+    EXPECT_LT(r.seconds, 0.05);
+}
+
+TEST(HyQsatEmbedder, ReuseSegmentsImprovesOrMatchesCapacity)
+{
+    const ChimeraGraph g(8, 8, 4);
+    Rng rng(29);
+    const auto cnf = sat::testing::randomCnf(40, 150, 3, rng);
+    const std::vector<LitVec> queue(cnf.clauses().begin(),
+                                    cnf.clauses().end());
+
+    HyQsatEmbedderOptions with;
+    with.reuse_segments = true;
+    HyQsatEmbedderOptions without;
+    without.reuse_segments = false;
+    const auto r_with = HyQsatEmbedder(g, with).embedQueue(queue);
+    const auto r_without = HyQsatEmbedder(g, without).embedQueue(queue);
+    EXPECT_GE(r_with.embedded_clauses, r_without.embedded_clauses);
+    std::string why;
+    EXPECT_TRUE(
+        r_without.embedding.isValid(g, r_without.problem.edges(), &why))
+        << why;
+}
+
+TEST(HyQsatEmbedder, AuxChainsLiveOnHorizontalLines)
+{
+    const ChimeraGraph g(4, 4, 4);
+    HyQsatEmbedder embedder(g);
+    const std::vector<LitVec> queue{{mkLit(0), mkLit(1), mkLit(2)}};
+    const auto r = embedder.embedQueue(queue);
+    const int aux = r.problem.clause_aux[0];
+    ASSERT_GE(aux, 0);
+    for (int q : r.embedding.chain(aux)) {
+        EXPECT_EQ(g.coord(q).shore, chimera::Shore::Horizontal);
+    }
+}
+
+TEST(HyQsatEmbedder, RepeatedIdenticalClausesReuseCouplings)
+{
+    const ChimeraGraph g(4, 4, 4);
+    HyQsatEmbedder embedder(g);
+    const std::vector<LitVec> queue{
+        {mkLit(0), mkLit(1), mkLit(2)},
+        {mkLit(0), mkLit(1), mkLit(2)},
+        {mkLit(0), mkLit(1), mkLit(2)},
+    };
+    const auto r = embedder.embedQueue(queue);
+    EXPECT_TRUE(r.all_embedded);
+    std::string why;
+    EXPECT_TRUE(r.embedding.isValid(g, r.problem.edges(), &why)) << why;
+}
+
+} // namespace
+} // namespace hyqsat::embed

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "gen/benchmarks.h"
+#include "sat/solver.h"
+
+namespace hyqsat::gen {
+namespace {
+
+TEST(BenchmarkSuite, HasFourteenBenchmarks)
+{
+    EXPECT_EQ(BenchmarkSuite::all().size(), 14u);
+}
+
+TEST(BenchmarkSuite, TableOneOrderAndIds)
+{
+    const auto &all = BenchmarkSuite::all();
+    const std::vector<std::string> expected{
+        "GC1", "GC2", "GC3", "CFA", "BP", "II", "IF1",
+        "IF2", "CRY", "AI1", "AI2", "AI3", "AI4", "AI5"};
+    ASSERT_EQ(all.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(all[i].id, expected[i]);
+}
+
+TEST(BenchmarkSuite, ByIdFindsEveryBenchmark)
+{
+    for (const auto &b : BenchmarkSuite::all())
+        EXPECT_EQ(BenchmarkSuite::byId(b.id).name, b.name);
+}
+
+TEST(BenchmarkSuite, UnknownIdIsFatal)
+{
+    EXPECT_EXIT(BenchmarkSuite::byId("nope"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(BenchmarkSuite, EveryBenchmarkGeneratesThreeSat)
+{
+    for (const auto &b : BenchmarkSuite::all()) {
+        const auto cnf = b.make(0, 123);
+        EXPECT_TRUE(cnf.isThreeSat()) << b.id;
+        EXPECT_GT(cnf.numClauses(), 0) << b.id;
+        EXPECT_FALSE(cnf.name().empty()) << b.id;
+    }
+}
+
+TEST(BenchmarkSuite, InstancesAreDeterministicPerSeed)
+{
+    const auto &b = BenchmarkSuite::byId("AI1");
+    const auto x = b.make(3, 99);
+    const auto y = b.make(3, 99);
+    ASSERT_EQ(x.numClauses(), y.numClauses());
+    for (int i = 0; i < x.numClauses(); ++i)
+        EXPECT_EQ(x.clause(i), y.clause(i));
+}
+
+TEST(BenchmarkSuite, DifferentIndicesDiffer)
+{
+    const auto &b = BenchmarkSuite::byId("AI1");
+    const auto x = b.make(0, 99);
+    const auto y = b.make(1, 99);
+    bool all_equal = x.numClauses() == y.numClauses();
+    if (all_equal) {
+        for (int i = 0; i < x.numClauses() && all_equal; ++i)
+            all_equal = (x.clause(i) == y.clause(i));
+    }
+    EXPECT_FALSE(all_equal);
+}
+
+TEST(BenchmarkSuite, GcSeriesMatchesTableOneScale)
+{
+    // GC1: 450 variables, 1680 clauses (Table I).
+    const auto cnf = BenchmarkSuite::byId("GC1").make(0, 1);
+    EXPECT_EQ(cnf.numVars(), 450);
+    EXPECT_EQ(cnf.numClauses(), 1680);
+    // GC3: 600 variables, 2237 clauses.
+    const auto gc3 = BenchmarkSuite::byId("GC3").make(0, 1);
+    EXPECT_EQ(gc3.numVars(), 600);
+    EXPECT_EQ(gc3.numClauses(), 2237);
+}
+
+TEST(BenchmarkSuite, AiSeriesMatchesTableOneScale)
+{
+    const auto a1 = BenchmarkSuite::byId("AI1").make(0, 1);
+    EXPECT_EQ(a1.numVars(), 150);
+    EXPECT_EQ(a1.numClauses(), 645);
+    const auto a5 = BenchmarkSuite::byId("AI5").make(0, 1);
+    EXPECT_EQ(a5.numVars(), 250);
+    EXPECT_EQ(a5.numClauses(), 1065);
+}
+
+TEST(BenchmarkSuite, ExpectedSatisfiabilityHolds)
+{
+    // Solve one small instance of each benchmark with a declared
+    // satisfiability and check the label.
+    for (const auto &b : BenchmarkSuite::all()) {
+        if (b.expected_satisfiable < 0)
+            continue;
+        if (b.id == "IF1" || b.id == "IF2" || b.id == "GC1" ||
+            b.id == "GC2" || b.id == "GC3") {
+            continue; // larger instances: covered by bench runs
+        }
+        const auto cnf = b.make(0, 7);
+        sat::Solver solver;
+        const bool loaded = solver.loadCnf(cnf);
+        const auto status =
+            loaded ? solver.solve() : sat::l_False;
+        EXPECT_EQ(status.isTrue(), b.expected_satisfiable == 1)
+            << b.id;
+    }
+}
+
+TEST(BenchmarkSuite, InstancesHelperCountsAndSeeds)
+{
+    const auto &b = BenchmarkSuite::byId("BP");
+    const auto list = BenchmarkSuite::instances(b, 3, 42);
+    ASSERT_EQ(list.size(), 3u);
+    for (const auto &cnf : list)
+        EXPECT_TRUE(cnf.isThreeSat());
+}
+
+} // namespace
+} // namespace hyqsat::gen

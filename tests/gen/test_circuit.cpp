@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "gen/circuit.h"
+#include "sat/brute_force.h"
+#include "sat/solver.h"
+
+namespace hyqsat::gen {
+namespace {
+
+TEST(Circuit, GateEvaluationTruthTables)
+{
+    Circuit c;
+    const int a = c.addInput();
+    const int b = c.addInput();
+    const int w_and = c.addAnd(a, b);
+    const int w_or = c.addOr(a, b);
+    const int w_xor = c.addXor(a, b);
+    const int w_nand = c.addNand(a, b);
+    const int w_nor = c.addNor(a, b);
+    const int w_not = c.addNot(a);
+
+    for (int bits = 0; bits < 4; ++bits) {
+        const bool va = bits & 1, vb = bits & 2;
+        const auto values = c.eval({va, vb});
+        EXPECT_EQ(values[w_and], va && vb);
+        EXPECT_EQ(values[w_or], va || vb);
+        EXPECT_EQ(values[w_xor], va != vb);
+        EXPECT_EQ(values[w_nand], !(va && vb));
+        EXPECT_EQ(values[w_nor], !(va || vb));
+        EXPECT_EQ(values[w_not], !va);
+    }
+}
+
+TEST(Circuit, ConstWires)
+{
+    Circuit c;
+    const int t = c.addConst(true);
+    const int f = c.addConst(false);
+    const auto values = c.eval({});
+    EXPECT_TRUE(values[t]);
+    EXPECT_FALSE(values[f]);
+}
+
+TEST(Circuit, TseitinAgreesWithEvaluation)
+{
+    // Property: for every input assignment, the CNF restricted to
+    // input units has exactly the circuit's wire values as its
+    // unique model over wire variables.
+    Rng rng(1);
+    const Circuit c = randomCircuit(5, 30, 3, rng);
+    const auto enc = c.tseitin();
+    for (int bits = 0; bits < 32; ++bits) {
+        std::vector<bool> inputs(5);
+        for (int i = 0; i < 5; ++i)
+            inputs[i] = (bits >> i) & 1;
+        const auto values = c.eval(inputs);
+        std::vector<bool> assignment(enc.cnf.numVars(), false);
+        for (int w = 0; w < c.numWires(); ++w)
+            assignment[enc.wire_var[w]] = values[w];
+        EXPECT_TRUE(enc.cnf.eval(assignment)) << "bits " << bits;
+    }
+}
+
+TEST(Circuit, TseitinRejectsWrongWireValues)
+{
+    Circuit c;
+    const int a = c.addInput();
+    const int b = c.addInput();
+    const int y = c.addAnd(a, b);
+    const auto enc = c.tseitin();
+    std::vector<bool> assignment(enc.cnf.numVars(), false);
+    assignment[enc.wire_var[a]] = true;
+    assignment[enc.wire_var[b]] = true;
+    assignment[enc.wire_var[y]] = false; // lie about the AND
+    EXPECT_FALSE(enc.cnf.eval(assignment));
+}
+
+TEST(Circuit, RippleCarryAdderComputesSums)
+{
+    Circuit c;
+    std::vector<int> a, b;
+    for (int i = 0; i < 4; ++i)
+        a.push_back(c.addInput());
+    for (int i = 0; i < 4; ++i)
+        b.push_back(c.addInput());
+    const auto sum = c.rippleCarryAdder(a, b);
+    ASSERT_EQ(sum.size(), 5u);
+
+    for (int va = 0; va < 16; ++va) {
+        for (int vb = 0; vb < 16; ++vb) {
+            std::vector<bool> inputs(8);
+            for (int i = 0; i < 4; ++i) {
+                inputs[i] = (va >> i) & 1;
+                inputs[4 + i] = (vb >> i) & 1;
+            }
+            const auto values = c.eval(inputs);
+            int result = 0;
+            for (int i = 0; i < 5; ++i)
+                result |= values[sum[i]] << i;
+            ASSERT_EQ(result, va + vb)
+                << va << " + " << vb;
+        }
+    }
+}
+
+TEST(Circuit, MultiplierComputesProducts)
+{
+    Circuit c;
+    std::vector<int> a, b;
+    for (int i = 0; i < 4; ++i)
+        a.push_back(c.addInput());
+    for (int i = 0; i < 3; ++i)
+        b.push_back(c.addInput());
+    const auto product = c.multiplier(a, b);
+    ASSERT_EQ(product.size(), 7u);
+
+    for (int va = 0; va < 16; ++va) {
+        for (int vb = 0; vb < 8; ++vb) {
+            std::vector<bool> inputs(7);
+            for (int i = 0; i < 4; ++i)
+                inputs[i] = (va >> i) & 1;
+            for (int i = 0; i < 3; ++i)
+                inputs[4 + i] = (vb >> i) & 1;
+            const auto values = c.eval(inputs);
+            int result = 0;
+            for (std::size_t i = 0; i < product.size(); ++i)
+                result |= values[product[i]] << i;
+            ASSERT_EQ(result, va * vb) << va << " * " << vb;
+        }
+    }
+}
+
+TEST(Circuit, GreaterEqualComparator)
+{
+    Circuit c;
+    std::vector<int> a, b;
+    for (int i = 0; i < 4; ++i)
+        a.push_back(c.addInput());
+    for (int i = 0; i < 4; ++i)
+        b.push_back(c.addInput());
+    const int ge = c.greaterEqual(a, b);
+    for (int va = 0; va < 16; ++va) {
+        for (int vb = 0; vb < 16; ++vb) {
+            std::vector<bool> inputs(8);
+            for (int i = 0; i < 4; ++i) {
+                inputs[i] = (va >> i) & 1;
+                inputs[4 + i] = (vb >> i) & 1;
+            }
+            const auto values = c.eval(inputs);
+            ASSERT_EQ(values[ge], va >= vb) << va << " vs " << vb;
+        }
+    }
+}
+
+TEST(Circuit, FaultFreeMiterUnsatisfiable)
+{
+    Rng rng(2);
+    const Circuit c = randomCircuit(8, 40, 4, rng);
+    const auto cnf = faultMiter(c, -1, false);
+    sat::Solver solver;
+    const bool loaded = solver.loadCnf(cnf);
+    EXPECT_TRUE(!loaded || solver.solve().isFalse());
+}
+
+TEST(Circuit, DetectableFaultMiterSatisfiable)
+{
+    // Stuck-at-1 on a primary input of an AND chain is detectable.
+    Circuit c;
+    const int a = c.addInput();
+    const int b = c.addInput();
+    const int y = c.addAnd(a, b);
+    c.markOutput(y);
+    const auto cnf = faultMiter(c, a, true);
+    sat::Solver solver;
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    EXPECT_TRUE(solver.solve().isTrue());
+}
+
+TEST(Circuit, MaskedFaultMiterUnsatisfiable)
+{
+    // y = a AND 0: a stuck-at fault on 'a' is masked by the const.
+    Circuit c;
+    const int a = c.addInput();
+    const int zero = c.addConst(false);
+    const int y = c.addAnd(a, zero);
+    c.markOutput(y);
+    const auto cnf = faultMiter(c, a, true);
+    sat::Solver solver;
+    const bool loaded = solver.loadCnf(cnf);
+    EXPECT_TRUE(!loaded || solver.solve().isFalse());
+}
+
+TEST(Circuit, RandomCircuitShape)
+{
+    Rng rng(3);
+    const Circuit c = randomCircuit(6, 50, 5, rng);
+    EXPECT_EQ(c.numInputs(), 6);
+    EXPECT_EQ(c.numWires(), 56);
+    EXPECT_EQ(c.outputs().size(), 5u);
+}
+
+} // namespace
+} // namespace hyqsat::gen

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "gen/crypto.h"
+#include "sat/solver.h"
+
+namespace hyqsat::gen {
+namespace {
+
+struct SolveOutcome
+{
+    sat::lbool status;
+    std::uint64_t conflicts;
+};
+
+SolveOutcome
+solveCnf(const sat::Cnf &cnf)
+{
+    sat::Solver solver;
+    if (!solver.loadCnf(cnf))
+        return {sat::l_False, solver.stats().conflicts};
+    return {solver.solve(), solver.stats().conflicts};
+}
+
+TEST(CmpAdd, PropertyHoldsSoCnfUnsat)
+{
+    for (int width : {4, 8, 12}) {
+        const auto r = solveCnf(cmpAddCnf(width));
+        EXPECT_TRUE(r.status.isFalse()) << "width " << width;
+    }
+}
+
+TEST(CmpAdd, RefutedQuickly)
+{
+    // The paper's CRY rows solve in a handful of iterations.
+    const auto r = solveCnf(cmpAddCnf(16));
+    EXPECT_TRUE(r.status.isFalse());
+    EXPECT_LT(r.conflicts, 2000u);
+}
+
+TEST(AdderEquivalence, CommutedTwinsAgree)
+{
+    for (int width : {4, 8}) {
+        const auto r = solveCnf(adderEquivalenceCnf(width));
+        EXPECT_TRUE(r.status.isFalse()) << "width " << width;
+    }
+}
+
+TEST(AdderTarget, ReachableTargetSatisfiable)
+{
+    Rng rng(1);
+    for (int round = 0; round < 5; ++round) {
+        const auto r = solveCnf(adderTargetCnf(6, rng));
+        EXPECT_TRUE(r.status.isTrue()) << "round " << round;
+    }
+}
+
+TEST(Crypto, InstancesAreCircuitSized)
+{
+    const auto cnf = cmpAddCnf(16);
+    EXPECT_GT(cnf.numVars(), 100);
+    EXPECT_GT(cnf.numClauses(), 300);
+}
+
+} // namespace
+} // namespace hyqsat::gen

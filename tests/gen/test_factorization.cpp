@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "gen/factorization.h"
+#include "sat/solver.h"
+
+namespace hyqsat::gen {
+namespace {
+
+TEST(Primes, IsPrimeBasics)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(97));
+    EXPECT_FALSE(isPrime(91)); // 7 * 13
+    EXPECT_TRUE(isPrime(65537));
+}
+
+TEST(Primes, RandomPrimeHasRequestedWidth)
+{
+    Rng rng(1);
+    for (int bits = 3; bits <= 12; ++bits) {
+        const auto p = randomPrime(bits, rng);
+        EXPECT_TRUE(isPrime(p));
+        EXPECT_GE(p, 1ull << (bits - 1));
+        EXPECT_LT(p, 1ull << bits);
+    }
+}
+
+std::uint64_t
+decodeFactor(const sat::Solver &solver, int offset, int width)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < width; ++i)
+        if (solver.model()[offset + i].isTrue())
+            value |= 1ull << i;
+    return value;
+}
+
+TEST(Factorization, RecoversSmallSemiprime)
+{
+    // 5 * 7 == 35 with 3/3-bit factors (inputs are CNF vars 0..5).
+    const auto cnf = factorizationCnf(35, 3, 3);
+    sat::Solver solver;
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    ASSERT_TRUE(solver.solve().isTrue());
+    const auto p = decodeFactor(solver, 0, 3);
+    const auto q = decodeFactor(solver, 3, 3);
+    EXPECT_EQ(p * q, 35u);
+    EXPECT_GT(p, 1u);
+    EXPECT_GT(q, 1u);
+}
+
+TEST(Factorization, PrimeTargetUnsatisfiable)
+{
+    // 13 is prime: no nontrivial 3x3-bit factorization exists.
+    const auto cnf = factorizationCnf(13, 3, 3);
+    sat::Solver solver;
+    const bool loaded = solver.loadCnf(cnf);
+    EXPECT_TRUE(!loaded || solver.solve().isFalse());
+}
+
+TEST(Factorization, RejectsTrivialFactorization)
+{
+    // 6 = 2 * 3 works, but 6 = 1 * 6 must be excluded; with widths
+    // 2x2 the only options are 2*3 / 3*2.
+    const auto cnf = factorizationCnf(6, 2, 2);
+    sat::Solver solver;
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    ASSERT_TRUE(solver.solve().isTrue());
+    const auto p = decodeFactor(solver, 0, 2);
+    const auto q = decodeFactor(solver, 2, 2);
+    EXPECT_EQ(p * q, 6u);
+    EXPECT_GT(p, 1u);
+    EXPECT_GT(q, 1u);
+}
+
+TEST(Factorization, RandomSemiprimesSatisfiable)
+{
+    Rng rng(2);
+    for (int round = 0; round < 3; ++round) {
+        const auto cnf = randomSemiprimeCnf(5, 5, rng);
+        sat::Solver solver;
+        ASSERT_TRUE(solver.loadCnf(cnf));
+        EXPECT_TRUE(solver.solve().isTrue()) << "round " << round;
+    }
+}
+
+TEST(Factorization, ModelAlwaysYieldsTrueFactors)
+{
+    Rng rng(3);
+    const auto p = randomPrime(6, rng);
+    const auto q = randomPrime(6, rng);
+    const auto cnf = factorizationCnf(p * q, 6, 6);
+    sat::Solver solver;
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    ASSERT_TRUE(solver.solve().isTrue());
+    const auto fp = decodeFactor(solver, 0, 6);
+    const auto fq = decodeFactor(solver, 6, 6);
+    EXPECT_EQ(fp * fq, p * q);
+    // Semiprime: the only nontrivial splits are {p, q}.
+    EXPECT_TRUE((fp == p && fq == q) || (fp == q && fq == p));
+}
+
+} // namespace
+} // namespace hyqsat::gen

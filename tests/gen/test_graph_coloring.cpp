@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "gen/graph_coloring.h"
+#include "sat/solver.h"
+
+namespace hyqsat::gen {
+namespace {
+
+TEST(FlatGraph, ShapeAndCrossClassEdges)
+{
+    Rng rng(1);
+    const auto g = flatGraph(30, 60, 3, rng);
+    EXPECT_EQ(g.vertices, 30);
+    EXPECT_EQ(g.edges.size(), 60u);
+    for (const auto &[a, b] : g.edges) {
+        EXPECT_NE(a, b);
+        EXPECT_NE(g.hidden_coloring[a], g.hidden_coloring[b]);
+    }
+}
+
+TEST(FlatGraph, EdgesAreUnique)
+{
+    Rng rng(2);
+    const auto g = flatGraph(20, 50, 3, rng);
+    for (std::size_t i = 0; i < g.edges.size(); ++i)
+        for (std::size_t j = i + 1; j < g.edges.size(); ++j)
+            EXPECT_NE(g.edges[i], g.edges[j]);
+}
+
+TEST(FlatGraph, BalancedHiddenColoring)
+{
+    Rng rng(3);
+    const auto g = flatGraph(30, 40, 3, rng);
+    std::vector<int> counts(3, 0);
+    for (int c : g.hidden_coloring)
+        ++counts[c];
+    EXPECT_EQ(counts[0], 10);
+    EXPECT_EQ(counts[1], 10);
+    EXPECT_EQ(counts[2], 10);
+}
+
+TEST(ColoringCnf, VariableAndClauseCounts)
+{
+    // Table I accounting: vars = V*k; clauses = V (ALO) +
+    // V*C(k,2) (AMO) + E*k (edges).
+    Rng rng(4);
+    const auto cnf = flatColoringCnf(150, 360, 3, rng);
+    EXPECT_EQ(cnf.numVars(), 450);   // GC1's #Variable
+    EXPECT_EQ(cnf.numClauses(), 150 + 450 + 1080); // 1680, GC1's
+}
+
+TEST(ColoringCnf, HiddenColoringSatisfiesEncoding)
+{
+    Rng rng(5);
+    const auto g = flatGraph(25, 55, 3, rng);
+    const auto cnf = encodeColoring(g);
+    std::vector<bool> assignment(cnf.numVars(), false);
+    for (int v = 0; v < g.vertices; ++v)
+        assignment[v * 3 + g.hidden_coloring[v]] = true;
+    EXPECT_TRUE(cnf.eval(assignment));
+}
+
+TEST(ColoringCnf, SolverFindsValidColoring)
+{
+    Rng rng(6);
+    const auto g = flatGraph(20, 45, 3, rng);
+    const auto cnf = encodeColoring(g);
+    sat::Solver solver;
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    ASSERT_TRUE(solver.solve().isTrue());
+    const auto model = solver.boolModel();
+    // Decode: exactly one colour per vertex, endpoints differ.
+    for (int v = 0; v < g.vertices; ++v) {
+        int colors = 0;
+        for (int c = 0; c < 3; ++c)
+            colors += model[v * 3 + c];
+        EXPECT_EQ(colors, 1) << "vertex " << v;
+    }
+    auto color_of = [&](int v) {
+        for (int c = 0; c < 3; ++c)
+            if (model[v * 3 + c])
+                return c;
+        return -1;
+    };
+    for (const auto &[a, b] : g.edges)
+        EXPECT_NE(color_of(a), color_of(b));
+}
+
+TEST(ColoringCnf, AllClausesAtMostThreeLiterals)
+{
+    Rng rng(7);
+    const auto cnf = flatColoringCnf(30, 60, 3, rng);
+    EXPECT_TRUE(cnf.isThreeSat());
+}
+
+TEST(FlatGraph, RejectsImpossibleEdgeCounts)
+{
+    // Asking for more cross-class edges than exist must fatal();
+    // death tests document the contract.
+    Rng rng(8);
+    EXPECT_EXIT(flatGraph(3, 100, 3, rng),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace hyqsat::gen

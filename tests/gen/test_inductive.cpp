@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "gen/inductive.h"
+#include "sat/solver.h"
+
+namespace hyqsat::gen {
+namespace {
+
+TEST(InductiveInference, InstancesAreSatisfiable)
+{
+    Rng rng(1);
+    for (int round = 0; round < 5; ++round) {
+        const auto cnf = inductiveInferenceCnf(8, 3, 20, rng);
+        sat::Solver solver;
+        ASSERT_TRUE(solver.loadCnf(cnf));
+        EXPECT_TRUE(solver.solve().isTrue()) << "round " << round;
+    }
+}
+
+TEST(InductiveInference, VariableCountMatchesEncoding)
+{
+    Rng rng(2);
+    const int f = 10, k = 3, m = 30;
+    const auto cnf = inductiveInferenceCnf(f, k, m, rng);
+    // 2*k*f selector vars plus k vars per positive example;
+    // positives vary, so bound from both sides.
+    EXPECT_GE(cnf.numVars(), 2 * k * f);
+    EXPECT_LE(cnf.numVars(), 2 * k * f + k * m);
+}
+
+TEST(InductiveInference, ModelDecodesToConsistentDnf)
+{
+    Rng rng(3);
+    const int f = 6, k = 2, m = 24;
+    const auto cnf = inductiveInferenceCnf(f, k, m, rng);
+    sat::Solver solver;
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    ASSERT_TRUE(solver.solve().isTrue());
+    const auto model = solver.boolModel();
+    // No feature may be both positive and negative in a term.
+    for (int t = 0; t < k; ++t) {
+        for (int i = 0; i < f; ++i) {
+            const bool p = model[(t * f + i) * 2];
+            const bool n = model[(t * f + i) * 2 + 1];
+            EXPECT_FALSE(p && n) << "term " << t << " feature " << i;
+        }
+    }
+}
+
+TEST(InductiveInference, DeterministicPerSeed)
+{
+    Rng a(7), b(7);
+    const auto x = inductiveInferenceCnf(8, 2, 16, a);
+    const auto y = inductiveInferenceCnf(8, 2, 16, b);
+    ASSERT_EQ(x.numClauses(), y.numClauses());
+    for (int i = 0; i < x.numClauses(); ++i)
+        EXPECT_EQ(x.clause(i), y.clause(i));
+}
+
+TEST(InductiveInference, ModerateConflictProfile)
+{
+    Rng rng(4);
+    const auto cnf = inductiveInferenceCnf(12, 3, 36, rng);
+    sat::Solver solver;
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    ASSERT_TRUE(solver.solve().isTrue());
+    // II instances are easy-to-moderate, far from uf-series hardness.
+    EXPECT_LT(solver.stats().conflicts, 20000u);
+}
+
+} // namespace
+} // namespace hyqsat::gen

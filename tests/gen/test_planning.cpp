@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "gen/planning.h"
+#include "sat/solver.h"
+
+namespace hyqsat::gen {
+namespace {
+
+TEST(BlocksWorld, RandomTaskIsWellFormed)
+{
+    Rng rng(1);
+    const auto task = randomBlocksWorld(6, rng);
+    EXPECT_EQ(task.num_blocks, 6);
+    ASSERT_EQ(task.initial_under.size(), 6u);
+    ASSERT_EQ(task.goal_under.size(), 6u);
+    // No block under itself; each block supports at most one block.
+    for (const auto &config :
+         {task.initial_under, task.goal_under}) {
+        std::vector<int> load(6, 0);
+        for (int b = 0; b < 6; ++b) {
+            EXPECT_NE(config[b], b);
+            if (config[b] >= 0)
+                ++load[config[b]];
+        }
+        for (int b = 0; b < 6; ++b)
+            EXPECT_LE(load[b], 1);
+    }
+}
+
+TEST(BlocksWorld, ConfigurationsAreAcyclic)
+{
+    Rng rng(2);
+    for (int round = 0; round < 10; ++round) {
+        const auto task = randomBlocksWorld(8, rng);
+        // Following 'under' pointers must reach the table.
+        for (int b = 0; b < 8; ++b) {
+            int cur = b, steps = 0;
+            while (cur >= 0 && steps++ <= 8)
+                cur = task.initial_under[cur];
+            EXPECT_LE(steps, 8) << "cycle from block " << b;
+        }
+    }
+}
+
+TEST(BlocksWorld, GenerousHorizonSatisfiable)
+{
+    Rng rng(3);
+    for (int blocks : {3, 4, 5}) {
+        const auto cnf = blocksWorldCnf(blocks, rng);
+        sat::Solver solver;
+        ASSERT_TRUE(solver.loadCnf(cnf));
+        EXPECT_TRUE(solver.solve().isTrue()) << blocks << " blocks";
+    }
+}
+
+TEST(BlocksWorld, ZeroHorizonOnlySatisfiableWhenGoalEqualsInit)
+{
+    BlocksWorldTask same;
+    same.num_blocks = 3;
+    same.initial_under = {-1, 0, 1}; // one stack 2-1-0
+    same.goal_under = {-1, 0, 1};
+    sat::Solver s1;
+    ASSERT_TRUE(s1.loadCnf(encodeBlocksWorld(same, 0)));
+    EXPECT_TRUE(s1.solve().isTrue());
+
+    BlocksWorldTask diff = same;
+    diff.goal_under = {1, -1, 0}; // different stacking
+    sat::Solver s2;
+    const bool loaded = s2.loadCnf(encodeBlocksWorld(diff, 0));
+    EXPECT_TRUE(!loaded || s2.solve().isFalse());
+}
+
+TEST(BlocksWorld, UnstackOneBlockInOneStep)
+{
+    BlocksWorldTask task;
+    task.num_blocks = 2;
+    task.initial_under = {-1, 0}; // 1 on 0
+    task.goal_under = {-1, -1};   // both on table
+    sat::Solver solver;
+    ASSERT_TRUE(solver.loadCnf(encodeBlocksWorld(task, 1)));
+    EXPECT_TRUE(solver.solve().isTrue());
+}
+
+TEST(BlocksWorld, BlockedMoveNeedsTwoSteps)
+{
+    // Swap-under scenario: 1 on 0, goal 0 on 1. One step cannot do
+    // it (0 is not clear at t=0 and 1 must move off first).
+    BlocksWorldTask task;
+    task.num_blocks = 2;
+    task.initial_under = {-1, 0};
+    task.goal_under = {1, -1};
+    sat::Solver one;
+    const bool loaded = one.loadCnf(encodeBlocksWorld(task, 1));
+    EXPECT_TRUE(!loaded || one.solve().isFalse());
+    sat::Solver two;
+    ASSERT_TRUE(two.loadCnf(encodeBlocksWorld(task, 2)));
+    EXPECT_TRUE(two.solve().isTrue());
+}
+
+TEST(BlocksWorld, LowConflictProfile)
+{
+    // BP instances are nearly conflict-free (Table I: ~7 iterations).
+    Rng rng(4);
+    const auto cnf = blocksWorldCnf(5, rng);
+    sat::Solver solver;
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    ASSERT_TRUE(solver.solve().isTrue());
+    EXPECT_LT(solver.stats().conflicts, 5000u);
+}
+
+} // namespace
+} // namespace hyqsat::gen

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "gen/random_sat.h"
+#include "sat/brute_force.h"
+#include "sat/solver.h"
+
+namespace hyqsat::gen {
+namespace {
+
+TEST(RandomSat, ShapeMatchesParameters)
+{
+    Rng rng(1);
+    const auto cnf = uniformRandomKSat(50, 200, 3, rng);
+    EXPECT_EQ(cnf.numVars(), 50);
+    EXPECT_EQ(cnf.numClauses(), 200);
+    for (const auto &c : cnf.clauses())
+        EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(RandomSat, ClausesUseDistinctVariables)
+{
+    Rng rng(2);
+    const auto cnf = uniformRandomKSat(10, 100, 3, rng);
+    for (const auto &c : cnf.clauses()) {
+        EXPECT_NE(c[0].var(), c[1].var());
+        EXPECT_NE(c[1].var(), c[2].var());
+        EXPECT_NE(c[0].var(), c[2].var());
+    }
+}
+
+TEST(RandomSat, DeterministicPerSeed)
+{
+    Rng a(7), b(7);
+    const auto x = uniformRandom3Sat(20, 50, a);
+    const auto y = uniformRandom3Sat(20, 50, b);
+    for (int i = 0; i < x.numClauses(); ++i)
+        EXPECT_EQ(x.clause(i), y.clause(i));
+}
+
+TEST(RandomSat, LowRatioUsuallySatisfiable)
+{
+    Rng rng(3);
+    int sat = 0;
+    for (int i = 0; i < 10; ++i) {
+        const auto cnf = uniformRandom3Sat(20, 40, rng); // ratio 2.0
+        sat += sat::bruteForceSolve(cnf).satisfiable;
+    }
+    EXPECT_GE(sat, 9);
+}
+
+TEST(RandomSat, HighRatioUsuallyUnsatisfiable)
+{
+    Rng rng(4);
+    int unsat = 0;
+    for (int i = 0; i < 10; ++i) {
+        const auto cnf = uniformRandom3Sat(16, 128, rng); // ratio 8
+        unsat += !sat::bruteForceSolve(cnf).satisfiable;
+    }
+    EXPECT_GE(unsat, 9);
+}
+
+TEST(PlantedSat, AlwaysSatisfiable)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10; ++i) {
+        const auto cnf = plantedRandom3Sat(18, 90, rng); // ratio 5!
+        EXPECT_TRUE(sat::bruteForceSolve(cnf).satisfiable)
+            << "round " << i;
+    }
+}
+
+TEST(PlantedSat, ShapePreserved)
+{
+    Rng rng(6);
+    const auto cnf = plantedRandom3Sat(30, 120, rng);
+    EXPECT_EQ(cnf.numVars(), 30);
+    EXPECT_EQ(cnf.numClauses(), 120);
+}
+
+TEST(HornLike, FullHornRespectsShape)
+{
+    Rng rng(7);
+    const auto cnf = randomHornLike(30, 100, 1.0, rng);
+    for (const auto &c : cnf.clauses()) {
+        int positives = 0;
+        for (sat::Lit p : c)
+            positives += !p.sign();
+        EXPECT_LE(positives, 1);
+    }
+}
+
+TEST(HornLike, SolvesWithFewConflicts)
+{
+    Rng rng(8);
+    const auto cnf = randomHornLike(100, 300, 0.95, rng);
+    sat::Solver solver;
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    solver.solve();
+    // Near-Horn formulas are easy: conflict count stays tiny
+    // relative to the clause count (BP/II-style behaviour).
+    EXPECT_LT(solver.stats().conflicts, 100u);
+}
+
+} // namespace
+} // namespace hyqsat::gen

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "qubo/gap.h"
+#include "sat/brute_force.h"
+#include "tests/sat/helpers.h"
+
+namespace hyqsat::qubo {
+namespace {
+
+using sat::LitVec;
+using sat::mkLit;
+
+TEST(Landscape, SatisfiableClauseSetHasZeroGround)
+{
+    const std::vector<LitVec> clauses{{mkLit(0), mkLit(1), mkLit(2)}};
+    for (auto kind : {ObjectiveKind::Unit, ObjectiveKind::Weighted,
+                      ObjectiveKind::Normalized}) {
+        const auto ls = analyzeLandscape(encodeClauses(clauses), kind);
+        EXPECT_TRUE(ls.satisfiable);
+        EXPECT_NEAR(ls.ground, 0.0, 1e-12);
+        EXPECT_GT(ls.gap, 0.0);
+    }
+}
+
+TEST(Landscape, UnitGapOfSingleClauseIsOne)
+{
+    const std::vector<LitVec> clauses{{mkLit(0), mkLit(1), mkLit(2)}};
+    const auto ls =
+        analyzeLandscape(encodeClauses(clauses), ObjectiveKind::Unit);
+    EXPECT_NEAR(ls.gap, 1.0, 1e-12);
+}
+
+TEST(Landscape, UnsatisfiableSetHasPositiveGround)
+{
+    // x0 and ~x0.
+    const std::vector<LitVec> clauses{{mkLit(0)}, {mkLit(0, true)}};
+    const auto ls =
+        analyzeLandscape(encodeClauses(clauses), ObjectiveKind::Unit);
+    EXPECT_FALSE(ls.satisfiable);
+    EXPECT_GT(ls.ground, 0.0);
+    EXPECT_DOUBLE_EQ(ls.ground, ls.gap);
+}
+
+TEST(Landscape, GroundMatchesBruteForceMinViolatedOnUnit)
+{
+    hyqsat::Rng rng(31);
+    for (int round = 0; round < 10; ++round) {
+        const sat::Cnf cnf = sat::testing::randomCnf(5, 9, 3, rng);
+        const auto ep = encodeClauses(cnf.clauses());
+        if (ep.numNodes() > 20)
+            continue;
+        const auto ls = analyzeLandscape(ep, ObjectiveKind::Unit);
+        // Unit ground energy == minimum violated sub-clause weight;
+        // every violated clause costs exactly 1 at the optimum.
+        EXPECT_NEAR(ls.ground, sat::bruteForceMinViolated(cnf), 1e-9)
+            << "round " << round;
+    }
+}
+
+TEST(Landscape, SatisfiabilityAgreesWithBruteForce)
+{
+    hyqsat::Rng rng(37);
+    for (int round = 0; round < 15; ++round) {
+        const sat::Cnf cnf = sat::testing::randomCnf(4, 10, 3, rng);
+        const auto ep = encodeClauses(cnf.clauses());
+        const auto ls = analyzeLandscape(ep, ObjectiveKind::Weighted);
+        EXPECT_EQ(ls.satisfiable, sat::bruteForceSolve(cnf).satisfiable);
+        EXPECT_EQ(ls.ground < 1e-9, ls.satisfiable);
+    }
+}
+
+TEST(Gap, MinGapStaysPositiveUnderAdjustment)
+{
+    hyqsat::Rng rng(41);
+    for (int round = 0; round < 10; ++round) {
+        const sat::Cnf cnf = sat::testing::randomCnf(5, 7, 3, rng);
+        const double improvement = gapImprovement(cnf.clauses());
+        EXPECT_GT(improvement, 0.0) << "round " << round;
+    }
+}
+
+TEST(Gap, SingleClauseSurfaceImprovementIsExactlyOnePointFive)
+{
+    // For one 3-literal clause the violating band holds two aux
+    // levels with plain normalized energies {1/2, 1/2}; adjustment
+    // lifts them to {1/2, 1}: mean 0.75 vs 0.5.
+    const std::vector<LitVec> clauses{{mkLit(0), mkLit(1), mkLit(2)}};
+    EXPECT_NEAR(surfaceImprovement(clauses), 1.5, 1e-9);
+}
+
+TEST(Gap, SurfaceImprovementAboveOneOnAverage)
+{
+    // The Fig. 15a effect: across random instances the adjustment
+    // lifts the violating energy surface on average (individual
+    // instances may tie or dip slightly).
+    hyqsat::Rng rng(43);
+    double sum = 0.0;
+    const int rounds = 12;
+    for (int round = 0; round < rounds; ++round) {
+        const sat::Cnf cnf = sat::testing::randomCnf(6, 10, 3, rng);
+        sum += surfaceImprovement(cnf.clauses());
+    }
+    EXPECT_GT(sum / rounds, 1.1);
+}
+
+TEST(Gap, MeanViolatingEnergyZeroWhenNoViolatingAssignment)
+{
+    // A tautology-only set is satisfied by everything.
+    const std::vector<LitVec> clauses{{mkLit(0), mkLit(0, true)}};
+    const auto ep = encodeClauses(clauses);
+    EXPECT_DOUBLE_EQ(
+        meanViolatingEnergy(ep, ObjectiveKind::Normalized), 0.0);
+}
+
+} // namespace
+} // namespace hyqsat::qubo

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "qubo/qubo.h"
+#include "util/rng.h"
+
+namespace hyqsat::qubo {
+namespace {
+
+TEST(QuboModel, EmptyModelZeroEnergy)
+{
+    QuboModel q;
+    EXPECT_EQ(q.numVars(), 0);
+    EXPECT_DOUBLE_EQ(q.energy({}), 0.0);
+}
+
+TEST(QuboModel, LinearAndOffsetAccumulate)
+{
+    QuboModel q;
+    q.addOffset(1.5);
+    q.addLinear(0, 2.0);
+    q.addLinear(0, 1.0);
+    EXPECT_DOUBLE_EQ(q.offset(), 1.5);
+    EXPECT_DOUBLE_EQ(q.linear(0), 3.0);
+    EXPECT_DOUBLE_EQ(q.energy({true}), 4.5);
+    EXPECT_DOUBLE_EQ(q.energy({false}), 1.5);
+}
+
+TEST(QuboModel, QuadraticTermEvaluation)
+{
+    QuboModel q;
+    q.addQuadratic(0, 1, 2.0);
+    EXPECT_DOUBLE_EQ(q.energy({true, true}), 2.0);
+    EXPECT_DOUBLE_EQ(q.energy({true, false}), 0.0);
+    EXPECT_DOUBLE_EQ(q.energy({false, true}), 0.0);
+}
+
+TEST(QuboModel, QuadraticOrderInsensitive)
+{
+    QuboModel q;
+    q.addQuadratic(3, 1, 1.0);
+    q.addQuadratic(1, 3, 1.0);
+    EXPECT_DOUBLE_EQ(q.quadratic(1, 3), 2.0);
+    EXPECT_DOUBLE_EQ(q.quadratic(3, 1), 2.0);
+}
+
+TEST(QuboModel, DiagonalFoldsIntoLinear)
+{
+    QuboModel q;
+    q.addQuadratic(2, 2, 5.0);
+    EXPECT_DOUBLE_EQ(q.linear(2), 5.0);
+    EXPECT_DOUBLE_EQ(q.quadratic(2, 2), 0.0);
+}
+
+TEST(QuboModel, MaxAbsCoefficients)
+{
+    QuboModel q;
+    q.addLinear(0, -3.0);
+    q.addLinear(1, 2.0);
+    q.addQuadratic(0, 1, -1.5);
+    EXPECT_DOUBLE_EQ(q.maxAbsLinear(), 3.0);
+    EXPECT_DOUBLE_EQ(q.maxAbsQuadratic(), 1.5);
+    EXPECT_DOUBLE_EQ(q.normalizationDivisor(), 1.5);
+}
+
+TEST(QuboModel, NormalizedRespectsHardwareRanges)
+{
+    QuboModel q;
+    q.addLinear(0, -8.0);
+    q.addLinear(1, 3.0);
+    q.addQuadratic(0, 1, 6.0);
+    const QuboModel n = q.normalized();
+    EXPECT_LE(n.maxAbsLinear(), 2.0 + 1e-12);
+    EXPECT_LE(n.maxAbsQuadratic(), 1.0 + 1e-12);
+    // Energies scale uniformly.
+    EXPECT_NEAR(n.energy({true, true}) * q.normalizationDivisor(),
+                q.energy({true, true}), 1e-12);
+}
+
+TEST(QuboModel, AddScaledCombinesModels)
+{
+    QuboModel a;
+    a.addLinear(0, 1.0);
+    a.addQuadratic(0, 1, 1.0);
+    a.addOffset(1.0);
+    QuboModel b;
+    b.addScaled(a, 2.0);
+    EXPECT_DOUBLE_EQ(b.linear(0), 2.0);
+    EXPECT_DOUBLE_EQ(b.quadratic(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(b.offset(), 2.0);
+}
+
+TEST(IsingModel, FieldAndCouplingEnergy)
+{
+    IsingModel m;
+    m.addField(0, 0.5);
+    m.addCoupling(0, 1, -1.0);
+    m.addOffset(2.0);
+    EXPECT_DOUBLE_EQ(m.energy({1, 1}), 2.0 + 0.5 - 1.0);
+    EXPECT_DOUBLE_EQ(m.energy({-1, 1}), 2.0 - 0.5 + 1.0);
+}
+
+TEST(IsingModel, SelfCouplingFoldsToOffset)
+{
+    IsingModel m;
+    m.addCoupling(1, 1, 3.0);
+    EXPECT_DOUBLE_EQ(m.offset(), 3.0);
+    EXPECT_DOUBLE_EQ(m.coupling(1, 1), 0.0);
+}
+
+TEST(Conversion, QuboIsingEnergiesAgreeExhaustively)
+{
+    Rng rng(55);
+    for (int round = 0; round < 20; ++round) {
+        const int n = 6;
+        QuboModel q(n);
+        q.addOffset(rng.gaussian(0, 2));
+        for (int i = 0; i < n; ++i)
+            q.addLinear(i, rng.gaussian(0, 2));
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j)
+                if (rng.chance(0.5))
+                    q.addQuadratic(i, j, rng.gaussian(0, 2));
+
+        const IsingModel m = quboToIsing(q);
+        for (int pattern = 0; pattern < (1 << n); ++pattern) {
+            std::vector<bool> x(n);
+            std::vector<std::int8_t> s(n);
+            for (int i = 0; i < n; ++i) {
+                x[i] = (pattern >> i) & 1;
+                s[i] = x[i] ? 1 : -1;
+            }
+            ASSERT_NEAR(q.energy(x), m.energy(s), 1e-9)
+                << "round " << round << " pattern " << pattern;
+        }
+    }
+}
+
+TEST(Conversion, SpinBitRoundTrip)
+{
+    const std::vector<bool> x{true, false, true};
+    EXPECT_EQ(spinsToBits(bitsToSpins(x)), x);
+    const std::vector<std::int8_t> s{1, -1, -1};
+    EXPECT_EQ(bitsToSpins(spinsToBits(s)), s);
+}
+
+TEST(PairKey, CanonicalizesOrderAndHashes)
+{
+    PairKey a(2, 7), b(7, 2);
+    EXPECT_EQ(a.packed, b.packed);
+    EXPECT_EQ(a.first(), 2);
+    EXPECT_EQ(a.second(), 7);
+    PairKeyHash h;
+    EXPECT_EQ(h(a), h(b));
+}
+
+} // namespace
+} // namespace hyqsat::qubo

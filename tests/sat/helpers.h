@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for the sat-layer tests: small random CNF
+ * generation independent of the gen module (so solver correctness is
+ * not validated with the code under test elsewhere).
+ */
+
+#ifndef HYQSAT_TESTS_SAT_HELPERS_H
+#define HYQSAT_TESTS_SAT_HELPERS_H
+
+#include "sat/cnf.h"
+#include "util/rng.h"
+
+namespace hyqsat::sat::testing {
+
+/** Uniform random k-SAT instance with distinct variables per clause. */
+inline Cnf
+randomCnf(int num_vars, int num_clauses, int k, Rng &rng)
+{
+    Cnf cnf(num_vars);
+    for (int i = 0; i < num_clauses; ++i) {
+        LitVec clause;
+        while (static_cast<int>(clause.size()) < k) {
+            const Var v = static_cast<Var>(rng.below(num_vars));
+            bool fresh = true;
+            for (Lit p : clause)
+                fresh &= (p.var() != v);
+            if (fresh)
+                clause.push_back(mkLit(v, rng.chance(0.5)));
+        }
+        cnf.addClause(clause);
+    }
+    return cnf;
+}
+
+} // namespace hyqsat::sat::testing
+
+#endif // HYQSAT_TESTS_SAT_HELPERS_H

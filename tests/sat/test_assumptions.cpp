@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sat/brute_force.h"
+#include "sat/solver.h"
+#include "tests/sat/helpers.h"
+
+namespace hyqsat::sat {
+namespace {
+
+TEST(Assumptions, SatUnderConsistentAssumptions)
+{
+    Solver s;
+    const Var a = s.newVar();
+    const Var b = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(a), mkLit(b)}));
+    ASSERT_TRUE(s.solveWithAssumptions({mkLit(a)}).isTrue());
+    EXPECT_TRUE(s.model()[a].isTrue());
+}
+
+TEST(Assumptions, UnsatUnderContradictingAssumption)
+{
+    Solver s;
+    const Var a = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(a)}));
+    const lbool r = s.solveWithAssumptions({mkLit(a, true)});
+    ASSERT_TRUE(r.isFalse());
+    // The final conflict blames the assumption.
+    ASSERT_EQ(s.finalConflict().size(), 1u);
+    EXPECT_EQ(s.finalConflict()[0], mkLit(a));
+}
+
+TEST(Assumptions, ConflictNamesOnlyRelevantAssumptions)
+{
+    // x0 -> x1; assuming {x2, x0, ~x1} is inconsistent and the core
+    // must not include the irrelevant x2.
+    Solver s;
+    for (int i = 0; i < 3; ++i)
+        s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(0, true), mkLit(1)}));
+    const lbool r = s.solveWithAssumptions(
+        {mkLit(2), mkLit(0), mkLit(1, true)});
+    ASSERT_TRUE(r.isFalse());
+    const auto &core = s.finalConflict();
+    for (Lit p : core)
+        EXPECT_NE(p.var(), 2) << "irrelevant assumption in core";
+    EXPECT_GE(core.size(), 1u);
+}
+
+TEST(Assumptions, IncrementalReuseAcrossCalls)
+{
+    // One solver instance, multiple queries with different
+    // assumptions: learnt clauses persist, results stay correct.
+    Solver s;
+    const Var a = s.newVar();
+    const Var b = s.newVar();
+    const Var c = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(a), mkLit(b)}));
+    ASSERT_TRUE(s.addClause({mkLit(b, true), mkLit(c)}));
+
+    EXPECT_TRUE(s.solveWithAssumptions({mkLit(a, true)}).isTrue());
+    EXPECT_TRUE(s.model()[b].isTrue());
+    EXPECT_TRUE(s.model()[c].isTrue());
+
+    EXPECT_TRUE(
+        s.solveWithAssumptions({mkLit(b, true)}).isTrue());
+    EXPECT_TRUE(s.model()[a].isTrue());
+
+    EXPECT_TRUE(s.solveWithAssumptions(
+                     {mkLit(a, true), mkLit(b, true)})
+                    .isFalse());
+
+    // Plain solve still works after assumption queries.
+    EXPECT_TRUE(s.solve().isTrue());
+}
+
+TEST(Assumptions, AgreesWithUnitInjectionOnRandomInstances)
+{
+    // Solving F under assumption l must match solving F + unit l.
+    Rng rng(5);
+    for (int round = 0; round < 15; ++round) {
+        const Cnf cnf = testing::randomCnf(12, 50, 3, rng);
+        const Lit assumption =
+            mkLit(static_cast<Var>(rng.below(12)), rng.chance(0.5));
+
+        Solver with_assumption;
+        ASSERT_TRUE(with_assumption.loadCnf(cnf));
+        const lbool via_assume =
+            with_assumption.solveWithAssumptions({assumption});
+
+        Cnf strengthened = cnf;
+        strengthened.addClause(assumption);
+        const bool expected =
+            bruteForceSolve(strengthened).satisfiable;
+        ASSERT_FALSE(via_assume.isUndef());
+        EXPECT_EQ(via_assume.isTrue(), expected) << "round " << round;
+        if (via_assume.isTrue()) {
+            auto model = with_assumption.boolModel();
+            EXPECT_TRUE(strengthened.eval(model));
+        }
+    }
+}
+
+TEST(Assumptions, CoreIsActuallyContradictory)
+{
+    // Re-solving under only the core assumptions must stay UNSAT.
+    Rng rng(9);
+    int checked = 0;
+    for (int round = 0; round < 30 && checked < 5; ++round) {
+        const Cnf cnf = testing::randomCnf(12, 50, 3, rng);
+        LitVec assumptions;
+        for (Var v = 0; v < 6; ++v)
+            assumptions.push_back(mkLit(v, rng.chance(0.5)));
+        Solver s;
+        ASSERT_TRUE(s.loadCnf(cnf));
+        if (!s.solveWithAssumptions(assumptions).isFalse())
+            continue;
+        LitVec core = s.finalConflict();
+        for (Lit &p : core)
+            p = ~p; // conflict clause literals are negated
+        Solver again;
+        ASSERT_TRUE(again.loadCnf(cnf));
+        EXPECT_TRUE(again.solveWithAssumptions(core).isFalse())
+            << "round " << round;
+        ++checked;
+    }
+}
+
+TEST(Assumptions, EmptyAssumptionsEqualsPlainSolve)
+{
+    Rng rng(11);
+    const Cnf cnf = testing::randomCnf(15, 63, 3, rng);
+    Solver a, b;
+    ASSERT_TRUE(a.loadCnf(cnf));
+    ASSERT_TRUE(b.loadCnf(cnf));
+    EXPECT_EQ(a.solve().isTrue(),
+              b.solveWithAssumptions({}).isTrue());
+}
+
+} // namespace
+} // namespace hyqsat::sat

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "sat/brute_force.h"
+
+namespace hyqsat::sat {
+namespace {
+
+TEST(BruteForce, EmptyFormulaSatisfiable)
+{
+    Cnf cnf(0);
+    const auto r = bruteForceSolve(cnf);
+    EXPECT_TRUE(r.satisfiable);
+}
+
+TEST(BruteForce, SingleUnit)
+{
+    Cnf cnf(1);
+    cnf.addClause(mkLit(0));
+    const auto r = bruteForceSolve(cnf);
+    ASSERT_TRUE(r.satisfiable);
+    EXPECT_TRUE(r.model[0]);
+}
+
+TEST(BruteForce, ContradictionUnsatisfiable)
+{
+    Cnf cnf(1);
+    cnf.addClause(mkLit(0));
+    cnf.addClause(mkLit(0, true));
+    EXPECT_FALSE(bruteForceSolve(cnf).satisfiable);
+}
+
+TEST(BruteForce, ModelSatisfiesFormula)
+{
+    Cnf cnf(3);
+    cnf.addClause(mkLit(0), mkLit(1, true));
+    cnf.addClause(mkLit(1), mkLit(2, true));
+    cnf.addClause(mkLit(2));
+    const auto r = bruteForceSolve(cnf);
+    ASSERT_TRUE(r.satisfiable);
+    EXPECT_TRUE(cnf.eval(r.model));
+}
+
+TEST(BruteForce, CountsAllModels)
+{
+    // x0 v x1 has exactly 3 models over 2 variables.
+    Cnf cnf(2);
+    cnf.addClause(mkLit(0), mkLit(1));
+    const auto r = bruteForceSolve(cnf, /*count_all=*/true);
+    EXPECT_EQ(r.num_models, 3u);
+}
+
+TEST(BruteForce, FreeVariablesMultiplyModelCount)
+{
+    // Unit x0 with one free variable: 2 models.
+    Cnf cnf(2);
+    cnf.addClause(mkLit(0));
+    const auto r = bruteForceSolve(cnf, true);
+    EXPECT_EQ(r.num_models, 2u);
+}
+
+TEST(BruteForce, MinViolatedZeroIffSatisfiable)
+{
+    Cnf sat(2);
+    sat.addClause(mkLit(0), mkLit(1));
+    EXPECT_EQ(bruteForceMinViolated(sat), 0);
+
+    Cnf unsat(1);
+    unsat.addClause(mkLit(0));
+    unsat.addClause(mkLit(0, true));
+    EXPECT_EQ(bruteForceMinViolated(unsat), 1);
+}
+
+TEST(BruteForce, MinViolatedCountsBestAssignment)
+{
+    // Three pairwise-contradicting units on one variable: best
+    // assignment violates exactly 1 (x0) or 2 (~x0 twice).
+    Cnf cnf(1);
+    cnf.addClause(mkLit(0));
+    cnf.addClause(mkLit(0, true));
+    cnf.addClause(mkLit(0, true));
+    EXPECT_EQ(bruteForceMinViolated(cnf), 1);
+}
+
+} // namespace
+} // namespace hyqsat::sat

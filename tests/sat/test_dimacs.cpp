@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.h"
+#include "tests/sat/helpers.h"
+
+namespace hyqsat::sat {
+namespace {
+
+TEST(Dimacs, ParsesMinimalFormula)
+{
+    const auto cnf = parseDimacsString(
+        "p cnf 3 2\n1 -2 3 0\n-1 2 0\n");
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->numVars(), 3);
+    EXPECT_EQ(cnf->numClauses(), 2);
+    EXPECT_EQ(cnf->clause(0)[0], mkLit(0, false));
+    EXPECT_EQ(cnf->clause(0)[1], mkLit(1, true));
+    EXPECT_EQ(cnf->clause(1)[0], mkLit(0, true));
+}
+
+TEST(Dimacs, SkipsCommentsAnywhere)
+{
+    const auto cnf = parseDimacsString(
+        "c a comment\np cnf 2 1\nc mid comment\n1 2 0\nc trailing\n");
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->numClauses(), 1);
+}
+
+TEST(Dimacs, SkipsSatlibPercentTrailer)
+{
+    const auto cnf = parseDimacsString(
+        "p cnf 2 1\n1 2 0\n%\n0\n");
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->numClauses(), 1);
+    EXPECT_EQ(cnf->clause(0).size(), 2u);
+}
+
+TEST(Dimacs, ClauseSpanningMultipleLines)
+{
+    const auto cnf = parseDimacsString("p cnf 3 1\n1\n2\n3 0\n");
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->numClauses(), 1);
+    EXPECT_EQ(cnf->clause(0).size(), 3u);
+}
+
+TEST(Dimacs, MissingHeaderRejected)
+{
+    EXPECT_FALSE(parseDimacsString("1 2 0\n").has_value());
+}
+
+TEST(Dimacs, MalformedHeaderRejected)
+{
+    EXPECT_FALSE(parseDimacsString("p wnf 2 1\n1 2 0\n").has_value());
+    EXPECT_FALSE(parseDimacsString("p cnf x y\n1 2 0\n").has_value());
+}
+
+TEST(Dimacs, GarbageTokenRejected)
+{
+    EXPECT_FALSE(
+        parseDimacsString("p cnf 2 1\n1 banana 0\n").has_value());
+}
+
+TEST(Dimacs, HeaderClauseCountMismatchTolerated)
+{
+    const auto cnf =
+        parseDimacsString("p cnf 2 5\n1 2 0\n"); // says 5, has 1
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->numClauses(), 1);
+}
+
+TEST(Dimacs, FinalClauseWithoutTerminatorAccepted)
+{
+    const auto cnf = parseDimacsString("p cnf 2 1\n1 2\n");
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->numClauses(), 1);
+}
+
+TEST(Dimacs, VariablesBeyondHeaderGrowCount)
+{
+    const auto cnf = parseDimacsString("p cnf 1 1\n1 5 0\n");
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->numVars(), 5);
+}
+
+TEST(Dimacs, RoundTripPreservesFormula)
+{
+    Rng rng(7);
+    const Cnf original = testing::randomCnf(10, 30, 3, rng);
+    const auto parsed = parseDimacsString(toDimacsString(original));
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->numClauses(), original.numClauses());
+    EXPECT_EQ(parsed->numVars(), original.numVars());
+    for (int i = 0; i < original.numClauses(); ++i)
+        EXPECT_EQ(parsed->clause(i), original.clause(i));
+}
+
+TEST(Dimacs, FileRoundTrip)
+{
+    Rng rng(11);
+    const Cnf original = testing::randomCnf(6, 12, 3, rng);
+    const std::string path = ::testing::TempDir() + "/roundtrip.cnf";
+    writeDimacsFile(original, path);
+    const auto parsed = parseDimacsFile(path);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->numClauses(), original.numClauses());
+}
+
+TEST(Dimacs, NameEmittedAsComment)
+{
+    Cnf cnf(1);
+    cnf.setName("instance-7");
+    cnf.addClause(mkLit(0));
+    const auto text = toDimacsString(cnf);
+    EXPECT_NE(text.find("c instance-7"), std::string::npos);
+}
+
+} // namespace
+} // namespace hyqsat::sat

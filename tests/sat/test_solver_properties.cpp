@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parameterized property tests: the CDCL solver must agree with the
+ * brute-force reference on satisfiability across sweeps of instance
+ * shapes, options and seeds, and returned models must verify.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sat/brute_force.h"
+#include "sat/dimacs.h"
+#include "sat/solver.h"
+#include "tests/sat/helpers.h"
+
+namespace hyqsat::sat {
+namespace {
+
+struct SweepParam
+{
+    int num_vars;
+    int num_clauses;
+    int k;
+    Branching branching;
+    bool ccmin;
+    bool phase_saving;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    const auto &p = info.param;
+    std::string name = "v" + std::to_string(p.num_vars) + "_c" +
+                       std::to_string(p.num_clauses) + "_k" +
+                       std::to_string(p.k);
+    name += p.branching == Branching::VSIDS  ? "_vsids"
+            : p.branching == Branching::CHB ? "_chb"
+                                            : "_rand";
+    name += p.ccmin ? "_ccmin" : "_nomin";
+    name += p.phase_saving ? "_phase" : "_nophase";
+    return name;
+}
+
+class SolverAgreesWithBruteForce
+    : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(SolverAgreesWithBruteForce, OnRandomInstances)
+{
+    const auto &p = GetParam();
+    Rng rng(1000 + p.num_vars * 7 + p.num_clauses);
+    for (int round = 0; round < 25; ++round) {
+        Cnf cnf = testing::randomCnf(p.num_vars, p.num_clauses, p.k, rng);
+        const bool expected = bruteForceSolve(cnf).satisfiable;
+
+        SolverOptions opts;
+        opts.branching = p.branching;
+        opts.ccmin = p.ccmin;
+        opts.phase_saving = p.phase_saving;
+        opts.seed = 42 + round;
+        Solver s(opts);
+        ASSERT_TRUE(s.loadCnf(cnf) || !expected);
+        const lbool got = s.okay() ? s.solve() : l_False;
+        ASSERT_FALSE(got.isUndef());
+        ASSERT_EQ(got.isTrue(), expected)
+            << "round " << round << "\n"
+            << toDimacsString(cnf);
+        if (got.isTrue())
+            EXPECT_TRUE(cnf.eval(s.boolModel()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverAgreesWithBruteForce,
+    ::testing::Values(
+        // Under-constrained, critically constrained and
+        // over-constrained 3-SAT.
+        SweepParam{10, 20, 3, Branching::VSIDS, true, true},
+        SweepParam{12, 51, 3, Branching::VSIDS, true, true},
+        SweepParam{12, 90, 3, Branching::VSIDS, true, true},
+        SweepParam{14, 60, 3, Branching::VSIDS, true, true},
+        // 2-SAT and long-clause shapes.
+        SweepParam{12, 30, 2, Branching::VSIDS, true, true},
+        SweepParam{10, 24, 4, Branching::VSIDS, true, true},
+        // Heuristic variants must stay sound.
+        SweepParam{12, 51, 3, Branching::CHB, true, true},
+        SweepParam{12, 51, 3, Branching::Random, true, true},
+        SweepParam{12, 51, 3, Branching::VSIDS, false, true},
+        SweepParam{12, 51, 3, Branching::VSIDS, true, false},
+        SweepParam{12, 51, 3, Branching::CHB, false, false}),
+    paramName);
+
+class SolverSeedSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolverSeedSweep, DeterministicPerSeed)
+{
+    Rng rng(GetParam());
+    Cnf cnf = testing::randomCnf(30, 128, 3, rng);
+
+    SolverOptions opts;
+    opts.seed = GetParam();
+    Solver a(opts), b(opts);
+    ASSERT_TRUE(a.loadCnf(cnf));
+    ASSERT_TRUE(b.loadCnf(cnf));
+    const lbool ra = a.solve();
+    const lbool rb = b.solve();
+    EXPECT_EQ(ra.isTrue(), rb.isTrue());
+    EXPECT_EQ(a.stats().decisions, b.stats().decisions);
+    EXPECT_EQ(a.stats().conflicts, b.stats().conflicts);
+}
+
+TEST_P(SolverSeedSweep, UnsatCoreInstancesStayUnsat)
+{
+    // XOR-like chain forcing contradiction: x1; x_i -> x_{i+1};
+    // ~x_n. Any solver configuration must refute it.
+    const int n = 8 + GetParam() % 5;
+    Solver s;
+    for (int i = 0; i < n; ++i)
+        s.newVar();
+    bool ok = s.addClause({mkLit(0)});
+    for (int i = 0; i + 1 < n && ok; ++i)
+        ok = s.addClause({mkLit(i, true), mkLit(i + 1)});
+    if (ok)
+        ok = s.addClause({mkLit(n - 1, true)});
+    EXPECT_TRUE(!ok || s.solve().isFalse());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverSeedSweep,
+                         ::testing::Range(1, 11));
+
+} // namespace
+} // namespace hyqsat::sat

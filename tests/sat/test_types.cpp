@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sat/types.h"
+
+namespace hyqsat::sat {
+namespace {
+
+TEST(Lit, PackingRoundTrips)
+{
+    const Lit p = mkLit(5, false);
+    EXPECT_EQ(p.var(), 5);
+    EXPECT_FALSE(p.sign());
+    const Lit q = mkLit(5, true);
+    EXPECT_EQ(q.var(), 5);
+    EXPECT_TRUE(q.sign());
+}
+
+TEST(Lit, NegationFlipsSignOnly)
+{
+    const Lit p = mkLit(3, false);
+    EXPECT_EQ((~p).var(), 3);
+    EXPECT_TRUE((~p).sign());
+    EXPECT_EQ(~~p, p);
+}
+
+TEST(Lit, XorWithBool)
+{
+    const Lit p = mkLit(2, false);
+    EXPECT_EQ(p ^ false, p);
+    EXPECT_EQ(p ^ true, ~p);
+}
+
+TEST(Lit, OrderingGroupsByVariable)
+{
+    EXPECT_LT(mkLit(0, false), mkLit(0, true));
+    EXPECT_LT(mkLit(0, true), mkLit(1, false));
+}
+
+TEST(Lit, DimacsRoundTrip)
+{
+    for (int d : {1, -1, 7, -42}) {
+        EXPECT_EQ(toDimacs(fromDimacs(d)), d);
+    }
+    EXPECT_EQ(fromDimacs(3).var(), 2);
+    EXPECT_FALSE(fromDimacs(3).sign());
+    EXPECT_TRUE(fromDimacs(-3).sign());
+}
+
+TEST(Lit, UndefIsDistinct)
+{
+    EXPECT_NE(lit_Undef, mkLit(0, false));
+    EXPECT_NE(lit_Undef, mkLit(0, true));
+}
+
+TEST(Lit, Hashable)
+{
+    std::unordered_set<Lit> set;
+    set.insert(mkLit(1, false));
+    set.insert(mkLit(1, true));
+    set.insert(mkLit(1, false));
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Lbool, TruthTable)
+{
+    EXPECT_TRUE(l_True.isTrue());
+    EXPECT_TRUE(l_False.isFalse());
+    EXPECT_TRUE(l_Undef.isUndef());
+    EXPECT_NE(l_True, l_False);
+    EXPECT_NE(l_True, l_Undef);
+}
+
+TEST(Lbool, NegationPreservesUndef)
+{
+    EXPECT_EQ(~l_True, l_False);
+    EXPECT_EQ(~l_False, l_True);
+    EXPECT_EQ(~l_Undef, l_Undef);
+}
+
+TEST(Lbool, XorWithBool)
+{
+    EXPECT_EQ(l_True ^ true, l_False);
+    EXPECT_EQ(l_True ^ false, l_True);
+    EXPECT_EQ(l_Undef ^ true, l_Undef);
+}
+
+} // namespace
+} // namespace hyqsat::sat

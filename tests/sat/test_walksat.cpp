@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "sat/brute_force.h"
+#include "sat/walksat.h"
+#include "tests/sat/helpers.h"
+
+namespace hyqsat::sat {
+namespace {
+
+TEST(WalkSat, SolvesTrivialUnit)
+{
+    Cnf cnf(1);
+    cnf.addClause(mkLit(0));
+    const auto r = walkSat(cnf);
+    ASSERT_TRUE(r.satisfiable);
+    EXPECT_TRUE(r.model[0]);
+}
+
+TEST(WalkSat, ModelSatisfiesFormula)
+{
+    Rng rng(3);
+    Cnf cnf = testing::randomCnf(30, 90, 3, rng);
+    const auto r = walkSat(cnf);
+    if (r.satisfiable)
+        EXPECT_TRUE(cnf.eval(r.model));
+}
+
+TEST(WalkSat, FindsModelsOfEasyInstances)
+{
+    Rng rng(5);
+    int solved = 0;
+    for (int round = 0; round < 10; ++round) {
+        // Ratio 2.0: overwhelmingly satisfiable and easy.
+        Cnf cnf = testing::randomCnf(40, 80, 3, rng);
+        const auto r = walkSat(cnf);
+        solved += r.satisfiable;
+        if (r.satisfiable)
+            EXPECT_TRUE(cnf.eval(r.model));
+    }
+    EXPECT_GE(solved, 8);
+}
+
+TEST(WalkSat, GivesUpOnUnsatisfiable)
+{
+    Cnf cnf(1);
+    cnf.addClause(mkLit(0));
+    cnf.addClause(mkLit(0, true));
+    WalkSatOptions opts;
+    opts.max_flips = 10'000;
+    opts.max_tries = 2;
+    const auto r = walkSat(cnf, opts);
+    EXPECT_FALSE(r.satisfiable);
+    EXPECT_GT(r.flips, 0u);
+}
+
+TEST(WalkSat, EmptyClauseHandledGracefully)
+{
+    Cnf cnf(1);
+    cnf.addClause(LitVec{});
+    const auto r = walkSat(cnf);
+    EXPECT_FALSE(r.satisfiable);
+    EXPECT_EQ(r.flips, 0u);
+}
+
+TEST(WalkSat, DeterministicPerSeed)
+{
+    Rng rng(7);
+    Cnf cnf = testing::randomCnf(25, 80, 3, rng);
+    WalkSatOptions opts;
+    opts.seed = 123;
+    const auto a = walkSat(cnf, opts);
+    const auto b = walkSat(cnf, opts);
+    EXPECT_EQ(a.satisfiable, b.satisfiable);
+    EXPECT_EQ(a.flips, b.flips);
+}
+
+TEST(WalkSat, ZeroNoiseIsPureGreedy)
+{
+    Rng rng(9);
+    Cnf cnf = testing::randomCnf(20, 40, 3, rng);
+    WalkSatOptions opts;
+    opts.noise = 0.0;
+    const auto r = walkSat(cnf, opts);
+    if (r.satisfiable)
+        EXPECT_TRUE(cnf.eval(r.model));
+}
+
+} // namespace
+} // namespace hyqsat::sat

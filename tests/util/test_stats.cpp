@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace hyqsat {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.geomean(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue)
+{
+    OnlineStats s;
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(OnlineStats, MeanAndVariance)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(OnlineStats, GeomeanMatchesClosedForm)
+{
+    OnlineStats s;
+    s.add(1.0);
+    s.add(4.0);
+    s.add(16.0);
+    EXPECT_NEAR(s.geomean(), 4.0, 1e-12);
+}
+
+TEST(OnlineStats, GeomeanZeroWhenAnyValueZero)
+{
+    OnlineStats s;
+    s.add(3.0);
+    s.add(0.0);
+    EXPECT_EQ(s.geomean(), 0.0);
+}
+
+TEST(OnlineStats, MinMaxAndSum)
+{
+    OnlineStats s;
+    for (double x : {3.0, -1.0, 7.5})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+    EXPECT_DOUBLE_EQ(s.sum(), 9.5);
+}
+
+TEST(Histogram, BinsAndCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bins(), 5u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Histogram, AddPlacesInCorrectBin)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(4.2);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(1e9);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(-1.0, 1.0, 4);
+    for (double x : {-0.9, -0.2, 0.3, 0.9, 0.95})
+        h.add(x);
+    double sum = 0;
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        sum += h.binFraction(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FreeFunctions, GeomeanMeanVarianceMedian)
+{
+    const std::vector<double> v{1.0, 2.0, 4.0, 8.0};
+    EXPECT_NEAR(geomean(v), std::pow(1.0 * 2.0 * 4.0 * 8.0, 0.25), 1e-9);
+    EXPECT_DOUBLE_EQ(mean(v), 3.75);
+    EXPECT_DOUBLE_EQ(median(v), 3.0);
+    EXPECT_DOUBLE_EQ(median({5.0, 1.0, 9.0}), 5.0);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_NEAR(variance({2.0, 4.0}), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace hyqsat

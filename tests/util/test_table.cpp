@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace hyqsat {
+namespace {
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("caption");
+    t.setHeader({"a", "bb"});
+    t.addRow({"1", "2"});
+    const auto s = t.str();
+    EXPECT_NE(s.find("caption"), std::string::npos);
+    EXPECT_NE(s.find("a"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+    EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign)
+{
+    Table t;
+    t.setHeader({"name", "v"});
+    t.addRow({"x", "10"});
+    t.addRow({"longer", "3"});
+    const auto s = t.str();
+    // Both data rows must place the second column at the same offset.
+    const auto line1 = s.substr(s.find("x"));
+    const auto pos_v1 = line1.find("10");
+    const auto line2 = s.substr(s.find("longer"));
+    const auto pos_v2 = line2.find("3");
+    EXPECT_EQ(pos_v1, pos_v2);
+}
+
+TEST(Table, ShortRowsPadded)
+{
+    Table t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"only"});
+    EXPECT_NO_THROW(t.str());
+}
+
+TEST(Table, SeparatorRendersRule)
+{
+    Table t;
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    const auto s = t.str();
+    // Two rules: one under the header, one explicit.
+    std::size_t rules = 0, pos = 0;
+    while ((pos = s.find("---", pos)) != std::string::npos) {
+        ++rules;
+        pos = s.find('\n', pos);
+    }
+    EXPECT_EQ(rules, 2u);
+}
+
+TEST(Table, NumFormatsFixedPoint)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, SciFormatsExponent)
+{
+    const auto s = Table::sci(1234.5, 1);
+    EXPECT_NE(s.find("e+03"), std::string::npos);
+}
+
+TEST(Table, EmptyTableRendersWithoutCrashing)
+{
+    Table t;
+    EXPECT_EQ(t.str(), "");
+}
+
+} // namespace
+} // namespace hyqsat

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/timer.h"
+
+namespace hyqsat {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GE(t.millis(), 15.0);
+    EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(Timer, ResetRestartsFromZero)
+{
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    t.reset();
+    EXPECT_LT(t.millis(), 15.0);
+}
+
+TEST(Timer, UnitsAreConsistent)
+{
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const double s = t.seconds();
+    EXPECT_NEAR(t.millis(), s * 1e3, 2.0);
+    EXPECT_NEAR(t.micros(), s * 1e6, 2000.0);
+}
+
+TEST(TimeAccumulator, AddsAndCounts)
+{
+    TimeAccumulator acc;
+    acc.add(0.5);
+    acc.add(0.25);
+    EXPECT_DOUBLE_EQ(acc.seconds(), 0.75);
+    EXPECT_EQ(acc.count(), 2u);
+}
+
+TEST(TimeAccumulator, ScopeAccumulatesOnDestruction)
+{
+    TimeAccumulator acc;
+    {
+        TimeAccumulator::Scope scope(acc);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(acc.seconds(), 0.005);
+    EXPECT_EQ(acc.count(), 1u);
+}
+
+TEST(TimeAccumulator, ClearResets)
+{
+    TimeAccumulator acc;
+    acc.add(1.0);
+    acc.clear();
+    EXPECT_DOUBLE_EQ(acc.seconds(), 0.0);
+    EXPECT_EQ(acc.count(), 0u);
+}
+
+} // namespace
+} // namespace hyqsat
