@@ -45,6 +45,21 @@ instancesFor(const gen::Benchmark &benchmark)
     return std::min(benchmark.default_count, 4);
 }
 
+/**
+ * Backend selection for the whole bench suite: HYQSAT_SAMPLER names
+ * the sampling backend ("sync", "qa", "logical", "sa", "batch",
+ * "async", "async:<backend>") and HYQSAT_PIPELINE_DEPTH sets the
+ * async in-flight depth. Unset keeps the classic blocking loop.
+ */
+inline void
+applySamplerEnv(core::HybridConfig &cfg)
+{
+    if (const char *name = std::getenv("HYQSAT_SAMPLER"))
+        cfg.sampler = name;
+    if (const char *depth = std::getenv("HYQSAT_PIPELINE_DEPTH"))
+        cfg.pipeline_depth = std::max(1, std::atoi(depth));
+}
+
 /** The §VI-B noise-free simulator configuration. */
 inline core::HybridConfig
 noiseFreeConfig(std::uint64_t seed = 0x5eedba5e)
@@ -54,6 +69,7 @@ noiseFreeConfig(std::uint64_t seed = 0x5eedba5e)
     cfg.annealer.greedy_finish = true;
     cfg.annealer.attempts = 2;
     cfg.seed = seed;
+    applySamplerEnv(cfg);
     return cfg;
 }
 
@@ -70,6 +86,7 @@ noisyConfig(std::uint64_t seed = 0x2000aced)
     cfg.annealer.greedy_finish = true;
     cfg.annealer.attempts = 1;
     cfg.seed = seed;
+    applySamplerEnv(cfg);
     return cfg;
 }
 

@@ -6,7 +6,11 @@
  * result in SAT-competition style ("s SATISFIABLE" + "v" lines).
  *
  *   ./build/examples/dimacs_solver problem.cnf [--classic]
- *       [--noisy] [--warmup N]
+ *       [--noisy] [--warmup N] [--sampler=NAME] [--depth N]
+ *
+ * --sampler selects the annealing backend by name (sync, qa,
+ * logical, sa, batch, async, async:<backend>); --depth >= 2 enables
+ * the asynchronous pipeline on any backend.
  */
 
 #include <cstdio>
@@ -23,14 +27,19 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
+        std::string names;
+        for (const auto &n : anneal::samplerNames())
+            names += (names.empty() ? "" : "|") + n;
         std::printf("usage: %s problem.cnf [--classic] [--noisy] "
-                    "[--warmup N]\n",
-                    argv[0]);
+                    "[--warmup N] [--sampler=%s] [--depth N]\n",
+                    argv[0], names.c_str());
         return 2;
     }
     const std::string path = argv[1];
     bool classic = false, noisy = false, preprocess = false;
     std::int64_t warmup = -1;
+    std::string sampler = "sync";
+    int depth = 1;
     for (int i = 2; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--classic"))
             classic = true;
@@ -40,6 +49,12 @@ main(int argc, char **argv)
             preprocess = true;
         else if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
             warmup = std::atoll(argv[++i]);
+        else if (!std::strncmp(argv[i], "--sampler=", 10))
+            sampler = argv[i] + 10;
+        else if (!std::strcmp(argv[i], "--sampler") && i + 1 < argc)
+            sampler = argv[++i];
+        else if (!std::strcmp(argv[i], "--depth") && i + 1 < argc)
+            depth = std::atoi(argv[++i]);
     }
 
     const auto parsed = sat::parseDimacsFile(path);
@@ -84,10 +99,22 @@ main(int argc, char **argv)
             config.annealer.attempts = 2;
         }
         config.warmup_override = warmup;
+        config.sampler = sampler;
+        config.pipeline_depth = std::max(depth, 1);
         core::HybridSolver solver(config);
         result = solver.solve(cnf);
-        std::printf("c %d QA samples over %d warm-up iterations\n",
-                    result.qa_samples, result.warmup_iterations);
+        std::printf("c sampler=%s depth=%d\n", config.sampler.c_str(),
+                    config.pipeline_depth);
+        std::printf("c %d QA samples applied over %d warm-up "
+                    "iterations (%d submitted, %d stale, %d stalls)\n",
+                    result.qa_samples, result.warmup_iterations,
+                    result.qa_submitted, result.qa_stale,
+                    result.time.stalls);
+        std::printf("c QA device %.1f us total, %.1f us blocking, "
+                    "%.1f us in flight\n",
+                    result.time.qa_device_s * 1e6,
+                    result.time.qa_blocking_s * 1e6,
+                    result.time.qa_inflight_s * 1e6);
     }
 
     std::printf("c %llu iterations, %llu conflicts\n",

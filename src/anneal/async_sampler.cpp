@@ -1,0 +1,110 @@
+#include "anneal/async_sampler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/timer.h"
+
+namespace hyqsat::anneal {
+
+AsyncSampler::AsyncSampler(std::unique_ptr<Sampler> inner, Options opts)
+    : inner_(std::move(inner)), opts_(opts)
+{
+    opts_.depth = std::max(opts_.depth, 2);
+    worker_ = std::thread([this] { workerLoop(); });
+}
+
+AsyncSampler::~AsyncSampler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    worker_.join();
+}
+
+std::uint64_t
+AsyncSampler::submit(SampleRequest request)
+{
+    std::uint64_t ticket;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ticket = next_ticket_++;
+        queue_.push_back(Job{ticket, std::move(request)});
+        ++in_flight_;
+        ++uncompleted_;
+    }
+    work_cv_.notify_one();
+    return ticket;
+}
+
+void
+AsyncSampler::poll(std::vector<SampleCompletion> &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_ -= static_cast<int>(done_.size());
+    for (auto &c : done_)
+        out.push_back(std::move(c));
+    done_.clear();
+}
+
+void
+AsyncSampler::wait(std::vector<SampleCompletion> &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock,
+                  [this] { return !done_.empty() || uncompleted_ == 0; });
+    in_flight_ -= static_cast<int>(done_.size());
+    for (auto &c : done_)
+        out.push_back(std::move(c));
+    done_.clear();
+}
+
+int
+AsyncSampler::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_flight_;
+}
+
+void
+AsyncSampler::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] {
+                return shutdown_ || !queue_.empty();
+            });
+            if (shutdown_)
+                return; // pending jobs are abandoned
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+
+        // The inner sampler is synchronous and only ever touched from
+        // this thread, so its Rng needs no locking.
+        Timer timer;
+        AnnealSample sample = inner_->sampleNow(std::move(job.request));
+        const double host_s = timer.seconds();
+        if (opts_.rtt_us > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double,
+                                        std::micro>(opts_.rtt_us));
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            SampleCompletion completion;
+            completion.ticket = job.ticket;
+            completion.sample = std::move(sample);
+            completion.host_seconds = host_s;
+            done_.push_back(std::move(completion));
+            --uncompleted_;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+} // namespace hyqsat::anneal

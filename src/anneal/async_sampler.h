@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Asynchronous pipeline wrapper: runs any inner Sampler on a worker
+ * thread so the hybrid loop can keep iterating while a sample is in
+ * flight. This is the software model of hiding the D-Wave 2000Q's
+ * 130 us sample latency (and, for a future remote QPU client, the
+ * network round trip) inside the CDCL warm-up window.
+ *
+ * One worker thread services a FIFO request queue — a real QPU is a
+ * single serially-scheduled device, so deeper parallelism would
+ * misrepresent it; depth buys pipelining, not concurrency. An
+ * optional modeled round-trip latency is slept on the worker to
+ * emulate a remote device.
+ */
+
+#ifndef HYQSAT_ANNEAL_ASYNC_SAMPLER_H
+#define HYQSAT_ANNEAL_ASYNC_SAMPLER_H
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "anneal/sampler.h"
+
+namespace hyqsat::anneal {
+
+/** Worker-thread pipeline around a synchronous sampler. */
+class AsyncSampler : public Sampler
+{
+  public:
+    struct Options
+    {
+        /** Max in-flight submissions (clamped to >= 2). */
+        int depth = 2;
+
+        /** Modeled network round trip slept per sample (us). */
+        double rtt_us = 0.0;
+    };
+
+    AsyncSampler(std::unique_ptr<Sampler> inner, Options opts);
+    ~AsyncSampler() override;
+
+    const char *name() const override { return "async"; }
+    int capacity() const override { return opts_.depth; }
+    std::uint64_t submit(SampleRequest request) override;
+    void poll(std::vector<SampleCompletion> &out) override;
+    void wait(std::vector<SampleCompletion> &out) override;
+    int inFlight() const override;
+
+    Sampler &inner() { return *inner_; }
+
+  private:
+    struct Job
+    {
+        std::uint64_t ticket;
+        SampleRequest request;
+    };
+
+    void workerLoop();
+
+    std::unique_ptr<Sampler> inner_;
+    Options opts_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_; ///< signals the worker
+    std::condition_variable done_cv_; ///< signals wait()
+    std::deque<Job> queue_;
+    std::vector<SampleCompletion> done_;
+    int in_flight_ = 0;   ///< submitted - harvested
+    int uncompleted_ = 0; ///< submitted - completed
+    std::uint64_t next_ticket_ = 1;
+    bool shutdown_ = false;
+    std::thread worker_;
+};
+
+} // namespace hyqsat::anneal
+
+#endif // HYQSAT_ANNEAL_ASYNC_SAMPLER_H

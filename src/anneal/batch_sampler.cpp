@@ -1,0 +1,125 @@
+#include "anneal/batch_sampler.h"
+
+#include <algorithm>
+
+namespace hyqsat::anneal {
+
+namespace {
+
+/** Distinct, well-separated per-worker seed stream. */
+std::uint64_t
+workerSeed(std::uint64_t base, int index)
+{
+    // Worker 0 keeps the base seed so batch_samples=1 reproduces the
+    // plain QaSampler stream exactly.
+    return base + static_cast<std::uint64_t>(index) *
+                      0x9e3779b97f4a7c15ull;
+}
+
+} // namespace
+
+BatchSampler::BatchSampler(const chimera::ChimeraGraph &graph,
+                           Options opts)
+    : opts_(opts)
+{
+    const int n = std::clamp(opts_.samples, 1, 16);
+    opts_.samples = n;
+    annealers_.reserve(n);
+    results_.resize(n);
+    for (int i = 0; i < n; ++i) {
+        QuantumAnnealer::Options a = opts_.annealer;
+        a.seed = workerSeed(opts_.annealer.seed, i);
+        annealers_.push_back(
+            std::make_unique<QuantumAnnealer>(graph, a));
+    }
+    workers_.reserve(n);
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+BatchSampler::~BatchSampler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+BatchSampler::workerLoop(int index)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const SampleRequest *request = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            request = request_;
+        }
+
+        // Each worker samples with its own annealer (and Rng), so no
+        // state is shared during the round.
+        AnnealSample sample;
+        if (request->use_embedding) {
+            sample = annealers_[index]->sample(*request->problem,
+                                              *request->embedding);
+        } else {
+            sample =
+                annealers_[index]->sampleLogical(*request->problem);
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            results_[index] = std::move(sample);
+            --pending_;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+AnnealSample
+BatchSampler::compute(const SampleRequest &request)
+{
+    const int n = numWorkers();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        request_ = &request;
+        pending_ = n;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] { return pending_ == 0; });
+        request_ = nullptr;
+    }
+
+    // Best clause-space energy wins; the first worker breaks ties so
+    // the result is independent of completion order.
+    int best = 0;
+    for (int i = 1; i < n; ++i) {
+        if (results_[i].clause_energy < results_[best].clause_energy)
+            best = i;
+    }
+    AnnealSample out = results_[best];
+
+    // Device model: N consecutive anneal-readout cycles (the same
+    // schedule sampleMajorityVote charges), regardless of the host
+    // running them in parallel.
+    out.device_time_us = opts_.annealer.timing.sampleTimeUs(n);
+    int breaks = 0;
+    for (const auto &r : results_)
+        breaks += r.chain_breaks;
+    out.chain_breaks = breaks;
+    return out;
+}
+
+} // namespace hyqsat::anneal

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Best-of-N batch sampler: a persistent thread pool where each worker
+ * owns an independently seeded QuantumAnnealer; every submission is
+ * sampled by all workers in parallel and the lowest clause-space
+ * energy wins (ties resolved by worker index for determinism).
+ *
+ * This models a multi-read device schedule — the reported device
+ * time is N consecutive anneal-readout cycles, exactly like
+ * QuantumAnnealer::sampleMajorityVote — while the host-side cost is
+ * amortized across cores.
+ */
+
+#ifndef HYQSAT_ANNEAL_BATCH_SAMPLER_H
+#define HYQSAT_ANNEAL_BATCH_SAMPLER_H
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "anneal/sampler.h"
+
+namespace hyqsat::anneal {
+
+/** Thread-pool best-of-N sampler. */
+class BatchSampler : public SyncSampler
+{
+  public:
+    struct Options
+    {
+        /** Workers = independent seeds raced (clamped to [1, 16]). */
+        int samples = 4;
+
+        QuantumAnnealer::Options annealer;
+    };
+
+    BatchSampler(const chimera::ChimeraGraph &graph, Options opts);
+    ~BatchSampler() override;
+
+    const char *name() const override { return "batch"; }
+
+    int numWorkers() const
+    {
+        return static_cast<int>(annealers_.size());
+    }
+
+  protected:
+    AnnealSample compute(const SampleRequest &request) override;
+
+  private:
+    void workerLoop(int index);
+
+    Options opts_;
+    std::vector<std::unique_ptr<QuantumAnnealer>> annealers_;
+    std::vector<AnnealSample> results_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    const SampleRequest *request_ = nullptr; ///< valid during a round
+    std::uint64_t generation_ = 0;           ///< bumped per round
+    int pending_ = 0;                        ///< workers still sampling
+    bool shutdown_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace hyqsat::anneal
+
+#endif // HYQSAT_ANNEAL_BATCH_SAMPLER_H

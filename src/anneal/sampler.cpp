@@ -1,0 +1,147 @@
+#include "anneal/sampler.h"
+
+#include "anneal/async_sampler.h"
+#include "anneal/batch_sampler.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hyqsat::anneal {
+
+AnnealSample
+Sampler::sampleNow(SampleRequest request)
+{
+    const std::uint64_t ticket = submit(std::move(request));
+    std::vector<SampleCompletion> done;
+    for (;;) {
+        wait(done);
+        for (auto &c : done) {
+            if (c.ticket == ticket)
+                return std::move(c.sample);
+        }
+        if (done.empty() && inFlight() == 0)
+            panic("sampleNow: ticket %llu never completed",
+                  static_cast<unsigned long long>(ticket));
+        done.clear();
+    }
+}
+
+std::uint64_t
+SyncSampler::submit(SampleRequest request)
+{
+    Timer timer;
+    SampleCompletion completion;
+    completion.ticket = next_ticket_++;
+    completion.sample = compute(request);
+    completion.host_seconds = timer.seconds();
+    done_.push_back(std::move(completion));
+    return done_.back().ticket;
+}
+
+void
+SyncSampler::poll(std::vector<SampleCompletion> &out)
+{
+    for (auto &c : done_)
+        out.push_back(std::move(c));
+    done_.clear();
+}
+
+void
+SyncSampler::wait(std::vector<SampleCompletion> &out)
+{
+    poll(out);
+}
+
+QaSampler::QaSampler(const chimera::ChimeraGraph &graph,
+                     QuantumAnnealer::Options opts, bool force_logical)
+    : annealer_(graph, opts), force_logical_(force_logical)
+{
+}
+
+AnnealSample
+QaSampler::compute(const SampleRequest &request)
+{
+    if (force_logical_ || !request.use_embedding)
+        return annealer_.sampleLogical(*request.problem);
+    return annealer_.sample(*request.problem, *request.embedding);
+}
+
+SaDirectSampler::SaDirectSampler(Options opts)
+    : opts_(opts), rng_(opts.seed)
+{
+}
+
+AnnealSample
+SaDirectSampler::compute(const SampleRequest &request)
+{
+    AnnealSample out;
+    out.device_time_us = opts_.timing.sampleTimeUs(1);
+    const qubo::EncodedProblem &problem = *request.problem;
+    const int num_nodes = problem.numNodes();
+    out.node_bits.assign(num_nodes, false);
+    if (num_nodes == 0)
+        return out;
+
+    const qubo::IsingModel logical = quboToIsing(problem.normalized);
+    SaSampler sampler(logical);
+    const SaResult result = sampler.sample(opts_.sa, rng_);
+    out.physical_energy = result.energy;
+    for (int n = 0; n < num_nodes; ++n)
+        out.node_bits[n] = result.spins[n] > 0;
+    out.clause_energy = problem.clauseSpaceEnergy(out.node_bits);
+    out.weighted_energy = problem.objective.energy(out.node_bits);
+    return out;
+}
+
+const std::vector<std::string> &
+samplerNames()
+{
+    static const std::vector<std::string> names = {
+        "sync", "qa", "logical", "sa", "batch", "async",
+    };
+    return names;
+}
+
+std::unique_ptr<Sampler>
+makeSampler(const SamplerSpec &spec, const chimera::ChimeraGraph &graph)
+{
+    const std::string &name = spec.name;
+    if (name == "sync" || name == "qa" || name.empty())
+        return std::make_unique<QaSampler>(graph, spec.annealer);
+    if (name == "logical") {
+        return std::make_unique<QaSampler>(graph, spec.annealer,
+                                           /*force_logical=*/true);
+    }
+    if (name == "sa") {
+        SaDirectSampler::Options opts;
+        opts.sa.sweeps = spec.annealer.noise.sweeps;
+        opts.sa.beta_end = spec.annealer.noise.beta_final;
+        opts.sa.greedy_finish = spec.annealer.greedy_finish;
+        opts.timing = spec.annealer.timing;
+        opts.seed = spec.annealer.seed;
+        return std::make_unique<SaDirectSampler>(opts);
+    }
+    if (name == "batch") {
+        BatchSampler::Options opts;
+        opts.samples = spec.batch_samples;
+        opts.annealer = spec.annealer;
+        return std::make_unique<BatchSampler>(graph, opts);
+    }
+    if (name == "async" || name.rfind("async:", 0) == 0) {
+        SamplerSpec inner_spec = spec;
+        inner_spec.name =
+            name == "async" ? "qa" : name.substr(std::string("async:").size());
+        if (inner_spec.name.rfind("async", 0) == 0)
+            fatal("sampler '%s': async wrappers do not nest", name.c_str());
+        AsyncSampler::Options opts;
+        opts.depth = spec.pipeline_depth;
+        opts.rtt_us = spec.rtt_us;
+        return std::make_unique<AsyncSampler>(
+            makeSampler(inner_spec, graph), opts);
+    }
+    fatal("unknown sampler backend '%s' (known: sync, qa, logical, sa, "
+          "batch, async, async:<backend>)",
+          name.c_str());
+    return nullptr; // unreachable
+}
+
+} // namespace hyqsat::anneal

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Pluggable sampler interface: the contract between the hybrid loop
+ * and whatever device (real or simulated) produces annealing samples.
+ *
+ * The interface is future-style: submit() enqueues an embedded (or
+ * logical) problem and returns a ticket; poll()/wait() harvest
+ * completed samples. Synchronous backends (the default simulated
+ * annealer paths) compute eagerly inside submit(), so a depth-1
+ * caller behaves exactly like a blocking call. Asynchronous backends
+ * (AsyncSampler's worker thread, a future remote QPU client) return
+ * from submit() immediately and complete in the background; the
+ * caller keeps doing CDCL work while a sample is in flight.
+ *
+ * Contract (see DESIGN.md "Sampler backends & async pipeline"):
+ *  - Tickets are issued in strictly increasing order per sampler and
+ *    completions are delivered in submission (FIFO) order.
+ *  - submit() beyond capacity() is allowed but may block or queue;
+ *    callers that must not stall should track in-flight counts and
+ *    stay within capacity().
+ *  - submit()/poll()/wait() must be called from one thread (the
+ *    hybrid loop); implementations handle their own internal
+ *    threading. Each sampler owns its Rng — Rng itself is NOT
+ *    thread-safe and must never be shared across threads.
+ */
+
+#ifndef HYQSAT_ANNEAL_SAMPLER_H
+#define HYQSAT_ANNEAL_SAMPLER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anneal/annealer.h"
+#include "chimera/chimera.h"
+#include "embed/embedding.h"
+#include "qubo/encoder.h"
+#include "util/rng.h"
+
+namespace hyqsat::anneal {
+
+/**
+ * One sampling job. The request holds shared (non-null) references to
+ * the problem and embedding so the submitter may rebuild its clause
+ * queue (after a conflict) while the job is still in flight, without
+ * deep-copying the encoded problem into every submission — the hybrid
+ * loop aliases its cached frontend result.
+ */
+struct SampleRequest
+{
+    std::shared_ptr<const qubo::EncodedProblem> problem;
+    std::shared_ptr<const embed::Embedding> embedding;
+
+    /** Sample through the embedding (false = ideal logical device). */
+    bool use_embedding = true;
+};
+
+/** A finished job, correlated to its submission by ticket. */
+struct SampleCompletion
+{
+    std::uint64_t ticket = 0;
+    AnnealSample sample;
+
+    /**
+     * Host CPU cost of simulating the device for this job (the
+     * analogue of TimeBreakdown::qa_host_s; excluded from modeled
+     * end-to-end time).
+     */
+    double host_seconds = 0.0;
+};
+
+/** Abstract sampling backend. */
+class Sampler
+{
+  public:
+    virtual ~Sampler() = default;
+
+    /** Stable backend name (the --sampler= spelling). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Maximum useful number of in-flight submissions: 1 for
+     * synchronous backends, the pipeline depth for async ones.
+     */
+    virtual int capacity() const { return 1; }
+
+    /** Enqueue a job; returns its ticket. */
+    virtual std::uint64_t submit(SampleRequest request) = 0;
+
+    /** Harvest completed jobs without blocking (appends to @p out). */
+    virtual void poll(std::vector<SampleCompletion> &out) = 0;
+
+    /**
+     * Block until at least one job completes, then harvest every
+     * completed job. Returns immediately when nothing is in flight.
+     */
+    virtual void wait(std::vector<SampleCompletion> &out) = 0;
+
+    /** Jobs submitted but not yet harvested. */
+    virtual int inFlight() const = 0;
+
+    /** Convenience: submit one job and block for its sample. */
+    AnnealSample sampleNow(SampleRequest request);
+};
+
+/**
+ * Base for synchronous backends: compute() runs eagerly inside
+ * submit() and the completion is harvested by the next poll().
+ */
+class SyncSampler : public Sampler
+{
+  public:
+    std::uint64_t submit(SampleRequest request) final;
+    void poll(std::vector<SampleCompletion> &out) final;
+    void wait(std::vector<SampleCompletion> &out) final;
+    int inFlight() const final
+    {
+        return static_cast<int>(done_.size());
+    }
+
+  protected:
+    /** One blocking sample. */
+    virtual AnnealSample compute(const SampleRequest &request) = 0;
+
+  private:
+    std::vector<SampleCompletion> done_;
+    std::uint64_t next_ticket_ = 1;
+};
+
+/**
+ * The QuantumAnnealer device model behind the Sampler interface —
+ * the default backend ("qa"; "sync" is an alias used when the
+ * depth-1 behavior is the point). force_logical pins the ideal
+ * all-to-all device regardless of the request ("logical").
+ */
+class QaSampler : public SyncSampler
+{
+  public:
+    QaSampler(const chimera::ChimeraGraph &graph,
+              QuantumAnnealer::Options opts, bool force_logical = false);
+
+    const char *name() const override
+    {
+        return force_logical_ ? "logical" : "qa";
+    }
+
+    QuantumAnnealer &annealer() { return annealer_; }
+
+  protected:
+    AnnealSample compute(const SampleRequest &request) override;
+
+  private:
+    QuantumAnnealer annealer_;
+    bool force_logical_;
+};
+
+/**
+ * Plain simulated annealing over the logical Ising model ("sa"):
+ * no topology, no control noise, no chains. The quality ceiling the
+ * device emulation is compared against.
+ */
+class SaDirectSampler : public SyncSampler
+{
+  public:
+    struct Options
+    {
+        SaOptions sa;
+        TimingModel timing; ///< still reports modeled device time
+        std::uint64_t seed = 0x5eed0f2a;
+    };
+
+    explicit SaDirectSampler(Options opts);
+
+    const char *name() const override { return "sa"; }
+
+  protected:
+    AnnealSample compute(const SampleRequest &request) override;
+
+  private:
+    Options opts_;
+    Rng rng_;
+};
+
+/**
+ * Everything makeSampler() needs to build a backend by name:
+ *   "sync" / "qa"  QuantumAnnealer device model (depth 1)
+ *   "logical"      ideal all-to-all device (no embedding)
+ *   "sa"           plain SA over the logical Ising model
+ *   "batch"        thread-pool best-of-N QuantumAnnealer
+ *   "async"        AsyncSampler-wrapped "qa" (depth >= 2)
+ *   "async:<x>"    AsyncSampler wrapping backend <x>
+ */
+struct SamplerSpec
+{
+    std::string name = "sync";
+    QuantumAnnealer::Options annealer;
+
+    /** Independent seeds raced by the "batch" backend. */
+    int batch_samples = 4;
+
+    /** In-flight depth for async backends (clamped to >= 2). */
+    int pipeline_depth = 2;
+
+    /** Modeled network round-trip added per async sample (us). */
+    double rtt_us = 0.0;
+};
+
+/** Build a backend by name; fatal() on an unknown name. */
+std::unique_ptr<Sampler> makeSampler(const SamplerSpec &spec,
+                                     const chimera::ChimeraGraph &graph);
+
+/** Known backend names (for --help strings). */
+const std::vector<std::string> &samplerNames();
+
+} // namespace hyqsat::anneal
+
+#endif // HYQSAT_ANNEAL_SAMPLER_H

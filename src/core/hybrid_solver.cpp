@@ -2,13 +2,37 @@
 
 #include <cmath>
 
+#include "core/pipeline.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace hyqsat::core {
 
-HybridSolver::HybridSolver(const HybridConfig &config) : config_(config)
+HybridSolver::HybridSolver(const HybridConfig &config)
+    : config_(config),
+      graph_(config.chimera_rows, config.chimera_cols,
+             config.chimera_shore)
 {
+}
+
+anneal::SamplerSpec
+HybridSolver::samplerSpec() const
+{
+    anneal::SamplerSpec spec;
+    spec.name = config_.sampler;
+    spec.annealer = config_.annealer;
+    spec.batch_samples = config_.batch_samples;
+    spec.pipeline_depth = std::max(config_.pipeline_depth, 2);
+    spec.rtt_us = config_.rtt_us;
+    // A depth >= 2 turns any named synchronous backend into an async
+    // pipeline; spelling "async" works too and defaults to depth 2.
+    if (config_.pipeline_depth >= 2 &&
+        spec.name.rfind("async", 0) != 0) {
+        spec.name = spec.name.empty() || spec.name == "sync"
+                        ? "async"
+                        : "async:" + spec.name;
+    }
+    return spec;
 }
 
 std::uint64_t
@@ -35,12 +59,12 @@ HybridSolver::solve(const sat::Cnf &formula)
               formula.maxClauseSize());
     }
 
-    const chimera::ChimeraGraph graph(config_.chimera_rows,
-                                      config_.chimera_cols,
-                                      config_.chimera_shore);
-    Frontend frontend(graph, config_.frontend);
+    Frontend frontend(graph_, config_.frontend);
     Backend backend(config_.backend);
-    anneal::QuantumAnnealer annealer(graph, config_.annealer);
+    // A fresh sampler per solve keeps repeated solves reproducible
+    // (the backend Rng streams restart from the configured seed).
+    const std::unique_ptr<anneal::Sampler> sampler =
+        anneal::makeSampler(samplerSpec(), graph_);
     Rng rng(config_.seed);
 
     sat::Solver solver(config_.solver);
@@ -64,61 +88,67 @@ HybridSolver::solve(const sat::Cnf &formula)
 
     // The clause queue's activity basis only changes when conflicts
     // arise (SIV-A: "the top-30 clauses are dynamically updated when
-    // conflict arises"), so the frontend result is cached across
-    // conflict-free decision stretches and only rebuilt after a new
-    // conflict - this is the paper's pipelining of embedding with
-    // queue maintenance.
-    FrontendResult cached_fe;
-    bool have_fe = false;
-    std::uint64_t fe_conflicts = ~0ull;
+    // conflict arises"), so the pipeline caches the frontend pass
+    // across conflict-free decision stretches and tags every
+    // submission with its conflict epoch - completions from an older
+    // epoch are stale and discarded.
+    SamplePipeline pipeline(frontend, *sampler, rng,
+                            config_.use_embedding);
+    std::vector<ReadySample> ready;
 
     solver.setIterationHook([&](sat::Solver &s) {
         if (static_cast<std::int64_t>(s.stats().iterations) >= warmup) {
             // Warm-up over. The QA polarity hints stay in force for
             // the remaining search ("maintain the variable
             // assignments", SV-B) - clearing them was evaluated and
-            // measurably hurt.
+            // measurably hurt. In-flight samples are abandoned; the
+            // sampler finishes (or drops) them on destruction.
             return;
         }
         ++result.warmup_iterations;
 
-        if (!have_fe || s.stats().conflicts != fe_conflicts) {
-            cached_fe = frontend.run(s, rng);
-            have_fe = true;
-            fe_conflicts = s.stats().conflicts;
-            result.time.frontend_s += cached_fe.seconds;
-        }
-        const FrontendResult &fe = cached_fe;
-        if (fe.embedded_clauses.empty())
-            return;
+        ready.clear();
+        pipeline.step(s, s.stats().conflicts, ready);
 
-        Timer qa_timer;
-        anneal::AnnealSample sample;
-        if (config_.use_embedding) {
-            sample = annealer.sample(fe.embedded.problem,
-                                     fe.embedded.embedding);
-        } else {
-            sample = annealer.sampleLogical(fe.embedded.problem);
-        }
-        result.time.qa_host_s += qa_timer.seconds();
-        result.time.qa_device_s += sample.device_time_us * 1e-6;
-        ++result.qa_samples;
-        result.chain_breaks += sample.chain_breaks;
-
-        const BackendOutcome outcome =
-            backend.apply(s, fe, sample, formula);
-        result.time.backend_s += outcome.seconds;
-        if (outcome.strategy >= 1 && outcome.strategy <= 4)
-            ++result.strategy_count[outcome.strategy];
-        if (outcome.solved) {
-            qa_solved = true;
-            qa_model = outcome.model;
-            s.requestStop();
+        for (ReadySample &rs : ready) {
+            ++result.qa_samples;
+            const BackendOutcome outcome =
+                backend.apply(s, *rs.frontend, rs.sample, formula);
+            result.time.backend_s += outcome.seconds;
+            if (outcome.strategy >= 1 && outcome.strategy <= 4)
+                ++result.strategy_count[outcome.strategy];
+            if (outcome.solved) {
+                qa_solved = true;
+                qa_model = outcome.model;
+                s.requestStop();
+                break;
+            }
         }
     });
 
+    if (pipeline.asynchronous()) {
+        // Completion-notification point: reconcile in-flight samples
+        // at every conflict so stale work is retired (and pipeline
+        // slots freed) before the next decision. The synchronous
+        // pipeline never has work in flight between hooks.
+        solver.setConflictHook([&](sat::Solver &s) {
+            pipeline.notifyConflict(s.stats().conflicts);
+        });
+    }
+
     const sat::lbool status = solver.solve();
     result.stats = solver.stats();
+
+    const PipelineStats &ps = pipeline.stats();
+    result.qa_submitted = ps.submitted;
+    result.qa_stale = ps.stale_discarded;
+    result.chain_breaks = ps.chain_breaks;
+    result.time.frontend_s = ps.frontend_s;
+    result.time.qa_device_s = ps.device_s;
+    result.time.qa_host_s = ps.host_sample_s;
+    result.time.qa_inflight_s = ps.inflight_s;
+    result.time.qa_blocking_s = ps.blocking_s;
+    result.time.stalls = ps.stalls;
 
     if (qa_solved) {
         result.status = sat::l_True;
@@ -135,10 +165,16 @@ HybridSolver::solve(const sat::Cnf &formula)
         }
     }
 
+    // Host CDCL time is what remains of the measured wall clock.
+    // The device-simulation cost is only subtracted when it ran on
+    // this thread (synchronous backends); async workers overlap it
+    // with the search, so it never blocked the loop.
     const double total = total_timer.seconds();
+    const double sim_cost =
+        pipeline.asynchronous() ? 0.0 : result.time.qa_host_s;
     result.time.cdcl_s =
         std::max(0.0, total - result.time.frontend_s -
-                          result.time.backend_s - result.time.qa_host_s);
+                          result.time.backend_s - sim_cost);
     return result;
 }
 

@@ -14,9 +14,11 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "anneal/annealer.h"
+#include "anneal/sampler.h"
 #include "chimera/chimera.h"
 #include "core/backend.h"
 #include "core/frontend.h"
@@ -55,6 +57,26 @@ struct HybridConfig
     /** Upper bound on warm-up iterations regardless of policy. */
     std::int64_t max_warmup = 4096;
 
+    /**
+     * Sampling backend by name: "sync"/"qa" (blocking device model,
+     * the classic loop), "logical", "sa", "batch", "async" or
+     * "async:<backend>". See anneal::makeSampler.
+     */
+    std::string sampler = "sync";
+
+    /**
+     * Max in-flight samples. 1 = the classic blocking loop; >= 2
+     * wraps the named backend in an AsyncSampler worker thread so
+     * device latency overlaps with CDCL search.
+     */
+    int pipeline_depth = 1;
+
+    /** Independent seeds raced by the "batch" backend. */
+    int batch_samples = 4;
+
+    /** Modeled network round trip per async sample (microseconds). */
+    double rtt_us = 0.0;
+
     std::uint64_t seed = 0x47a9be57;
 };
 
@@ -68,11 +90,34 @@ struct TimeBreakdown
     double qa_host_s = 0.0;    ///< SA simulation cost (excluded from
                                ///< the modeled end-to-end time)
 
-    /** Modeled end-to-end time: host work + device time. */
+    /** Wall-clock seconds samples spent in flight (sum; Fig. 11). */
+    double qa_inflight_s = 0.0;
+
+    /**
+     * Modeled device time NOT hidden behind concurrent CDCL work.
+     * Equals qa_device_s for the blocking depth-1 loop; with the
+     * async pipeline only the non-overlapped remainder is charged.
+     */
+    double qa_blocking_s = 0.0;
+
+    /** Iterations that found the sampling pipeline full. */
+    int stalls = 0;
+
+    /** Modeled end-to-end time: host work + device time (serial). */
     double
     endToEnd() const
     {
         return frontend_s + qa_device_s + backend_s + cdcl_s;
+    }
+
+    /**
+     * Modeled end-to-end time when in-flight device latency overlaps
+     * with search: only the blocking device remainder is charged.
+     */
+    double
+    endToEndPipelined() const
+    {
+        return frontend_s + qa_blocking_s + backend_s + cdcl_s;
     }
 };
 
@@ -85,8 +130,10 @@ struct HybridResult
     TimeBreakdown time;
 
     int warmup_iterations = 0; ///< QA-assisted iterations executed
-    int qa_samples = 0;
-    int chain_breaks = 0; ///< accumulated over all samples
+    int qa_samples = 0;    ///< samples applied by the backend
+    int qa_submitted = 0;  ///< jobs handed to the sampler
+    int qa_stale = 0;      ///< completions discarded as stale
+    int chain_breaks = 0;  ///< accumulated over all samples
 
     /** Times each feedback strategy fired (index 1..4). */
     std::array<std::uint64_t, 5> strategy_count{};
@@ -113,8 +160,18 @@ class HybridSolver
 
     const HybridConfig &config() const { return config_; }
 
+    /** The hardware topology (built once per solver). */
+    const chimera::ChimeraGraph &graph() const { return graph_; }
+
   private:
+    /** Backend spec derived from the configuration. */
+    anneal::SamplerSpec samplerSpec() const;
+
     HybridConfig config_;
+
+    // The topology is immutable configuration: building it per solve
+    // made bench loops pay the construction on every call.
+    chimera::ChimeraGraph graph_;
 };
 
 /** Convenience: run plain CDCL through the same reporting types. */

@@ -1,0 +1,102 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+namespace hyqsat::core {
+
+SamplePipeline::SamplePipeline(const Frontend &frontend,
+                               anneal::Sampler &sampler, Rng &rng,
+                               bool use_embedding)
+    : frontend_(frontend), sampler_(sampler), rng_(rng),
+      use_embedding_(use_embedding)
+{
+}
+
+void
+SamplePipeline::refreshCache(const sat::Solver &solver,
+                             std::uint64_t epoch)
+{
+    if (cache_ && cache_epoch_ == epoch)
+        return;
+    auto fe =
+        std::make_shared<FrontendResult>(frontend_.run(solver, rng_));
+    stats_.frontend_s += fe->seconds;
+    cache_ = std::move(fe);
+    cache_epoch_ = epoch;
+}
+
+void
+SamplePipeline::step(const sat::Solver &solver, std::uint64_t epoch,
+                     std::vector<ReadySample> &ready)
+{
+    refreshCache(solver, epoch);
+
+    if (!cache_->embedded_clauses.empty()) {
+        if (static_cast<int>(inflight_.size()) < sampler_.capacity()) {
+            // Aliasing shared_ptrs: the request pins the cached
+            // frontend result (no deep copy of problem/embedding per
+            // submission), and keeps it alive across cache refreshes
+            // while the job is in flight.
+            anneal::SampleRequest request;
+            request.problem = std::shared_ptr<const qubo::EncodedProblem>(
+                cache_, &cache_->embedded.problem);
+            request.embedding = std::shared_ptr<const embed::Embedding>(
+                cache_, &cache_->embedded.embedding);
+            request.use_embedding = use_embedding_;
+            const std::uint64_t ticket =
+                sampler_.submit(std::move(request));
+            // The Timer starts after submit() returns so a
+            // synchronous backend's compute time does not count as
+            // overlap (the loop was blocked, nothing was hidden).
+            inflight_.push_back(InFlight{ticket, epoch, cache_, Timer{}});
+            ++stats_.submitted;
+        } else {
+            ++stats_.stalls;
+        }
+    }
+
+    harvest(epoch, &ready);
+}
+
+void
+SamplePipeline::notifyConflict(std::uint64_t epoch)
+{
+    if (inflight_.empty())
+        return;
+    harvest(epoch, nullptr);
+}
+
+void
+SamplePipeline::harvest(std::uint64_t epoch,
+                        std::vector<ReadySample> *ready)
+{
+    std::vector<anneal::SampleCompletion> done;
+    sampler_.poll(done);
+    for (auto &completion : done) {
+        const auto it = std::find_if(
+            inflight_.begin(), inflight_.end(), [&](const InFlight &f) {
+                return f.ticket == completion.ticket;
+            });
+        if (it == inflight_.end())
+            continue; // not ours (cannot happen with one pipeline)
+
+        const double wall = it->since_submit.seconds();
+        const double device_s = completion.sample.device_time_us * 1e-6;
+        ++stats_.harvested;
+        stats_.inflight_s += wall;
+        stats_.blocking_s += std::max(0.0, device_s - wall);
+        stats_.device_s += device_s;
+        stats_.host_sample_s += completion.host_seconds;
+        stats_.chain_breaks += completion.sample.chain_breaks;
+
+        if (it->epoch != epoch || ready == nullptr) {
+            ++stats_.stale_discarded;
+        } else {
+            ready->push_back(ReadySample{
+                it->frontend, std::move(completion.sample)});
+        }
+        inflight_.erase(it);
+    }
+}
+
+} // namespace hyqsat::core

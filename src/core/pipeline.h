@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The sampling pipeline between the CDCL iteration hook and a
+ * Sampler backend. Owns the cached FrontendResult (the clause
+ * queue's activity basis only changes at conflicts, so the frontend
+ * pass is reused across conflict-free decision stretches) and the
+ * in-flight bookkeeping that lets an asynchronous backend overlap
+ * device latency with CDCL search.
+ *
+ * Epochs and staleness: every submission is tagged with the solver's
+ * conflict count (its "epoch"). A conflict rebuilds the clause queue,
+ * so a sample harvested at a later epoch answers a question the
+ * search is no longer asking — it is discarded as stale rather than
+ * applied. The depth-1 synchronous configuration submits and
+ * harvests within one hook call, so no sample can ever go stale and
+ * the loop is bit-for-bit the classic blocking behavior.
+ */
+
+#ifndef HYQSAT_CORE_PIPELINE_H
+#define HYQSAT_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "anneal/sampler.h"
+#include "core/frontend.h"
+#include "sat/solver.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace hyqsat::core {
+
+/** Pipeline counters folded into HybridResult after a solve. */
+struct PipelineStats
+{
+    int submitted = 0;       ///< jobs handed to the sampler
+    int harvested = 0;       ///< completions received back
+    int stale_discarded = 0; ///< harvested at a newer epoch
+    int stalls = 0;          ///< submit wanted, pipeline full
+
+    double frontend_s = 0.0;    ///< queue + encode + embed host time
+    double host_sample_s = 0.0; ///< device-simulation host time
+    double device_s = 0.0;      ///< modeled device time, all samples
+    double inflight_s = 0.0;    ///< wall time jobs spent in flight
+    double blocking_s = 0.0;    ///< device time NOT hidden by overlap
+    int chain_breaks = 0;
+};
+
+/** A fresh completion ready for backend interpretation. */
+struct ReadySample
+{
+    /** Frontend pass the job was built from (same epoch). */
+    std::shared_ptr<const FrontendResult> frontend;
+    anneal::AnnealSample sample;
+};
+
+/** The iteration-hook state machine. */
+class SamplePipeline
+{
+  public:
+    SamplePipeline(const Frontend &frontend, anneal::Sampler &sampler,
+                   Rng &rng, bool use_embedding);
+
+    /**
+     * One pipeline advance at a decision iteration: refresh the
+     * frontend cache when @p epoch moved, submit a job if the
+     * sampler has capacity (a full pipeline counts a stall), then
+     * harvest. Fresh completions are appended to @p ready; stale
+     * ones are discarded and counted.
+     */
+    void step(const sat::Solver &solver, std::uint64_t epoch,
+              std::vector<ReadySample> &ready);
+
+    /**
+     * Completion-notification point, invoked from the solver's
+     * conflict hook: every in-flight job predates the conflict and
+     * is now stale, so harvest (and discard) whatever already
+     * finished to free pipeline slots before the next decision.
+     */
+    void notifyConflict(std::uint64_t epoch);
+
+    /** True when the backend overlaps sampling with search. */
+    bool asynchronous() const { return sampler_.capacity() > 1; }
+
+    const PipelineStats &stats() const { return stats_; }
+
+  private:
+    struct InFlight
+    {
+        std::uint64_t ticket;
+        std::uint64_t epoch;
+        std::shared_ptr<const FrontendResult> frontend;
+        Timer since_submit; ///< started after submit() returned
+    };
+
+    void refreshCache(const sat::Solver &solver, std::uint64_t epoch);
+    void harvest(std::uint64_t epoch, std::vector<ReadySample> *ready);
+
+    const Frontend &frontend_;
+    anneal::Sampler &sampler_;
+    Rng &rng_;
+    bool use_embedding_;
+
+    std::shared_ptr<const FrontendResult> cache_;
+    std::uint64_t cache_epoch_ = ~0ull;
+    std::vector<InFlight> inflight_;
+    PipelineStats stats_;
+};
+
+} // namespace hyqsat::core
+
+#endif // HYQSAT_CORE_PIPELINE_H

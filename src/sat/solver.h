@@ -129,6 +129,23 @@ class Solver
     void setIterationHook(IterationHook hook) { hook_ = std::move(hook); }
 
     /**
+     * Hook invoked right after each conflict is analyzed and the
+     * learnt clause recorded (the clause-activity epoch boundary).
+     * Gives asynchronous sampling pipelines a completion-
+     * notification point: in-flight samples built from the
+     * pre-conflict clause queue can be reconciled (harvested or
+     * marked stale) without waiting for the next decision. The hook
+     * must not mutate the trail; phase hints, priority bumps and
+     * requestStop() are allowed.
+     */
+    using ConflictHook = std::function<void(Solver &)>;
+    void
+    setConflictHook(ConflictHook hook)
+    {
+        conflict_hook_ = std::move(hook);
+    }
+
+    /**
      * Force the next decisions on @p v to use polarity @p phase
      * (true = positive). Overrides phase saving until reassigned.
      */
@@ -294,6 +311,7 @@ class Solver
     LitVec final_conflict_;
     SolverStats stats_;
     IterationHook hook_;
+    ConflictHook conflict_hook_;
 
     // Instrumentation state (parallel to the source Cnf clauses).
     std::vector<LitVec> source_;
