@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Example: the batch DIMACS service front door. Streams many CNF
+ * instances through portfolio workers on a thread pool and writes a
+ * structured report — the CLI face of portfolio::BatchRunner.
+ *
+ *   ./build/examples/batch_solver [files...] [--dir D] [--manifest F|-]
+ *       [--workers N] [--jobs N] [--timeout-s X] [--conflicts N]
+ *       [--memory-mb M] [--sampler NAME] [--depth N] [--noisy]
+ *       [--no-share] [--json FILE] [--csv FILE] [--strict] [--quiet]
+ *
+ * Instances come from positional paths, every *.cnf/*.dimacs under
+ * --dir, and/or a manifest (one path per line; "-" = stdin). Exit
+ * status: 0 on success; with --strict, 1 if any instance ended
+ * UNKNOWN / TIMEOUT / SKIPPED / PARSE_ERROR (the CI smoke gate).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "portfolio/batch_runner.h"
+
+using namespace hyqsat;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    portfolio::BatchOptions opts;
+    opts.portfolio.base.annealer.noise = anneal::NoiseModel::noiseFree();
+    opts.portfolio.base.annealer.greedy_finish = true;
+    opts.portfolio.base.annealer.attempts = 2;
+    std::string json_path, csv_path;
+    bool strict = false, quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const auto arg = [&](const char *name) {
+            return !std::strcmp(argv[i], name) && i + 1 < argc;
+        };
+        if (arg("--dir")) {
+            for (auto &p :
+                 portfolio::BatchRunner::collectCnfFiles(argv[++i]))
+                paths.push_back(std::move(p));
+        } else if (arg("--manifest")) {
+            const std::string src = argv[++i];
+            if (src == "-") {
+                for (auto &p :
+                     portfolio::BatchRunner::readManifest(std::cin))
+                    paths.push_back(std::move(p));
+            } else {
+                std::ifstream in(src);
+                if (!in) {
+                    std::fprintf(stderr, "cannot open manifest %s\n",
+                                 src.c_str());
+                    return 2;
+                }
+                for (auto &p : portfolio::BatchRunner::readManifest(in))
+                    paths.push_back(std::move(p));
+            }
+        } else if (arg("--workers")) {
+            opts.portfolio.num_workers = std::atoi(argv[++i]);
+        } else if (arg("--jobs")) {
+            opts.concurrency = std::atoi(argv[++i]);
+        } else if (arg("--timeout-s")) {
+            opts.instance_timeout_s = std::atof(argv[++i]);
+        } else if (arg("--conflicts")) {
+            opts.portfolio.conflict_budget = std::atoll(argv[++i]);
+        } else if (arg("--memory-mb")) {
+            opts.memory_budget_mb =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg("--sampler")) {
+            opts.portfolio.base.sampler = argv[++i];
+        } else if (arg("--depth")) {
+            opts.portfolio.base.pipeline_depth =
+                std::max(1, std::atoi(argv[++i]));
+        } else if (arg("--json")) {
+            json_path = argv[++i];
+        } else if (arg("--csv")) {
+            csv_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--noisy")) {
+            opts.portfolio.base.annealer.noise =
+                anneal::NoiseModel::dwave2000q();
+            opts.portfolio.base.annealer.greedy_finish = true;
+            opts.portfolio.base.annealer.attempts = 1;
+        } else if (!std::strcmp(argv[i], "--no-share")) {
+            opts.portfolio.share_clauses = false;
+        } else if (!std::strcmp(argv[i], "--strict")) {
+            strict = true;
+        } else if (!std::strcmp(argv[i], "--quiet")) {
+            quiet = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", argv[i]);
+            return 2;
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+
+    if (paths.empty()) {
+        std::printf(
+            "usage: %s [files...] [--dir D] [--manifest F|-] "
+            "[--workers N] [--jobs N] [--timeout-s X] [--conflicts N] "
+            "[--memory-mb M] [--sampler NAME] [--depth N] [--noisy] "
+            "[--no-share] [--json FILE] [--csv FILE] [--strict] "
+            "[--quiet]\n",
+            argv[0]);
+        return 2;
+    }
+
+    portfolio::BatchRunner runner(opts);
+    const portfolio::BatchReport report = runner.run(paths);
+
+    if (!quiet) {
+        std::printf("%-24s %-10s %-12s %9s %8s %10s\n", "instance",
+                    "status", "winner", "wall_s", "vars",
+                    "conflicts");
+        for (const auto &r : report.records) {
+            std::printf("%-24s %-10s %-12s %9.3f %8d %10llu\n",
+                        r.name.c_str(), r.status.c_str(),
+                        r.winner.c_str(), r.wall_s, r.vars,
+                        static_cast<unsigned long long>(r.conflicts));
+        }
+        std::printf("\n%zu instances in %.2f s: %d SAT, %d UNSAT, "
+                    "%d unknown, %d timeouts, %d skipped, %d errors\n",
+                    report.records.size(), report.wall_s, report.sat,
+                    report.unsat, report.unknown, report.timeouts,
+                    report.skipped, report.errors);
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        portfolio::BatchRunner::writeJson(report, out);
+        if (!quiet)
+            std::printf("wrote %s\n", json_path.c_str());
+    }
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        portfolio::BatchRunner::writeCsv(report, out);
+        if (!quiet)
+            std::printf("wrote %s\n", csv_path.c_str());
+    }
+
+    if (strict && !report.allDecided())
+        return 1;
+    return 0;
+}

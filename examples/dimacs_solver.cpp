@@ -7,19 +7,29 @@
  *
  *   ./build/examples/dimacs_solver problem.cnf [--classic]
  *       [--noisy] [--warmup N] [--sampler=NAME] [--depth N]
+ *       [--timeout-s X] [--conflicts N]
  *
  * --sampler selects the annealing backend by name (sync, qa,
  * logical, sa, batch, async, async:<backend>); --depth >= 2 enables
- * the asynchronous pipeline on any backend.
+ * the asynchronous pipeline on any backend. --timeout-s bounds the
+ * run by wall clock (a watchdog thread trips the cooperative stop
+ * token every layer observes) and --conflicts by conflict count;
+ * either prints "s UNKNOWN" when it fires.
  */
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/hybrid_solver.h"
 #include "sat/dimacs.h"
 #include "sat/simplify.h"
+#include "util/cancel.h"
 
 using namespace hyqsat;
 
@@ -31,7 +41,8 @@ main(int argc, char **argv)
         for (const auto &n : anneal::samplerNames())
             names += (names.empty() ? "" : "|") + n;
         std::printf("usage: %s problem.cnf [--classic] [--noisy] "
-                    "[--warmup N] [--sampler=%s] [--depth N]\n",
+                    "[--warmup N] [--sampler=%s] [--depth N] "
+                    "[--timeout-s X] [--conflicts N]\n",
                     argv[0], names.c_str());
         return 2;
     }
@@ -40,6 +51,8 @@ main(int argc, char **argv)
     std::int64_t warmup = -1;
     std::string sampler = "sync";
     int depth = 1;
+    double timeout_s = 0.0;
+    std::int64_t conflict_budget = -1;
     for (int i = 2; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--classic"))
             classic = true;
@@ -55,6 +68,10 @@ main(int argc, char **argv)
             sampler = argv[++i];
         else if (!std::strcmp(argv[i], "--depth") && i + 1 < argc)
             depth = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--timeout-s") && i + 1 < argc)
+            timeout_s = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--conflicts") && i + 1 < argc)
+            conflict_budget = std::atoll(argv[++i]);
     }
 
     const auto parsed = sat::parseDimacsFile(path);
@@ -85,12 +102,43 @@ main(int argc, char **argv)
         cnf = sat::toThreeSat(cnf);
     }
 
+    // Wall-clock budget: a watchdog thread trips the cooperative
+    // stop token the CDCL loop, hybrid loop and sampler all observe.
+    StopToken stop;
+    std::mutex watchdog_mutex;
+    std::condition_variable watchdog_cv;
+    bool solve_done = false;
+    std::thread watchdog;
+    if (timeout_s > 0.0) {
+        watchdog = std::thread([&] {
+            std::unique_lock<std::mutex> lock(watchdog_mutex);
+            if (!watchdog_cv.wait_for(
+                    lock, std::chrono::duration<double>(timeout_s),
+                    [&] { return solve_done; })) {
+                stop.requestStop();
+            }
+        });
+    }
+    const auto finish_watchdog = [&] {
+        if (!watchdog.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(watchdog_mutex);
+            solve_done = true;
+        }
+        watchdog_cv.notify_all();
+        watchdog.join();
+    };
+
     core::HybridResult result;
     if (classic) {
-        result = core::solveClassicCdcl(
-            cnf, sat::SolverOptions::minisatStyle());
+        auto opts = sat::SolverOptions::minisatStyle();
+        opts.conflict_budget = conflict_budget;
+        result = core::solveClassicCdcl(cnf, opts, &stop);
     } else {
         core::HybridConfig config;
+        config.stop = &stop;
+        config.solver.conflict_budget = conflict_budget;
         if (noisy) {
             config.annealer.noise = anneal::NoiseModel::dwave2000q();
         } else {
@@ -115,6 +163,15 @@ main(int argc, char **argv)
                     result.time.qa_device_s * 1e6,
                     result.time.qa_blocking_s * 1e6,
                     result.time.qa_inflight_s * 1e6);
+    }
+
+    finish_watchdog();
+    if (result.status.isUndef()) {
+        if (stop.stopRequested())
+            std::printf("c stopped: wall-clock timeout (%.1f s)\n",
+                        timeout_s);
+        else
+            std::printf("c stopped: budget exhausted\n");
     }
 
     std::printf("c %llu iterations, %llu conflicts\n",

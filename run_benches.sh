@@ -1,5 +1,7 @@
 #!/bin/bash
-# Regenerate every table/figure: one binary per experiment.
+# Regenerate every table/figure: one binary per experiment
+# (includes bench/portfolio_scaling, the portfolio racing
+# trajectory), then smoke the batch DIMACS service end to end.
 cd "$(dirname "$0")"
 for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
@@ -8,4 +10,17 @@ for b in build/bench/*; do
         echo
     fi
 done
+
+# Batch service smoke: portfolio-race the bundled suite; --strict
+# fails on any UNKNOWN/TIMEOUT/parse error.
+if [ -x build/examples/batch_solver ] &&
+   [ -x build/examples/generate_suite ]; then
+    echo "===== batch_solver (suite smoke) ====="
+    suite_dir=$(mktemp -d)
+    trap 'rm -rf "$suite_dir"' EXIT
+    build/examples/generate_suite "$suite_dir" >/dev/null &&
+        timeout 1500 build/examples/batch_solver --dir "$suite_dir" \
+            --workers 2 --jobs 1 --timeout-s 300 --strict
+    echo
+fi
 echo "ALL_BENCHES_DONE"

@@ -53,8 +53,20 @@ void
 AsyncSampler::wait(std::vector<SampleCompletion> &out)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock,
-                  [this] { return !done_.empty() || uncompleted_ == 0; });
+    const auto ready = [this] {
+        return !done_.empty() || uncompleted_ == 0;
+    };
+    if (opts_.stop) {
+        // Cancellation point: bounded sleeps so a stop request is
+        // observed within one poll interval even when the inner
+        // sampler is stuck on a long job.
+        const auto interval = std::chrono::duration<double, std::micro>(
+            std::max(opts_.stop_poll_us, 1.0));
+        while (!ready() && !opts_.stop->stopRequested())
+            done_cv_.wait_for(lock, interval);
+    } else {
+        done_cv_.wait(lock, ready);
+    }
     in_flight_ -= static_cast<int>(done_.size());
     for (auto &c : done_)
         out.push_back(std::move(c));
@@ -84,12 +96,27 @@ AsyncSampler::workerLoop()
             queue_.pop_front();
         }
 
+        // Cooperative cancellation: once the stop token trips every
+        // completion would be discarded by the (stopping) consumer,
+        // so queued jobs are dropped instead of computed. Dropped
+        // jobs are never delivered — only wait()'s uncompleted_
+        // accounting needs them retired.
+        if (opts_.stop && opts_.stop->stopRequested()) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --uncompleted_;
+            }
+            done_cv_.notify_all();
+            continue;
+        }
+
         // The inner sampler is synchronous and only ever touched from
         // this thread, so its Rng needs no locking.
         Timer timer;
         AnnealSample sample = inner_->sampleNow(std::move(job.request));
         const double host_s = timer.seconds();
-        if (opts_.rtt_us > 0.0) {
+        if (opts_.rtt_us > 0.0 &&
+            !(opts_.stop && opts_.stop->stopRequested())) {
             std::this_thread::sleep_for(std::chrono::duration<double,
                                         std::micro>(opts_.rtt_us));
         }

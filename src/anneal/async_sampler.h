@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "anneal/sampler.h"
+#include "util/cancel.h"
 
 namespace hyqsat::anneal {
 
@@ -38,6 +39,18 @@ class AsyncSampler : public Sampler
 
         /** Modeled network round trip slept per sample (us). */
         double rtt_us = 0.0;
+
+        /**
+         * Cooperative cancellation: when set, wait() polls the token
+         * every stop_poll_us and returns (possibly empty-handed) once
+         * it trips, so a racing portfolio never hangs on a losing
+         * worker's in-flight sample. poll()/submit() never block and
+         * need no token.
+         */
+        const StopToken *stop = nullptr;
+
+        /** wait() poll interval while a stop token is attached. */
+        double stop_poll_us = 500.0;
     };
 
     AsyncSampler(std::unique_ptr<Sampler> inner, Options opts);

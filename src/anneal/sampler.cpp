@@ -135,6 +135,7 @@ makeSampler(const SamplerSpec &spec, const chimera::ChimeraGraph &graph)
         AsyncSampler::Options opts;
         opts.depth = spec.pipeline_depth;
         opts.rtt_us = spec.rtt_us;
+        opts.stop = spec.stop;
         return std::make_unique<AsyncSampler>(
             makeSampler(inner_spec, graph), opts);
     }

@@ -36,6 +36,7 @@
 #include "chimera/chimera.h"
 #include "embed/embedding.h"
 #include "qubo/encoder.h"
+#include "util/cancel.h"
 #include "util/rng.h"
 
 namespace hyqsat::anneal {
@@ -204,6 +205,12 @@ struct SamplerSpec
 
     /** Modeled network round-trip added per async sample (us). */
     double rtt_us = 0.0;
+
+    /**
+     * Cooperative stop token observed by async backends' blocking
+     * wait() (see AsyncSampler::Options::stop); nullptr = none.
+     */
+    const StopToken *stop = nullptr;
 };
 
 /** Build a backend by name; fatal() on an unknown name. */

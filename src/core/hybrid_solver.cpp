@@ -24,6 +24,7 @@ HybridSolver::samplerSpec() const
     spec.batch_samples = config_.batch_samples;
     spec.pipeline_depth = std::max(config_.pipeline_depth, 2);
     spec.rtt_us = config_.rtt_us;
+    spec.stop = config_.stop;
     // A depth >= 2 turns any named synchronous backend into an async
     // pipeline; spelling "async" works too and defaults to depth 2.
     if (config_.pipeline_depth >= 2 &&
@@ -68,6 +69,12 @@ HybridSolver::solve(const sat::Cnf &formula)
     Rng rng(config_.seed);
 
     sat::Solver solver(config_.solver);
+    if (config_.stop)
+        solver.setStopToken(config_.stop);
+    if (config_.learnt_export)
+        solver.setLearntExportHook(config_.learnt_export);
+    if (config_.root_hook)
+        solver.setRootHook(config_.root_hook);
     if (!solver.loadCnf(formula)) {
         result.status = sat::l_False;
         result.stats = solver.stats();
@@ -103,6 +110,11 @@ HybridSolver::solve(const sat::Cnf &formula)
             // assignments", SV-B) - clearing them was evaluated and
             // measurably hurt. In-flight samples are abandoned; the
             // sampler finishes (or drops) them on destruction.
+            return;
+        }
+        if (config_.stop && config_.stop->stopRequested()) {
+            // Cancelled: don't submit new sampling work; the solver
+            // observes the same token at this decision boundary.
             return;
         }
         ++result.warmup_iterations;
@@ -179,11 +191,14 @@ HybridSolver::solve(const sat::Cnf &formula)
 }
 
 HybridResult
-solveClassicCdcl(const sat::Cnf &formula, const sat::SolverOptions &opts)
+solveClassicCdcl(const sat::Cnf &formula, const sat::SolverOptions &opts,
+                 const StopToken *stop)
 {
     Timer timer;
     HybridResult result;
     sat::Solver solver(opts);
+    if (stop)
+        solver.setStopToken(stop);
     if (!solver.loadCnf(formula)) {
         result.status = sat::l_False;
         result.stats = solver.stats();

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "core/frontend.h"
 #include "sat/cnf.h"
 #include "sat/solver.h"
+#include "util/cancel.h"
 
 namespace hyqsat::core {
 
@@ -78,6 +80,32 @@ struct HybridConfig
     double rtt_us = 0.0;
 
     std::uint64_t seed = 0x47a9be57;
+
+    // ------------------------------------------------------------------
+    // Portfolio integration (all optional; defaults = standalone run)
+    // ------------------------------------------------------------------
+
+    /**
+     * Cooperative stop token observed at every CDCL decision /
+     * conflict boundary and at the sampler's blocking wait points.
+     * A racing portfolio shares one token across workers; solve()
+     * returns l_Undef shortly after it trips. Never written here.
+     */
+    const StopToken *stop = nullptr;
+
+    /**
+     * Export tap for clause sharing: called for every clause the
+     * CDCL layer learns (asserting literal first). The callee must
+     * be thread-safe w.r.t. itself; it runs on the solving thread.
+     */
+    std::function<void(const sat::LitVec &)> learnt_export;
+
+    /**
+     * Root-level hook (decision level 0, after simplification):
+     * the sound import point for shared clauses and polarity hints
+     * (sat::Solver::importClause / suggestPhase).
+     */
+    std::function<void(sat::Solver &)> root_hook;
 };
 
 /** Host/device time breakdown (Fig. 11). */
@@ -148,7 +176,13 @@ class HybridSolver
   public:
     explicit HybridSolver(const HybridConfig &config = {});
 
-    /** Solve a formula end to end. */
+    /**
+     * Solve a formula end to end. Safe to call repeatedly (and on
+     * different formulas): every run builds fresh solver, sampler,
+     * pipeline and RNG state from the immutable config, so a second
+     * solve() reproduces the first bit for bit — no pipeline/epoch
+     * state leaks across calls (regression-tested).
+     */
     HybridResult solve(const sat::Cnf &formula);
 
     /**
@@ -174,9 +208,13 @@ class HybridSolver
     chimera::ChimeraGraph graph_;
 };
 
-/** Convenience: run plain CDCL through the same reporting types. */
+/**
+ * Convenience: run plain CDCL through the same reporting types.
+ * @p stop is an optional cooperative cancellation token.
+ */
 HybridResult solveClassicCdcl(const sat::Cnf &formula,
-                              const sat::SolverOptions &opts);
+                              const sat::SolverOptions &opts,
+                              const StopToken *stop = nullptr);
 
 } // namespace hyqsat::core
 

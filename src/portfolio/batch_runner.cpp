@@ -1,0 +1,305 @@
+#include "portfolio/batch_runner.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <thread>
+
+#include "sat/dimacs.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hyqsat::portfolio {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------------------
+// WorkQueue
+// ----------------------------------------------------------------------
+
+void
+WorkQueue::push(std::string path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(path));
+}
+
+bool
+WorkQueue::pop(std::string &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty())
+        return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+std::size_t
+WorkQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+// ----------------------------------------------------------------------
+// BatchRunner
+// ----------------------------------------------------------------------
+
+BatchRunner::BatchRunner(BatchOptions opts) : opts_(std::move(opts))
+{
+    opts_.concurrency = std::max(opts_.concurrency, 1);
+}
+
+std::vector<std::string>
+BatchRunner::collectCnfFiles(const std::string &dir)
+{
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".cnf" || ext == ".dimacs")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+std::vector<std::string>
+BatchRunner::readManifest(std::istream &in)
+{
+    std::vector<std::string> paths;
+    std::string line;
+    while (std::getline(in, line)) {
+        // Trim whitespace; skip blanks and '#' comments.
+        const auto begin = line.find_first_not_of(" \t\r");
+        if (begin == std::string::npos || line[begin] == '#')
+            continue;
+        const auto end = line.find_last_not_of(" \t\r");
+        paths.push_back(line.substr(begin, end - begin + 1));
+    }
+    return paths;
+}
+
+std::size_t
+BatchRunner::estimateMemoryMb(const sat::Cnf &cnf, int num_workers)
+{
+    // Footprint model: every clause costs its literals (4 B each)
+    // plus an arena header, doubled for learnt growth; every
+    // variable costs watch lists, trail, heap and scores (~128 B).
+    // Each portfolio worker holds an independent copy.
+    std::size_t lits = 0;
+    for (int i = 0; i < cnf.numClauses(); ++i)
+        lits += cnf.clause(i).size();
+    const std::size_t per_worker =
+        lits * 2 * (sizeof(std::uint32_t) + 12) +
+        static_cast<std::size_t>(cnf.numVars()) * 128;
+    const std::size_t total =
+        per_worker * static_cast<std::size_t>(std::max(num_workers, 1));
+    return total / (1024 * 1024) + 1;
+}
+
+InstanceRecord
+BatchRunner::solveOne(const std::string &path)
+{
+    InstanceRecord rec;
+    rec.path = path;
+    rec.name = fs::path(path).stem().string();
+
+    const Timer timer;
+    const auto parsed = sat::parseDimacsFile(path);
+    if (!parsed) {
+        rec.status = "PARSE_ERROR";
+        rec.wall_s = timer.seconds();
+        return rec;
+    }
+    sat::Cnf cnf = *parsed;
+    rec.vars = cnf.numVars();
+    rec.clauses = cnf.numClauses();
+    if (!cnf.isThreeSat())
+        cnf = sat::toThreeSat(cnf);
+
+    PortfolioOptions popts = opts_.portfolio;
+    if (opts_.instance_timeout_s > 0.0)
+        popts.timeout_s = opts_.instance_timeout_s;
+    popts.external_stop = opts_.external_stop;
+
+    const int workers = popts.workers.empty()
+                            ? popts.num_workers
+                            : static_cast<int>(popts.workers.size());
+    if (opts_.memory_budget_mb > 0 &&
+        estimateMemoryMb(cnf, workers) > opts_.memory_budget_mb) {
+        rec.status = "SKIPPED";
+        rec.wall_s = timer.seconds();
+        return rec;
+    }
+
+    PortfolioSolver solver(popts);
+    const PortfolioResult result = solver.solve(cnf);
+    rec.wall_s = timer.seconds();
+
+    if (result.status.isTrue())
+        rec.status = "SAT";
+    else if (result.status.isFalse())
+        rec.status = "UNSAT";
+    else if (result.timed_out)
+        rec.status = "TIMEOUT";
+    else
+        rec.status = "UNKNOWN";
+
+    if (result.winner >= 0) {
+        rec.winner = result.winner_label;
+        const core::HybridResult &w = result.winner_result;
+        rec.iterations = w.stats.iterations;
+        rec.conflicts = w.stats.conflicts;
+        rec.qa_samples = w.qa_samples;
+        rec.frontend_s = w.time.frontend_s;
+        rec.qa_device_s = w.time.qa_device_s;
+        rec.qa_blocking_s = w.time.qa_blocking_s;
+        rec.backend_s = w.time.backend_s;
+        rec.cdcl_s = w.time.cdcl_s;
+    }
+    return rec;
+}
+
+BatchReport
+BatchRunner::run(const std::vector<std::string> &paths)
+{
+    const Timer wall;
+    BatchReport report;
+    report.records.resize(paths.size());
+
+    // Index-tagged queue so records land in input order regardless
+    // of completion order.
+    WorkQueue queue;
+    for (std::size_t i = 0; i < paths.size(); ++i)
+        queue.push(std::to_string(i) + "\t" + paths[i]);
+
+    std::mutex record_mutex;
+    auto drain = [&] {
+        std::string job;
+        while (queue.pop(job)) {
+            if (opts_.external_stop &&
+                opts_.external_stop->stopRequested()) {
+                return; // batch cancelled: leave the rest queued
+            }
+            const auto tab = job.find('\t');
+            const std::size_t index =
+                static_cast<std::size_t>(std::stoull(job.substr(0, tab)));
+            InstanceRecord rec = solveOne(job.substr(tab + 1));
+            std::lock_guard<std::mutex> lock(record_mutex);
+            report.records[index] = std::move(rec);
+        }
+    };
+
+    const int pool =
+        std::min<int>(opts_.concurrency,
+                      static_cast<int>(std::max<std::size_t>(
+                          paths.size(), 1)));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(pool));
+    for (int t = 0; t < pool; ++t)
+        threads.emplace_back(drain);
+    for (std::thread &t : threads)
+        t.join();
+
+    report.wall_s = wall.seconds();
+    for (InstanceRecord &rec : report.records) {
+        if (rec.status.empty())
+            rec.status = "UNKNOWN"; // cancelled before it was picked up
+        if (rec.status == "SAT")
+            ++report.sat;
+        else if (rec.status == "UNSAT")
+            ++report.unsat;
+        else if (rec.status == "TIMEOUT")
+            ++report.timeouts;
+        else if (rec.status == "SKIPPED")
+            ++report.skipped;
+        else if (rec.status == "PARSE_ERROR")
+            ++report.errors;
+        else
+            ++report.unknown;
+    }
+    return report;
+}
+
+// ----------------------------------------------------------------------
+// Report writers
+// ----------------------------------------------------------------------
+
+namespace {
+
+/** Minimal JSON string escaping (paths, names). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c; break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+BatchRunner::writeJson(const BatchReport &report, std::ostream &out)
+{
+    out << "{\n  \"summary\": {"
+        << "\"instances\": " << report.records.size()
+        << ", \"sat\": " << report.sat
+        << ", \"unsat\": " << report.unsat
+        << ", \"unknown\": " << report.unknown
+        << ", \"timeouts\": " << report.timeouts
+        << ", \"skipped\": " << report.skipped
+        << ", \"errors\": " << report.errors
+        << ", \"wall_s\": " << report.wall_s << "},\n  \"instances\": [\n";
+    for (std::size_t i = 0; i < report.records.size(); ++i) {
+        const InstanceRecord &r = report.records[i];
+        out << "    {\"name\": \"" << jsonEscape(r.name)
+            << "\", \"path\": \"" << jsonEscape(r.path)
+            << "\", \"status\": \"" << r.status
+            << "\", \"winner\": \"" << jsonEscape(r.winner)
+            << "\", \"wall_s\": " << r.wall_s
+            << ", \"vars\": " << r.vars
+            << ", \"clauses\": " << r.clauses
+            << ", \"iterations\": " << r.iterations
+            << ", \"conflicts\": " << r.conflicts
+            << ", \"qa_samples\": " << r.qa_samples
+            << ", \"time\": {\"frontend_s\": " << r.frontend_s
+            << ", \"qa_device_s\": " << r.qa_device_s
+            << ", \"qa_blocking_s\": " << r.qa_blocking_s
+            << ", \"backend_s\": " << r.backend_s
+            << ", \"cdcl_s\": " << r.cdcl_s << "}}"
+            << (i + 1 < report.records.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+void
+BatchRunner::writeCsv(const BatchReport &report, std::ostream &out)
+{
+    out << "name,path,status,winner,wall_s,vars,clauses,iterations,"
+           "conflicts,qa_samples,frontend_s,qa_device_s,qa_blocking_s,"
+           "backend_s,cdcl_s\n";
+    for (const InstanceRecord &r : report.records) {
+        out << r.name << ',' << r.path << ',' << r.status << ','
+            << r.winner << ',' << r.wall_s << ',' << r.vars << ','
+            << r.clauses << ',' << r.iterations << ',' << r.conflicts
+            << ',' << r.qa_samples << ',' << r.frontend_s << ','
+            << r.qa_device_s << ',' << r.qa_blocking_s << ','
+            << r.backend_s << ',' << r.cdcl_s << "\n";
+    }
+}
+
+} // namespace hyqsat::portfolio

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Batch DIMACS service: streams many instances (directory, file
+ * list, or stdin manifest) through portfolio workers on a thread
+ * pool, with per-instance timeout and memory budgets, structured
+ * per-instance result records and JSON/CSV report output. This is
+ * the serving layer the ROADMAP's "heavy traffic" north star builds
+ * on: one process, bounded resources, machine-readable results.
+ */
+
+#ifndef HYQSAT_PORTFOLIO_BATCH_RUNNER_H
+#define HYQSAT_PORTFOLIO_BATCH_RUNNER_H
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "portfolio/portfolio.h"
+
+namespace hyqsat::portfolio {
+
+/** Thread-safe FIFO of instance paths feeding the pool. */
+class WorkQueue
+{
+  public:
+    /** Enqueue one instance path. */
+    void push(std::string path);
+
+    /**
+     * Dequeue the next path into @p out.
+     * @return false when the queue is empty.
+     */
+    bool pop(std::string &out);
+
+    /** Jobs currently queued. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<std::string> queue_;
+};
+
+/** One instance's outcome (a row of the batch report). */
+struct InstanceRecord
+{
+    std::string name; ///< file stem
+    std::string path;
+
+    /**
+     * "SAT", "UNSAT", "UNKNOWN" (budget exhausted), "TIMEOUT"
+     * (wall-clock budget fired), "SKIPPED" (memory budget),
+     * "PARSE_ERROR".
+     */
+    std::string status;
+
+    std::string winner; ///< winning worker label ("" if none)
+    double wall_s = 0.0;
+    int vars = 0;
+    int clauses = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t conflicts = 0;
+    int qa_samples = 0;
+
+    /** Winner's host/device time breakdown (zeros if no winner). */
+    double frontend_s = 0.0;
+    double qa_device_s = 0.0;
+    double qa_blocking_s = 0.0;
+    double backend_s = 0.0;
+    double cdcl_s = 0.0;
+};
+
+/** Whole-batch outcome. */
+struct BatchReport
+{
+    std::vector<InstanceRecord> records; ///< input order
+    double wall_s = 0.0;
+    int sat = 0;
+    int unsat = 0;
+    int unknown = 0;
+    int timeouts = 0;
+    int skipped = 0;
+    int errors = 0;
+
+    /** True iff every instance decided (no UNKNOWN/TIMEOUT/error). */
+    bool allDecided() const
+    {
+        return unknown == 0 && timeouts == 0 && skipped == 0 &&
+               errors == 0;
+    }
+};
+
+/** Batch-service options. */
+struct BatchOptions
+{
+    /** Portfolio configuration applied per instance. */
+    PortfolioOptions portfolio;
+
+    /** Instances solved concurrently (pool threads). Each one runs
+     *  portfolio.num_workers solver threads of its own. */
+    int concurrency = 2;
+
+    /** Per-instance wall-clock budget (seconds); 0 = unlimited.
+     *  Overrides portfolio.timeout_s when set. */
+    double instance_timeout_s = 0.0;
+
+    /**
+     * Per-instance memory budget in MB, enforced as an admission
+     * guard on the parsed formula's estimated footprint (clause
+     * arena + watches + per-worker duplication); 0 = unlimited.
+     * Instances over budget are SKIPPED, not attempted — a soft
+     * budget, but one that can never OOM the service.
+     */
+    std::size_t memory_budget_mb = 0;
+
+    /** Caller-side cancellation for the whole batch. */
+    const StopToken *external_stop = nullptr;
+};
+
+/** The thread-pool batch service. */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(BatchOptions opts);
+
+    /** Solve every path; records come back in input order. */
+    BatchReport run(const std::vector<std::string> &paths);
+
+    /** Every *.cnf / *.dimacs file under @p dir (sorted). */
+    static std::vector<std::string>
+    collectCnfFiles(const std::string &dir);
+
+    /** One path per non-empty, non-comment ('#') line. */
+    static std::vector<std::string> readManifest(std::istream &in);
+
+    /** Estimated solve-time footprint of a formula (MB). */
+    static std::size_t estimateMemoryMb(const sat::Cnf &cnf,
+                                        int num_workers);
+
+    static void writeJson(const BatchReport &report, std::ostream &out);
+    static void writeCsv(const BatchReport &report, std::ostream &out);
+
+  private:
+    InstanceRecord solveOne(const std::string &path);
+
+    BatchOptions opts_;
+};
+
+} // namespace hyqsat::portfolio
+
+#endif // HYQSAT_PORTFOLIO_BATCH_RUNNER_H

@@ -1,0 +1,58 @@
+#include "portfolio/exchange.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hyqsat::portfolio {
+
+ClauseExchange::ClauseExchange(int num_workers, Options opts)
+    : opts_(opts), cursor_(static_cast<std::size_t>(num_workers), 0)
+{
+    if (num_workers <= 0)
+        fatal("ClauseExchange needs at least one worker");
+    opts_.max_len = std::max(opts_.max_len, 1);
+    opts_.capacity = std::max(opts_.capacity, 1);
+}
+
+void
+ClauseExchange::publish(int worker, const sat::LitVec &lits)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (static_cast<int>(lits.size()) > opts_.max_len) {
+        ++stats_.rejected_len;
+        return;
+    }
+    ring_.push_back(Entry{worker, lits});
+    ++stats_.published;
+    if (static_cast<int>(ring_.size()) > opts_.capacity) {
+        ring_.pop_front();
+        ++base_seq_;
+        ++stats_.overflowed;
+    }
+}
+
+void
+ClauseExchange::fetch(int worker, std::vector<sat::LitVec> &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t &cursor = cursor_[worker];
+    cursor = std::max(cursor, base_seq_); // skip evicted entries
+    const std::uint64_t end = base_seq_ + ring_.size();
+    for (; cursor < end; ++cursor) {
+        const Entry &e = ring_[cursor - base_seq_];
+        if (e.source == worker)
+            continue; // never re-import your own clause
+        out.push_back(e.lits);
+        ++stats_.fetched;
+    }
+}
+
+ExchangeStats
+ClauseExchange::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace hyqsat::portfolio

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bounded, lock-guarded clause/hint exchange between portfolio
+ * workers. Exporters publish short learnt clauses; importers fetch
+ * everything published by *other* workers since their last fetch and
+ * attach it through sat::Solver::importClause at the root level.
+ *
+ * The buffer is a ring over absolute sequence numbers: when it
+ * overflows, the oldest entries are dropped (sharing is a heuristic
+ * accelerator, never required for soundness, so losing old clauses
+ * is fine). Per-worker read cursors make fetch O(new entries) and
+ * give each worker exactly-once delivery of whatever was still
+ * buffered.
+ *
+ * Polarity hints ride on the clauses themselves: the first literal
+ * of an exported clause is the asserting (first-UIP) literal — the
+ * direction the exporter's conflict drove that variable — so the
+ * importer seeds its phase saving with it (Solver::suggestPhase, a
+ * soft hint later assignments overwrite).
+ */
+
+#ifndef HYQSAT_PORTFOLIO_EXCHANGE_H
+#define HYQSAT_PORTFOLIO_EXCHANGE_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace hyqsat::portfolio {
+
+/** Exchange counters (totals over the run; read after join). */
+struct ExchangeStats
+{
+    std::uint64_t published = 0;    ///< accepted into the buffer
+    std::uint64_t rejected_len = 0; ///< longer than max_len
+    std::uint64_t overflowed = 0;   ///< dropped as oldest on overflow
+    std::uint64_t fetched = 0;      ///< delivered to importers
+};
+
+/** Thread-safe bounded clause buffer with per-worker cursors. */
+class ClauseExchange
+{
+  public:
+    struct Options
+    {
+        /** Only clauses up to this many literals are shared. */
+        int max_len = 2;
+
+        /** Ring capacity; oldest entries are dropped on overflow. */
+        int capacity = 4096;
+    };
+
+    ClauseExchange(int num_workers, Options opts);
+
+    /**
+     * Publish a learnt clause from @p worker. Clauses longer than
+     * max_len are rejected (cheap length check before the lock).
+     */
+    void publish(int worker, const sat::LitVec &lits);
+
+    /**
+     * Append every clause published by other workers since @p
+     * worker's last fetch to @p out. Entries already evicted by
+     * overflow are silently skipped.
+     */
+    void fetch(int worker, std::vector<sat::LitVec> &out);
+
+    /** Totals; safe to call any time, meaningful after workers join. */
+    ExchangeStats stats() const;
+
+  private:
+    struct Entry
+    {
+        int source;
+        sat::LitVec lits;
+    };
+
+    Options opts_;
+    mutable std::mutex mutex_;
+    std::deque<Entry> ring_;       ///< [base_seq_, base_seq_+size)
+    std::uint64_t base_seq_ = 0;   ///< sequence of ring_.front()
+    std::vector<std::uint64_t> cursor_; ///< next unread seq per worker
+    ExchangeStats stats_;
+};
+
+} // namespace hyqsat::portfolio
+
+#endif // HYQSAT_PORTFOLIO_EXCHANGE_H

@@ -1,0 +1,248 @@
+#include "portfolio/portfolio.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace hyqsat::portfolio {
+
+namespace {
+
+/** splitmix64 finalizer: decorrelates per-worker seed streams. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    std::uint64_t z = seed + salt * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+PortfolioSolver::PortfolioSolver(PortfolioOptions opts)
+    : opts_(std::move(opts))
+{
+    if (opts_.workers.empty() && opts_.num_workers <= 0)
+        fatal("PortfolioSolver needs at least one worker");
+}
+
+std::vector<WorkerConfig>
+PortfolioSolver::diversify(const core::HybridConfig &base, int n)
+{
+    std::vector<WorkerConfig> slate;
+    slate.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        WorkerConfig w;
+        w.hybrid = base;
+        switch (i % 8) {
+        case 0:
+            // Slot 0 IS the base config: a 1-worker portfolio must
+            // reproduce the single solver bit for bit.
+            w.label = "base";
+            break;
+        case 1:
+            // Plain CDCL hedge: on instances where QA feedback does
+            // not pay, the classic loop often finishes first.
+            w.label = "cdcl";
+            w.hybrid.warmup_override = 0;
+            break;
+        case 2:
+            // SA over the logical Ising model: the sample-quality
+            // ceiling of the device emulation.
+            w.label = "sa";
+            w.hybrid.sampler = "sa";
+            break;
+        case 3:
+            // Async pipeline: overlaps device latency with search.
+            w.label = "async";
+            w.hybrid.pipeline_depth =
+                std::max(base.pipeline_depth, 2);
+            break;
+        case 4:
+            // Best-of-N seed racing inside every sample.
+            w.label = "batch";
+            w.hybrid.sampler = "batch";
+            break;
+        case 5:
+            // CHB branching / faster restarts on the CDCL side.
+            w.label = "kissat";
+            w.hybrid.solver = sat::SolverOptions::kissatStyle();
+            break;
+        case 6:
+            // Ideal all-to-all device: no embedding losses.
+            w.label = "logical";
+            w.hybrid.sampler = "logical";
+            w.hybrid.use_embedding = false;
+            break;
+        case 7:
+            // Greedy clause-queue head instead of the paper's random
+            // top-30 pick (§IV-A): a different slice of the formula
+            // reaches the annealer.
+            w.label = "greedy-queue";
+            w.hybrid.frontend.queue.top_k = 1;
+            break;
+        }
+        if (i > 0) {
+            // Decorrelate every RNG stream so identical variants in
+            // a second table cycle still explore differently.
+            const auto salt = static_cast<std::uint64_t>(i);
+            w.hybrid.seed = mixSeed(base.seed, salt);
+            w.hybrid.solver.seed = mixSeed(base.solver.seed, salt);
+            w.hybrid.annealer.seed =
+                mixSeed(base.annealer.seed, salt);
+        }
+        if (i >= 8)
+            w.label += "#" + std::to_string(i / 8);
+        slate.push_back(std::move(w));
+    }
+    return slate;
+}
+
+PortfolioResult
+PortfolioSolver::solve(const sat::Cnf &formula)
+{
+    const Timer wall;
+    PortfolioResult result;
+
+    const std::vector<WorkerConfig> slate =
+        opts_.workers.empty()
+            ? diversify(opts_.base, opts_.num_workers)
+            : opts_.workers;
+    const int n = static_cast<int>(slate.size());
+    result.workers.resize(static_cast<std::size_t>(n));
+
+    StopToken stop;
+    const bool share = opts_.share_clauses && n > 1;
+    ClauseExchange exchange(
+        n, ClauseExchange::Options{opts_.share_max_len,
+                                   opts_.share_capacity});
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    int running = n;
+    int winner = -1;
+    Timer win_timer;
+    core::HybridResult winner_result;
+
+    auto runWorker = [&](int i) {
+        const Timer worker_timer;
+        core::HybridConfig cfg = slate[static_cast<std::size_t>(i)].hybrid;
+        cfg.stop = &stop;
+        if (opts_.conflict_budget >= 0)
+            cfg.solver.conflict_budget = opts_.conflict_budget;
+        if (share) {
+            const int max_len = opts_.share_max_len;
+            cfg.learnt_export = [&exchange, i,
+                                 max_len](const sat::LitVec &lits) {
+                if (static_cast<int>(lits.size()) <= max_len)
+                    exchange.publish(i, lits);
+            };
+            const bool polarity = opts_.share_polarity;
+            cfg.root_hook = [&exchange, i, polarity](sat::Solver &s) {
+                std::vector<sat::LitVec> incoming;
+                exchange.fetch(i, incoming);
+                for (sat::LitVec &c : incoming) {
+                    // The first literal is the exporter's asserting
+                    // (first-UIP) literal: seed phase saving with it.
+                    if (polarity && !c.empty())
+                        s.suggestPhase(c[0].var(), !c[0].sign());
+                    if (!s.importClause(std::move(c)))
+                        return; // import refuted the formula
+                }
+            };
+        }
+
+        core::HybridSolver solver(cfg);
+        core::HybridResult r = solver.solve(formula);
+        const double seconds = worker_timer.seconds();
+
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            WorkerReport &rep =
+                result.workers[static_cast<std::size_t>(i)];
+            rep.label = slate[static_cast<std::size_t>(i)].label;
+            rep.status = r.status;
+            rep.seconds = seconds;
+            rep.iterations = r.stats.iterations;
+            rep.conflicts = r.stats.conflicts;
+            rep.qa_samples = r.qa_samples;
+            rep.exported_clauses = r.stats.exported_clauses;
+            rep.imported_clauses = r.stats.imported_clauses;
+            if (!r.status.isUndef() && winner < 0) {
+                winner = i;
+                winner_result = std::move(r);
+                win_timer.reset();
+                stop.requestStop(); // cancel the losers
+            }
+            --running;
+        }
+        cv.notify_all();
+    };
+
+    // Watchdog: turns the wall-clock budget and the caller's
+    // external token into stop requests. Polling (a few ms) keeps it
+    // simple; cancellation latency is dominated by the workers'
+    // own cancellation points anyway.
+    std::thread watchdog;
+    if (opts_.timeout_s > 0.0 || opts_.external_stop) {
+        watchdog = std::thread([&] {
+            std::unique_lock<std::mutex> lock(mutex);
+            while (running > 0 && winner < 0) {
+                if (opts_.timeout_s > 0.0 &&
+                    wall.seconds() >= opts_.timeout_s) {
+                    result.timed_out = true;
+                    stop.requestStop();
+                    break;
+                }
+                if (opts_.external_stop &&
+                    opts_.external_stop->stopRequested()) {
+                    result.external_stopped = true;
+                    stop.requestStop();
+                    break;
+                }
+                cv.wait_for(lock, std::chrono::milliseconds(2));
+            }
+        });
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        threads.emplace_back(runWorker, i);
+    for (std::thread &t : threads)
+        t.join();
+
+    // Everything below runs after every worker returned, so the
+    // winner bookkeeping needs no lock — except the watchdog, which
+    // may still hold the mutex for one last poll.
+    if (watchdog.joinable()) {
+        cv.notify_all();
+        watchdog.join();
+    }
+
+    result.wall_s = wall.seconds();
+    if (winner >= 0) {
+        result.cancel_latency_s = win_timer.seconds();
+        result.winner = winner;
+        result.winner_label =
+            result.workers[static_cast<std::size_t>(winner)].label;
+        result.workers[static_cast<std::size_t>(winner)].winner = true;
+        result.status = winner_result.status;
+        if (winner_result.status.isTrue()) {
+            result.model = winner_result.model;
+            if (!formula.eval(result.model))
+                panic("portfolio winner's model failed verification");
+        }
+        result.winner_result = std::move(winner_result);
+    }
+    result.exchange = exchange.stats();
+    return result;
+}
+
+} // namespace hyqsat::portfolio

@@ -31,7 +31,8 @@ constexpr double kClauseActivityRescale = 1e20;
 
 Solver::Solver(const SolverOptions &opts)
     : opts_(opts), rng_(opts.seed), order_heap_(scores_),
-      chb_alpha_(opts.chb_alpha)
+      chb_alpha_(opts.chb_alpha), conflict_budget_(opts.conflict_budget),
+      decision_budget_(opts.decision_budget)
 {
 }
 
@@ -110,6 +111,52 @@ Solver::addClause(LitVec lits, int original_index)
                             : ~0u);
     originals_.push_back(cr);
     attachClause(cr);
+    return true;
+}
+
+bool
+Solver::importClause(LitVec lits)
+{
+    if (!ok_)
+        return false;
+    if (decisionLevel() != 0)
+        panic("importClause outside the root level");
+
+    // Same root-level simplification as addClause, against the
+    // level-0 trail (root facts learned since the exporter saw the
+    // clause may already satisfy or shrink it).
+    std::sort(lits.begin(), lits.end());
+    LitVec simplified;
+    Lit prev = lit_Undef;
+    for (Lit p : lits) {
+        if (p.var() >= numVars())
+            return ok_; // foreign variable: not our formula, drop
+        if (value(p).isTrue() || p == ~prev)
+            return true; // already satisfied / tautology
+        if (!value(p).isFalse() && p != prev) {
+            simplified.push_back(p);
+            prev = p;
+        }
+    }
+
+    ++stats_.imported_clauses;
+    if (simplified.empty()) {
+        ok_ = false; // the shared clause refutes the formula
+        return false;
+    }
+    if (simplified.size() == 1) {
+        if (!enqueue(simplified[0], CRef_Undef))
+            panic("import unit enqueue conflicted after value check");
+        ok_ = (propagate() == CRef_Undef);
+        return ok_;
+    }
+
+    // Into the learnt database (not originals_): imports are
+    // redundant, so the reduction policy may drop them again.
+    const CRef cr = arena_.alloc(simplified, true);
+    learnts_.push_back(cr);
+    attachClause(cr);
+    bumpClauseActivity(arena_.ref(cr));
     return true;
 }
 
@@ -722,6 +769,11 @@ Solver::search(int max_conflicts)
                 ++stats_.learned_clauses;
             }
 
+            if (export_hook_) {
+                ++stats_.exported_clauses;
+                export_hook_(learnt);
+            }
+
             if (opts_.branching != Branching::CHB)
                 decayVarActivity();
             decayClauseActivity();
@@ -741,14 +793,32 @@ Solver::search(int max_conflicts)
                     static_cast<int>(learntsize_adjust_confl_);
                 max_learnts_ *= opts_.learnt_size_inc;
             }
+
+            // External cancellation point: a racing portfolio must
+            // be able to cut a conflict streak short, not just wait
+            // for the next conflict-free decision. requestStop() is
+            // deliberately NOT checked here so single-threaded stop
+            // semantics (and the determinism guard) are unchanged.
+            if (stop_token_ && stop_token_->stopRequested()) {
+                cancelUntil(0);
+                return l_Undef;
+            }
         } else {
             if ((max_conflicts >= 0 && conflicts_here >= max_conflicts) ||
-                budgetExhausted() || stop_requested_) {
+                budgetExhausted() || stopNow()) {
                 cancelUntil(0);
                 return l_Undef;
             }
             if (decisionLevel() == 0 && !simplifyAtRoot())
                 return l_False;
+            if (decisionLevel() == 0 && root_hook_) {
+                // Clause-sharing import point: the trail holds only
+                // level-0 facts here, so foreign clauses attach
+                // soundly (see importClause).
+                root_hook_(*this);
+                if (!ok_)
+                    return l_False;
+            }
             if (static_cast<double>(learnts_.size()) >=
                 max_learnts_ + static_cast<double>(trail_.size())) {
                 reduceDB();
@@ -776,7 +846,7 @@ Solver::search(int max_conflicts)
             if (next == lit_Undef) {
                 if (hook_)
                     hook_(*this);
-                if (stop_requested_) {
+                if (stopNow()) {
                     cancelUntil(0);
                     return l_Undef;
                 }
@@ -829,7 +899,7 @@ Solver::solveInternal()
         const auto limit =
             static_cast<int>(restartLimit(restarts));
         status = search(limit);
-        if (status.isUndef() && (budgetExhausted() || stop_requested_))
+        if (status.isUndef() && (budgetExhausted() || stopNow()))
             break;
         if (status.isUndef())
             ++stats_.restarts;

@@ -26,6 +26,7 @@
 #include "sat/heap.h"
 #include "sat/solver_options.h"
 #include "sat/types.h"
+#include "util/cancel.h"
 #include "util/rng.h"
 
 namespace hyqsat::sat {
@@ -116,6 +117,16 @@ class Solver
     /** Ask the search to stop at the next decision boundary. */
     void requestStop() { stop_requested_ = true; }
 
+    /**
+     * Observe an external cooperative stop token (shared across
+     * threads, e.g. by a portfolio racing several solvers). The
+     * token is polled at every decision and after every conflict, so
+     * cancellation latency is one loop body. Unlike requestStop()
+     * the token persists across solve() calls; pass nullptr to
+     * detach. The solver never writes the token.
+     */
+    void setStopToken(const StopToken *token) { stop_token_ = token; }
+
     // ------------------------------------------------------------------
     // Hybrid-integration surface
     // ------------------------------------------------------------------
@@ -144,6 +155,41 @@ class Solver
     {
         conflict_hook_ = std::move(hook);
     }
+
+    /**
+     * Hook invoked for every clause learned from a conflict
+     * (including units), with the learnt literals in asserting-first
+     * order. Gives a portfolio layer an export tap for clause
+     * sharing. Must not mutate the solver; it runs inside conflict
+     * handling.
+     */
+    using LearntExportHook = std::function<void(const LitVec &)>;
+    void
+    setLearntExportHook(LearntExportHook hook)
+    {
+        export_hook_ = std::move(hook);
+    }
+
+    /**
+     * Hook invoked whenever the search is at decision level 0 (after
+     * root simplification, before the next decision) — the only
+     * point where foreign clauses can be soundly attached. The hook
+     * may call importClause()/suggestPhase()/requestStop().
+     */
+    using RootHook = std::function<void(Solver &)>;
+    void setRootHook(RootHook hook) { root_hook_ = std::move(hook); }
+
+    /**
+     * Import a clause learned elsewhere (same variable space).
+     * Root-level only (asserted): the clause is simplified against
+     * the level-0 trail and attached to the learnt database, so the
+     * usual reduction policy can drop it again. Units are enqueued
+     * and propagated immediately.
+     *
+     * @return false iff the import refuted the formula (okay()
+     *         becomes false), which a portfolio treats as UNSAT.
+     */
+    bool importClause(LitVec lits);
 
     /**
      * Force the next decisions on @p v to use polarity @p phase
@@ -301,8 +347,16 @@ class Solver
     int learntsize_adjust_cnt_ = 0;
     double learntsize_adjust_confl_ = 0.0;
 
+    /** requestStop() or an external stop-token trip. */
+    bool stopNow() const
+    {
+        return stop_requested_ ||
+               (stop_token_ && stop_token_->stopRequested());
+    }
+
     bool ok_ = true;
     bool stop_requested_ = false;
+    const StopToken *stop_token_ = nullptr;
     std::int64_t conflict_budget_ = -1;
     std::int64_t decision_budget_ = -1;
 
@@ -312,6 +366,8 @@ class Solver
     SolverStats stats_;
     IterationHook hook_;
     ConflictHook conflict_hook_;
+    LearntExportHook export_hook_;
+    RootHook root_hook_;
 
     // Instrumentation state (parallel to the source Cnf clauses).
     std::vector<LitVec> source_;

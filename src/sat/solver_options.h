@@ -117,6 +117,12 @@ struct SolverStats
     std::uint64_t removed_clauses = 0;
     std::uint64_t minimized_literals = 0;
 
+    /** Clauses offered to the learnt-export hook (clause sharing). */
+    std::uint64_t exported_clauses = 0;
+
+    /** Foreign clauses attached through importClause(). */
+    std::uint64_t imported_clauses = 0;
+
     /**
      * Paper-style iteration count: one iteration is one
      * decision / propagation / conflict-resolving cycle (§VI-B).

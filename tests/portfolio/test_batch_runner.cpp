@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "portfolio/batch_runner.h"
+
+namespace hyqsat::portfolio {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Temp directory wiped on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    TempDir()
+    {
+        path = fs::temp_directory_path() /
+               ("hyqsat_batch_test_" +
+                std::to_string(::getpid() +
+                               reinterpret_cast<std::uintptr_t>(this)));
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string
+    write(const std::string &name, const std::string &content) const
+    {
+        const auto p = path / name;
+        std::ofstream out(p);
+        out << content;
+        return p.string();
+    }
+};
+
+const char *kSatCnf = "c tiny satisfiable\n"
+                      "p cnf 3 2\n"
+                      "1 2 3 0\n"
+                      "-1 2 0\n";
+
+/** All 8 sign patterns over 3 variables: unsatisfiable. */
+std::string
+unsatCnf()
+{
+    std::string s = "p cnf 3 8\n";
+    for (int mask = 0; mask < 8; ++mask) {
+        for (int v = 0; v < 3; ++v)
+            s += std::to_string((mask >> v) & 1 ? -(v + 1) : v + 1) +
+                 " ";
+        s += "0\n";
+    }
+    return s;
+}
+
+BatchOptions
+smallOptions()
+{
+    BatchOptions opts;
+    opts.portfolio.base.annealer.noise = anneal::NoiseModel::noiseFree();
+    opts.portfolio.base.annealer.greedy_finish = true;
+    opts.portfolio.num_workers = 2;
+    opts.concurrency = 2;
+    return opts;
+}
+
+TEST(WorkQueue, FifoOrderAndEmptyPop)
+{
+    WorkQueue q;
+    EXPECT_EQ(q.size(), 0u);
+    std::string out;
+    EXPECT_FALSE(q.pop(out));
+
+    q.push("a");
+    q.push("b");
+    q.push("c");
+    EXPECT_EQ(q.size(), 3u);
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, "a");
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, "b");
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, "c");
+    EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BatchRunner, MixedBatchRecordsInInputOrder)
+{
+    TempDir dir;
+    const auto sat_path = dir.write("easy_sat.cnf", kSatCnf);
+    const auto unsat_path = dir.write("tiny_unsat.cnf", unsatCnf());
+    const auto broken_path =
+        dir.write("broken.cnf", "p cnf not-a-number\n1 2 0\n");
+
+    BatchRunner runner(smallOptions());
+    const auto report =
+        runner.run({sat_path, unsat_path, broken_path});
+
+    ASSERT_EQ(report.records.size(), 3u);
+    EXPECT_EQ(report.records[0].name, "easy_sat");
+    EXPECT_EQ(report.records[0].status, "SAT");
+    EXPECT_FALSE(report.records[0].winner.empty());
+    EXPECT_EQ(report.records[0].vars, 3);
+    EXPECT_EQ(report.records[0].clauses, 2);
+
+    EXPECT_EQ(report.records[1].name, "tiny_unsat");
+    EXPECT_EQ(report.records[1].status, "UNSAT");
+
+    EXPECT_EQ(report.records[2].name, "broken");
+    EXPECT_EQ(report.records[2].status, "PARSE_ERROR");
+
+    EXPECT_EQ(report.sat, 1);
+    EXPECT_EQ(report.unsat, 1);
+    EXPECT_EQ(report.errors, 1);
+    EXPECT_EQ(report.unknown, 0);
+    EXPECT_FALSE(report.allDecided()) << "a parse error is not decided";
+}
+
+TEST(BatchRunner, AllDecidedOnCleanBatch)
+{
+    TempDir dir;
+    std::vector<std::string> paths;
+    for (int i = 0; i < 4; ++i)
+        paths.push_back(
+            dir.write("inst" + std::to_string(i) + ".cnf", kSatCnf));
+    BatchRunner runner(smallOptions());
+    const auto report = runner.run(paths);
+    EXPECT_TRUE(report.allDecided());
+    EXPECT_EQ(report.sat, 4);
+}
+
+TEST(BatchRunner, ExternalStopLeavesRestUnknown)
+{
+    StopToken stop;
+    stop.requestStop(); // cancelled before any instance is picked up
+
+    TempDir dir;
+    const auto p = dir.write("inst.cnf", kSatCnf);
+    auto opts = smallOptions();
+    opts.external_stop = &stop;
+    BatchRunner runner(opts);
+    const auto report = runner.run({p, p, p});
+    ASSERT_EQ(report.records.size(), 3u);
+    for (const auto &rec : report.records)
+        EXPECT_EQ(rec.status, "UNKNOWN");
+    EXPECT_FALSE(report.allDecided());
+}
+
+TEST(BatchRunner, MemoryBudgetSkipsOversizedInstances)
+{
+    // ~40k clauses over 10k vars: the footprint estimate exceeds a
+    // 1 MB budget, so the instance must be admitted-out, not solved.
+    std::string big = "p cnf 10000 40000\n";
+    for (int i = 0; i < 40000; ++i) {
+        const int a = (i % 10000) + 1, b = ((i + 17) % 10000) + 1,
+                  c = ((i + 4391) % 10000) + 1;
+        big += std::to_string(a) + " " + std::to_string(-b) + " " +
+               std::to_string(c) + " 0\n";
+    }
+    TempDir dir;
+    const auto p = dir.write("big.cnf", big);
+
+    auto opts = smallOptions();
+    opts.memory_budget_mb = 1;
+    BatchRunner runner(opts);
+    const auto report = runner.run({p});
+    ASSERT_EQ(report.records.size(), 1u);
+    EXPECT_EQ(report.records[0].status, "SKIPPED");
+    EXPECT_EQ(report.skipped, 1);
+}
+
+TEST(BatchRunner, EstimateMemoryScalesWithWorkers)
+{
+    sat::Cnf cnf(100);
+    for (int i = 0; i < 97; ++i)
+        cnf.addClause({sat::mkLit(i % 100), sat::mkLit((i + 3) % 100),
+                       sat::mkLit((i + 7) % 100, true)});
+    EXPECT_GE(BatchRunner::estimateMemoryMb(cnf, 8),
+              BatchRunner::estimateMemoryMb(cnf, 1));
+}
+
+TEST(BatchRunner, CollectCnfFilesFiltersAndSorts)
+{
+    TempDir dir;
+    dir.write("b.cnf", kSatCnf);
+    dir.write("a.dimacs", kSatCnf);
+    dir.write("notes.txt", "not a formula");
+    const auto files = BatchRunner::collectCnfFiles(dir.path.string());
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_NE(files[0].find("a.dimacs"), std::string::npos);
+    EXPECT_NE(files[1].find("b.cnf"), std::string::npos);
+}
+
+TEST(BatchRunner, ReadManifestSkipsCommentsAndBlanks)
+{
+    std::istringstream in("# header\n"
+                          "  one.cnf  \n"
+                          "\n"
+                          "\ttwo.cnf\r\n"
+                          "   # indented comment\n"
+                          "three.cnf\n");
+    const auto paths = BatchRunner::readManifest(in);
+    ASSERT_EQ(paths.size(), 3u);
+    EXPECT_EQ(paths[0], "one.cnf");
+    EXPECT_EQ(paths[1], "two.cnf");
+    EXPECT_EQ(paths[2], "three.cnf");
+}
+
+TEST(BatchRunner, JsonAndCsvReportsWellFormed)
+{
+    TempDir dir;
+    const auto sat_path = dir.write("easy.cnf", kSatCnf);
+    const auto broken_path = dir.write("bad.cnf", "garbage\n");
+    BatchRunner runner(smallOptions());
+    const auto report = runner.run({sat_path, broken_path});
+
+    std::ostringstream json;
+    BatchRunner::writeJson(report, json);
+    const std::string j = json.str();
+    EXPECT_NE(j.find("\"summary\""), std::string::npos);
+    EXPECT_NE(j.find("\"status\": \"SAT\""), std::string::npos);
+    EXPECT_NE(j.find("\"status\": \"PARSE_ERROR\""), std::string::npos);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+              std::count(j.begin(), j.end(), ']'));
+
+    std::ostringstream csv;
+    BatchRunner::writeCsv(report, csv);
+    const std::string c = csv.str();
+    // Header + one row per instance.
+    EXPECT_EQ(std::count(c.begin(), c.end(), '\n'), 3);
+    EXPECT_NE(c.find("name,path,status"), std::string::npos);
+    EXPECT_NE(c.find("easy,"), std::string::npos);
+}
+
+} // namespace
+} // namespace hyqsat::portfolio

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sat/solver.h"
+#include "tests/sat/helpers.h"
+#include "util/cancel.h"
+
+namespace hyqsat::sat {
+namespace {
+
+Cnf
+hardRandom(int vars, int clauses, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return testing::randomCnf(vars, clauses, 3, rng);
+}
+
+TEST(SolverCancel, PreTrippedTokenYieldsUndef)
+{
+    StopToken stop;
+    stop.requestStop();
+
+    Solver s;
+    ASSERT_TRUE(s.loadCnf(hardRandom(60, 255, 31)));
+    s.setStopToken(&stop);
+    EXPECT_TRUE(s.solve().isUndef());
+}
+
+TEST(SolverCancel, TokenTrippedMidSolveStopsSearch)
+{
+    StopToken stop;
+    Solver s;
+    // Near-threshold and big enough that the search outlives the
+    // 5 ms fuse on any build type.
+    ASSERT_TRUE(s.loadCnf(hardRandom(500, 2130, 32)));
+    s.setStopToken(&stop);
+
+    std::thread tripper([&stop] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        stop.requestStop();
+    });
+    const lbool result = s.solve();
+    tripper.join();
+    // Sound either way: if the instance somehow decided first, fine;
+    // a cancelled run must report Undef, never a wrong answer.
+    if (result.isTrue()) {
+        SUCCEED() << "decided before the token tripped";
+    } else {
+        EXPECT_TRUE(result.isUndef() || result.isFalse());
+    }
+}
+
+TEST(SolverCancel, TokenResetAllowsResolve)
+{
+    StopToken stop;
+    stop.requestStop();
+    Solver s;
+    const Var v = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(v)}));
+    s.setStopToken(&stop);
+    EXPECT_TRUE(s.solve().isUndef());
+
+    stop.reset();
+    EXPECT_TRUE(s.solve().isTrue());
+    EXPECT_TRUE(s.model()[v].isTrue());
+}
+
+TEST(SolverImport, BinaryClauseConstrainsSearch)
+{
+    Solver s;
+    const Var a = s.newVar(), b = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(a), mkLit(b)}));
+    ASSERT_TRUE(s.importClause({mkLit(a, true), mkLit(b, true)}));
+    ASSERT_TRUE(s.solve().isTrue());
+    // Exactly one of a, b true: the imported clause must be honored.
+    EXPECT_NE(s.model()[a].isTrue(), s.model()[b].isTrue());
+    EXPECT_EQ(s.stats().imported_clauses, 1u);
+}
+
+TEST(SolverImport, ContradictoryUnitsRefute)
+{
+    Solver s;
+    const Var v = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(v), mkLit(v)})); // keeps v alive
+    ASSERT_TRUE(s.importClause({mkLit(v)}));
+    EXPECT_FALSE(s.importClause({mkLit(v, true)}));
+    EXPECT_FALSE(s.okay());
+    EXPECT_TRUE(s.solve().isFalse());
+}
+
+TEST(SolverImport, ForeignVariableDropsWholeClause)
+{
+    // A clause naming a variable this solver never allocated cannot
+    // be attached; dropping only the literal would strengthen the
+    // clause unsoundly, so the whole clause is ignored.
+    Solver s;
+    const Var v = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(v)}));
+    ASSERT_TRUE(s.importClause({mkLit(v, true), mkLit(v + 7)}));
+    EXPECT_EQ(s.stats().imported_clauses, 0u);
+    EXPECT_TRUE(s.solve().isTrue());
+    EXPECT_TRUE(s.model()[v].isTrue());
+}
+
+TEST(SolverImport, SatisfiedAndTautologicalImportsIgnored)
+{
+    Solver s;
+    const Var a = s.newVar(), b = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(a)})); // root fact: a = true
+    // Already satisfied by the root trail.
+    ASSERT_TRUE(s.importClause({mkLit(a), mkLit(b)}));
+    // Tautology.
+    ASSERT_TRUE(s.importClause({mkLit(b), mkLit(b, true)}));
+    EXPECT_EQ(s.stats().imported_clauses, 0u);
+}
+
+TEST(SolverHooks, ExportHookSeesEveryLearntClause)
+{
+    Solver s;
+    ASSERT_TRUE(s.loadCnf(hardRandom(25, 107, 33)));
+    std::vector<LitVec> exported;
+    s.setLearntExportHook(
+        [&exported](const LitVec &lits) { exported.push_back(lits); });
+    const lbool result = s.solve();
+    ASSERT_FALSE(result.isUndef());
+    EXPECT_EQ(exported.size(), s.stats().exported_clauses);
+    for (const auto &c : exported)
+        EXPECT_FALSE(c.empty());
+    // Learning fired at least once on a near-threshold instance.
+    EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(SolverHooks, RootHookRunsAndMayImport)
+{
+    Solver s;
+    const Var a = s.newVar(), b = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(a), mkLit(b)}));
+    int calls = 0;
+    s.setRootHook([&calls, a](Solver &inner) {
+        if (calls++ == 0) {
+            ASSERT_TRUE(inner.importClause({mkLit(a)}));
+        }
+    });
+    ASSERT_TRUE(s.solve().isTrue());
+    EXPECT_GE(calls, 1);
+    EXPECT_TRUE(s.model()[a].isTrue());
+}
+
+TEST(SolverHooks, SuggestPhaseSteersFreeVariables)
+{
+    Solver s;
+    const Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+    // No clauses: every variable is decided purely by saved phase.
+    s.suggestPhase(a, true);
+    s.suggestPhase(b, false);
+    s.suggestPhase(c, true);
+    ASSERT_TRUE(s.solve().isTrue());
+    EXPECT_TRUE(s.model()[a].isTrue());
+    EXPECT_TRUE(s.model()[b].isFalse());
+    EXPECT_TRUE(s.model()[c].isTrue());
+}
+
+} // namespace
+} // namespace hyqsat::sat
