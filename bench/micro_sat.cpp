@@ -9,6 +9,7 @@
 #include "core/clause_queue.h"
 #include "gen/random_sat.h"
 #include "sat/solver.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 using namespace hyqsat;
@@ -29,6 +30,27 @@ BM_SolveRandom3Sat(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SolveRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+// Overhead contract for the observability layer: this variant runs
+// the identical solve with a registry attached. The acceptance bar
+// is < 2% vs BM_SolveRandom3Sat (publishing is delta-based at
+// restart boundaries; the propagate/decide hot loop is untouched).
+void
+BM_SolveRandom3SatMetricsEnabled(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const int m = static_cast<int>(n * 4.26);
+    Rng rng(42);
+    const auto cnf = gen::uniformRandom3Sat(n, m, rng);
+    MetricsRegistry registry;
+    for (auto _ : state) {
+        sat::Solver solver;
+        solver.attachMetrics(&registry);
+        solver.loadCnf(cnf);
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+BENCHMARK(BM_SolveRandom3SatMetricsEnabled)->Arg(50)->Arg(100)->Arg(150);
 
 void
 BM_LoadAndPropagate(benchmark::State &state)

@@ -7,22 +7,27 @@
  *   ./build/examples/batch_solver [files...] [--dir D] [--manifest F|-]
  *       [--workers N] [--jobs N] [--timeout-s X] [--conflicts N]
  *       [--memory-mb M] [--sampler NAME] [--depth N] [--noisy]
- *       [--no-share] [--json FILE] [--csv FILE] [--strict] [--quiet]
+ *       [--no-share] [--json FILE] [--csv FILE] [--metrics FILE]
+ *       [--trace FILE] [--strict] [--quiet]
  *
  * Instances come from positional paths, every *.cnf/*.dimacs under
  * --dir, and/or a manifest (one path per line; "-" = stdin). Exit
  * status: 0 on success; with --strict, 1 if any instance ended
  * UNKNOWN / TIMEOUT / SKIPPED / PARSE_ERROR (the CI smoke gate).
+ * --metrics dumps whole-batch totals from the metrics registry as
+ * JSON; --trace streams per-worker / per-instance JSONL events live.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "portfolio/batch_runner.h"
+#include "util/metrics.h"
 
 using namespace hyqsat;
 
@@ -34,7 +39,7 @@ main(int argc, char **argv)
     opts.portfolio.base.annealer.noise = anneal::NoiseModel::noiseFree();
     opts.portfolio.base.annealer.greedy_finish = true;
     opts.portfolio.base.annealer.attempts = 2;
-    std::string json_path, csv_path;
+    std::string json_path, csv_path, metrics_path, trace_path;
     bool strict = false, quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -81,6 +86,10 @@ main(int argc, char **argv)
             json_path = argv[++i];
         } else if (arg("--csv")) {
             csv_path = argv[++i];
+        } else if (arg("--metrics")) {
+            metrics_path = argv[++i];
+        } else if (arg("--trace")) {
+            trace_path = argv[++i];
         } else if (!std::strcmp(argv[i], "--noisy")) {
             opts.portfolio.base.annealer.noise =
                 anneal::NoiseModel::dwave2000q();
@@ -105,11 +114,27 @@ main(int argc, char **argv)
             "usage: %s [files...] [--dir D] [--manifest F|-] "
             "[--workers N] [--jobs N] [--timeout-s X] [--conflicts N] "
             "[--memory-mb M] [--sampler NAME] [--depth N] [--noisy] "
-            "[--no-share] [--json FILE] [--csv FILE] [--strict] "
-            "[--quiet]\n",
+            "[--no-share] [--json FILE] [--csv FILE] "
+            "[--metrics FILE] [--trace FILE] [--strict] [--quiet]\n",
             argv[0]);
         return 2;
     }
+
+    // Whole-batch registry: every instance's private registry is
+    // merged into it by the runner; the trace sink streams live.
+    MetricsRegistry registry;
+    std::unique_ptr<TraceSink> trace_sink;
+    if (!trace_path.empty()) {
+        trace_sink = std::make_unique<TraceSink>(trace_path);
+        if (!trace_sink->ok()) {
+            std::fprintf(stderr, "cannot open trace file %s\n",
+                         trace_path.c_str());
+            return 2;
+        }
+        registry.setTrace(trace_sink.get());
+    }
+    if (!metrics_path.empty() || !trace_path.empty())
+        opts.metrics = &registry;
 
     portfolio::BatchRunner runner(opts);
     const portfolio::BatchReport report = runner.run(paths);
@@ -142,6 +167,17 @@ main(int argc, char **argv)
         portfolio::BatchRunner::writeCsv(report, out);
         if (!quiet)
             std::printf("wrote %s\n", csv_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (out) {
+            registry.writeJson(out);
+            if (!quiet)
+                std::printf("wrote %s\n", metrics_path.c_str());
+        } else {
+            std::fprintf(stderr, "cannot open metrics file %s\n",
+                         metrics_path.c_str());
+        }
     }
 
     if (strict && !report.allDecided())

@@ -7,14 +7,18 @@
  *
  *   ./build/examples/dimacs_solver problem.cnf [--classic]
  *       [--noisy] [--warmup N] [--sampler=NAME] [--depth N]
- *       [--timeout-s X] [--conflicts N]
+ *       [--timeout-s X] [--conflicts N] [--metrics FILE]
+ *       [--trace FILE]
  *
  * --sampler selects the annealing backend by name (sync, qa,
  * logical, sa, batch, async, async:<backend>); --depth >= 2 enables
  * the asynchronous pipeline on any backend. --timeout-s bounds the
  * run by wall clock (a watchdog thread trips the cooperative stop
  * token every layer observes) and --conflicts by conflict count;
- * either prints "s UNKNOWN" when it fires.
+ * either prints "s UNKNOWN" when it fires. --metrics dumps the
+ * run's metrics registry as JSON ("hyqsat.metrics/1" schema);
+ * --trace streams JSONL events (restarts, pipeline stalls, backend
+ * outcomes) as they happen.
  */
 
 #include <atomic>
@@ -22,6 +26,8 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -30,6 +36,7 @@
 #include "sat/dimacs.h"
 #include "sat/simplify.h"
 #include "util/cancel.h"
+#include "util/metrics.h"
 
 using namespace hyqsat;
 
@@ -42,7 +49,8 @@ main(int argc, char **argv)
             names += (names.empty() ? "" : "|") + n;
         std::printf("usage: %s problem.cnf [--classic] [--noisy] "
                     "[--warmup N] [--sampler=%s] [--depth N] "
-                    "[--timeout-s X] [--conflicts N]\n",
+                    "[--timeout-s X] [--conflicts N] "
+                    "[--metrics FILE] [--trace FILE]\n",
                     argv[0], names.c_str());
         return 2;
     }
@@ -53,6 +61,7 @@ main(int argc, char **argv)
     int depth = 1;
     double timeout_s = 0.0;
     std::int64_t conflict_budget = -1;
+    std::string metrics_path, trace_path;
     for (int i = 2; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--classic"))
             classic = true;
@@ -72,7 +81,38 @@ main(int argc, char **argv)
             timeout_s = std::atof(argv[++i]);
         else if (!std::strcmp(argv[i], "--conflicts") && i + 1 < argc)
             conflict_budget = std::atoll(argv[++i]);
+        else if (!std::strcmp(argv[i], "--metrics") && i + 1 < argc)
+            metrics_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
     }
+
+    // One registry for the whole run; the solve layers merge their
+    // per-solve registries into it on the way out. The trace sink
+    // streams JSONL live (events appear even if the run is killed).
+    MetricsRegistry registry;
+    std::unique_ptr<TraceSink> trace_sink;
+    if (!trace_path.empty()) {
+        trace_sink = std::make_unique<TraceSink>(trace_path);
+        if (!trace_sink->ok()) {
+            std::printf("c cannot open trace file %s\n",
+                        trace_path.c_str());
+            return 2;
+        }
+        registry.setTrace(trace_sink.get());
+    }
+    const auto write_metrics = [&] {
+        if (metrics_path.empty())
+            return;
+        std::ofstream out(metrics_path);
+        if (!out) {
+            std::printf("c cannot open metrics file %s\n",
+                        metrics_path.c_str());
+            return;
+        }
+        registry.writeJson(out);
+        std::printf("c wrote metrics to %s\n", metrics_path.c_str());
+    };
 
     const auto parsed = sat::parseDimacsFile(path);
     if (!parsed) {
@@ -91,6 +131,7 @@ main(int argc, char **argv)
                     pre.units_propagated, pre.subsumed,
                     pre.strengthened, pre.cnf.numClauses());
         if (!pre.satisfiable_possible) {
+            write_metrics();
             std::printf("s UNSATISFIABLE\n");
             return 20;
         }
@@ -134,10 +175,11 @@ main(int argc, char **argv)
     if (classic) {
         auto opts = sat::SolverOptions::minisatStyle();
         opts.conflict_budget = conflict_budget;
-        result = core::solveClassicCdcl(cnf, opts, &stop);
+        result = core::solveClassicCdcl(cnf, opts, &stop, &registry);
     } else {
         core::HybridConfig config;
         config.stop = &stop;
+        config.metrics = &registry;
         config.solver.conflict_budget = conflict_budget;
         if (noisy) {
             config.annealer.noise = anneal::NoiseModel::dwave2000q();
@@ -179,6 +221,7 @@ main(int argc, char **argv)
                     result.stats.iterations),
                 static_cast<unsigned long long>(
                     result.stats.conflicts));
+    write_metrics();
     if (result.status.isTrue()) {
         if (preprocess)
             result.model = pre.extendModel(result.model);

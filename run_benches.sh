@@ -2,12 +2,64 @@
 # Regenerate every table/figure: one binary per experiment
 # (includes bench/portfolio_scaling, the portfolio racing
 # trajectory), then smoke the batch DIMACS service end to end.
+#
+#   ./run_benches.sh           full run, writes BENCH_<name>.json
+#   ./run_benches.sh --smoke   tiny inputs (HYQSAT_BENCH_TINY=1),
+#                              portfolio_scaling only, writes
+#                              BENCH_<name>_smoke.json
+#
+# Any bench that prints machine-readable "BENCH {json}" lines gets
+# its trajectory collected into BENCH_<name><suffix>.json (a JSON
+# array, one element per line) next to this script — that file is
+# what CI validates and plots consume.
 cd "$(dirname "$0")"
+
+SMOKE=0
+if [ "${1:-}" = "--smoke" ]; then
+    SMOKE=1
+fi
+
+suffix=""
+if [ "$SMOKE" = 1 ]; then
+    export HYQSAT_BENCH_TINY=1
+    suffix="_smoke"
+fi
+
+# Collect "^BENCH " JSON lines from a log into BENCH_<name><suffix>.json.
+write_trajectory() {
+    local name="$1" log="$2"
+    grep -q '^BENCH ' "$log" || return 0
+    local out="BENCH_${name}${suffix}.json"
+    sed -n 's/^BENCH //p' "$log" | awk '
+        BEGIN { print "[" }
+        { if (NR > 1) printf(",\n"); printf("  %s", $0) }
+        END { print "\n]" }' > "$out"
+    echo "wrote $out"
+}
+
+run_bench() {
+    local b="$1"
+    local name log st
+    name=$(basename "$b")
+    echo "===== $b ====="
+    log=$(mktemp)
+    timeout 1500 "$b" | tee "$log"
+    st=${PIPESTATUS[0]}
+    write_trajectory "$name" "$log"
+    rm -f "$log"
+    echo
+    return "$st"
+}
+
+if [ "$SMOKE" = 1 ]; then
+    run_bench build/bench/portfolio_scaling || exit 1
+    echo "ALL_BENCHES_DONE"
+    exit 0
+fi
+
 for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
-        echo "===== $b ====="
-        timeout 1500 "$b"
-        echo
+        run_bench "$b"
     fi
 done
 

@@ -4,6 +4,41 @@
 
 namespace hyqsat::core {
 
+Backend::Backend(const BackendOptions &opts, MetricsRegistry *metrics)
+    : opts_(opts)
+{
+    if (!metrics)
+        return;
+    m_samples_ = metrics->counter("backend.samples");
+    m_solved_ = metrics->counter("backend.solved_by_qa");
+    for (int k = 1; k <= 4; ++k) {
+        m_strategy_[k] = metrics->counter(
+            "backend.strategy" + std::to_string(k));
+    }
+    for (int c = 0; c < 4; ++c) {
+        m_class_[c] = metrics->counter(
+            std::string("backend.class.") +
+            bayes::satisfactionClassName(
+                static_cast<bayes::SatisfactionClass>(c)));
+    }
+    m_apply_s_ = metrics->timer("backend.apply");
+}
+
+/** Record one interpreted sample into the attached registry. */
+void
+Backend::record(const BackendOutcome &out) const
+{
+    metricInc(m_samples_);
+    if (out.solved)
+        metricInc(m_solved_);
+    if (out.strategy >= 1 && out.strategy <= 4)
+        metricInc(m_strategy_[out.strategy]);
+    const int cls = static_cast<int>(out.cls);
+    if (cls >= 0 && cls < 4)
+        metricInc(m_class_[cls]);
+    metricTime(m_apply_s_, out.seconds);
+}
+
 BackendOutcome
 Backend::apply(sat::Solver &solver, const FrontendResult &frontend,
                const anneal::AnnealSample &sample,
@@ -14,6 +49,7 @@ Backend::apply(sat::Solver &solver, const FrontendResult &frontend,
     const auto &problem = frontend.embedded.problem;
     if (problem.numNodes() == 0) {
         out.seconds = timer.seconds();
+        record(out);
         return out;
     }
 
@@ -36,6 +72,7 @@ Backend::apply(sat::Solver &solver, const FrontendResult &frontend,
                 out.solved = true;
                 out.model = std::move(model);
                 out.seconds = timer.seconds();
+                record(out);
                 return out;
             }
         }
@@ -68,6 +105,7 @@ Backend::apply(sat::Solver &solver, const FrontendResult &frontend,
     }
 
     out.seconds = timer.seconds();
+    record(out);
     return out;
 }
 

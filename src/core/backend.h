@@ -23,6 +23,7 @@
 #include "core/frontend.h"
 #include "sat/cnf.h"
 #include "sat/solver.h"
+#include "util/metrics.h"
 
 namespace hyqsat::core {
 
@@ -77,7 +78,14 @@ struct BackendOutcome
 class Backend
 {
   public:
-    explicit Backend(const BackendOptions &opts) : opts_(opts) {}
+    /**
+     * @param metrics optional registry: per-strategy counters
+     *        (backend.strategy1..4), energy-class counters
+     *        (backend.class.<name>), a sample counter and the
+     *        interpretation timer. nullptr records nothing.
+     */
+    explicit Backend(const BackendOptions &opts,
+                     MetricsRegistry *metrics = nullptr);
 
     /**
      * Classify @p sample and apply the matching feedback strategy to
@@ -92,7 +100,16 @@ class Backend
     const BackendOptions &options() const { return opts_; }
 
   private:
+    void record(const BackendOutcome &out) const;
+
     BackendOptions opts_;
+
+    /** Resolved record handles, all null without a registry. */
+    Counter *m_samples_ = nullptr;
+    Counter *m_solved_ = nullptr;
+    Counter *m_strategy_[5] = {};       ///< index 1..4
+    Counter *m_class_[4] = {};          ///< by SatisfactionClass
+    MetricTimer *m_apply_s_ = nullptr;
 };
 
 } // namespace hyqsat::core

@@ -60,8 +60,17 @@ HybridSolver::solve(const sat::Cnf &formula)
               formula.maxClauseSize());
     }
 
+    // Per-solve registry: the single source of truth every stat /
+    // time field of HybridResult is a view over. Folded into the
+    // configured external registry (if any) on the way out, so
+    // counters there accumulate across solves; trace events stream
+    // to the external sink live.
+    MetricsRegistry metrics;
+    if (config_.metrics)
+        metrics.setTrace(config_.metrics->trace());
+
     Frontend frontend(graph_, config_.frontend);
-    Backend backend(config_.backend);
+    Backend backend(config_.backend, &metrics);
     // A fresh sampler per solve keeps repeated solves reproducible
     // (the backend Rng streams restart from the configured seed).
     const std::unique_ptr<anneal::Sampler> sampler =
@@ -69,6 +78,7 @@ HybridSolver::solve(const sat::Cnf &formula)
     Rng rng(config_.seed);
 
     sat::Solver solver(config_.solver);
+    solver.attachMetrics(&metrics);
     if (config_.stop)
         solver.setStopToken(config_.stop);
     if (config_.learnt_export)
@@ -79,6 +89,9 @@ HybridSolver::solve(const sat::Cnf &formula)
         result.status = sat::l_False;
         result.stats = solver.stats();
         result.time.cdcl_s = total_timer.seconds();
+        metrics.timer("hybrid.total")->add(result.time.cdcl_s);
+        if (config_.metrics)
+            config_.metrics->merge(metrics);
         return result;
     }
 
@@ -100,8 +113,11 @@ HybridSolver::solve(const sat::Cnf &formula)
     // submission with its conflict epoch - completions from an older
     // epoch are stale and discarded.
     SamplePipeline pipeline(frontend, *sampler, rng,
-                            config_.use_embedding);
+                            config_.use_embedding, &metrics);
     std::vector<ReadySample> ready;
+
+    Counter *const warmup_counter =
+        metrics.counter("hybrid.warmup_iterations");
 
     solver.setIterationHook([&](sat::Solver &s) {
         if (static_cast<std::int64_t>(s.stats().iterations) >= warmup) {
@@ -117,18 +133,14 @@ HybridSolver::solve(const sat::Cnf &formula)
             // observes the same token at this decision boundary.
             return;
         }
-        ++result.warmup_iterations;
+        warmup_counter->add();
 
         ready.clear();
         pipeline.step(s, s.stats().conflicts, ready);
 
         for (ReadySample &rs : ready) {
-            ++result.qa_samples;
             const BackendOutcome outcome =
                 backend.apply(s, *rs.frontend, rs.sample, formula);
-            result.time.backend_s += outcome.seconds;
-            if (outcome.strategy >= 1 && outcome.strategy <= 4)
-                ++result.strategy_count[outcome.strategy];
             if (outcome.solved) {
                 qa_solved = true;
                 qa_model = outcome.model;
@@ -151,7 +163,10 @@ HybridSolver::solve(const sat::Cnf &formula)
     const sat::lbool status = solver.solve();
     result.stats = solver.stats();
 
-    const PipelineStats &ps = pipeline.stats();
+    // Views over the per-solve registry: pipeline, backend and
+    // warm-up numbers all read back from the one place they were
+    // recorded (no parallel hand-copied accounting).
+    const PipelineStats ps = pipeline.stats();
     result.qa_submitted = ps.submitted;
     result.qa_stale = ps.stale_discarded;
     result.chain_breaks = ps.chain_breaks;
@@ -161,6 +176,17 @@ HybridSolver::solve(const sat::Cnf &formula)
     result.time.qa_inflight_s = ps.inflight_s;
     result.time.qa_blocking_s = ps.blocking_s;
     result.time.stalls = ps.stalls;
+
+    result.warmup_iterations =
+        static_cast<int>(warmup_counter->value());
+    result.qa_samples =
+        static_cast<int>(metrics.counter("backend.samples")->value());
+    result.time.backend_s = metrics.timer("backend.apply")->seconds();
+    for (int k = 1; k <= 4; ++k) {
+        result.strategy_count[static_cast<std::size_t>(k)] =
+            metrics.counter("backend.strategy" + std::to_string(k))
+                ->value();
+    }
 
     if (qa_solved) {
         result.status = sat::l_True;
@@ -187,29 +213,38 @@ HybridSolver::solve(const sat::Cnf &formula)
     result.time.cdcl_s =
         std::max(0.0, total - result.time.frontend_s -
                           result.time.backend_s - sim_cost);
+    metrics.timer("hybrid.total")->add(total);
+    metrics.timer("hybrid.cdcl")->add(result.time.cdcl_s);
+    if (config_.metrics)
+        config_.metrics->merge(metrics);
     return result;
 }
 
 HybridResult
 solveClassicCdcl(const sat::Cnf &formula, const sat::SolverOptions &opts,
-                 const StopToken *stop)
+                 const StopToken *stop, MetricsRegistry *metrics)
 {
     Timer timer;
     HybridResult result;
     sat::Solver solver(opts);
+    solver.attachMetrics(metrics);
     if (stop)
         solver.setStopToken(stop);
     if (!solver.loadCnf(formula)) {
         result.status = sat::l_False;
         result.stats = solver.stats();
         result.time.cdcl_s = timer.seconds();
-        return result;
+    } else {
+        result.status = solver.solve();
+        result.stats = solver.stats();
+        if (result.status.isTrue())
+            result.model = solver.boolModel();
+        result.time.cdcl_s = timer.seconds();
     }
-    result.status = solver.solve();
-    result.stats = solver.stats();
-    if (result.status.isTrue())
-        result.model = solver.boolModel();
-    result.time.cdcl_s = timer.seconds();
+    if (metrics) {
+        metrics->timer("hybrid.total")->add(result.time.cdcl_s);
+        metrics->timer("hybrid.cdcl")->add(result.time.cdcl_s);
+    }
     return result;
 }
 

@@ -26,6 +26,7 @@
 #include "sat/cnf.h"
 #include "sat/solver.h"
 #include "util/cancel.h"
+#include "util/metrics.h"
 
 namespace hyqsat::core {
 
@@ -106,9 +107,23 @@ struct HybridConfig
      * (sat::Solver::importClause / suggestPhase).
      */
     std::function<void(sat::Solver &)> root_hook;
+
+    /**
+     * Observability: every solve() records its counters, phase
+     * timers and histograms into a per-solve registry (the single
+     * source of truth HybridResult's time/stat fields are views
+     * over) and, when this is non-null, merges that registry here at
+     * the end — so repeated solves accumulate and a CLI can dump one
+     * JSON file. Trace events stream to this registry's sink live.
+     */
+    MetricsRegistry *metrics = nullptr;
 };
 
-/** Host/device time breakdown (Fig. 11). */
+/**
+ * Host/device time breakdown (Fig. 11). A view assembled from the
+ * solve's metrics registry (pipeline.* timers + backend.apply +
+ * hybrid.cdcl), not an independently maintained copy.
+ */
 struct TimeBreakdown
 {
     double frontend_s = 0.0;   ///< queue + encode + embed (host)
@@ -210,11 +225,14 @@ class HybridSolver
 
 /**
  * Convenience: run plain CDCL through the same reporting types.
- * @p stop is an optional cooperative cancellation token.
+ * @p stop is an optional cooperative cancellation token; @p metrics
+ * an optional registry receiving the solver.* counters and the
+ * hybrid.total / hybrid.cdcl timers.
  */
 HybridResult solveClassicCdcl(const sat::Cnf &formula,
                               const sat::SolverOptions &opts,
-                              const StopToken *stop = nullptr);
+                              const StopToken *stop = nullptr,
+                              MetricsRegistry *metrics = nullptr);
 
 } // namespace hyqsat::core
 

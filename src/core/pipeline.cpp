@@ -4,12 +4,63 @@
 
 namespace hyqsat::core {
 
+namespace {
+
+/** Bucket edges 0|1|2|...|capacity for the occupancy histogram. */
+std::vector<double>
+occupancyBounds(int capacity)
+{
+    std::vector<double> bounds;
+    bounds.reserve(static_cast<std::size_t>(std::max(capacity, 1)));
+    for (int i = 0; i < std::max(capacity, 1); ++i)
+        bounds.push_back(static_cast<double>(i) + 0.5);
+    return bounds;
+}
+
+} // namespace
+
 SamplePipeline::SamplePipeline(const Frontend &frontend,
                                anneal::Sampler &sampler, Rng &rng,
-                               bool use_embedding)
+                               bool use_embedding,
+                               MetricsRegistry *metrics)
     : frontend_(frontend), sampler_(sampler), rng_(rng),
       use_embedding_(use_embedding)
 {
+    if (!metrics) {
+        own_metrics_ = std::make_unique<MetricsRegistry>();
+        metrics = own_metrics_.get();
+    }
+    m_submitted_ = metrics->counter("pipeline.submitted");
+    m_harvested_ = metrics->counter("pipeline.harvested");
+    m_stale_ = metrics->counter("pipeline.stale_discarded");
+    m_stalls_ = metrics->counter("pipeline.stalls");
+    m_chain_breaks_ = metrics->counter("pipeline.chain_breaks");
+    m_frontend_s_ = metrics->timer("pipeline.frontend");
+    m_host_sample_s_ = metrics->timer("pipeline.host_sample");
+    m_device_s_ = metrics->timer("pipeline.device");
+    m_inflight_s_ = metrics->timer("pipeline.inflight");
+    m_blocking_s_ = metrics->timer("pipeline.blocking");
+    m_stall_span_s_ = metrics->timer("pipeline.stall_span");
+    m_occupancy_ = metrics->histogram(
+        "pipeline.occupancy", occupancyBounds(sampler.capacity()));
+    trace_ = metrics->trace();
+}
+
+PipelineStats
+SamplePipeline::stats() const
+{
+    PipelineStats s;
+    s.submitted = static_cast<int>(m_submitted_->value());
+    s.harvested = static_cast<int>(m_harvested_->value());
+    s.stale_discarded = static_cast<int>(m_stale_->value());
+    s.stalls = static_cast<int>(m_stalls_->value());
+    s.chain_breaks = static_cast<int>(m_chain_breaks_->value());
+    s.frontend_s = m_frontend_s_->seconds();
+    s.host_sample_s = m_host_sample_s_->seconds();
+    s.device_s = m_device_s_->seconds();
+    s.inflight_s = m_inflight_s_->seconds();
+    s.blocking_s = m_blocking_s_->seconds();
+    return s;
 }
 
 void
@@ -20,7 +71,7 @@ SamplePipeline::refreshCache(const sat::Solver &solver,
         return;
     auto fe =
         std::make_shared<FrontendResult>(frontend_.run(solver, rng_));
-    stats_.frontend_s += fe->seconds;
+    m_frontend_s_->add(fe->seconds);
     cache_ = std::move(fe);
     cache_epoch_ = epoch;
 }
@@ -49,11 +100,35 @@ SamplePipeline::step(const sat::Solver &solver, std::uint64_t epoch,
             // synchronous backend's compute time does not count as
             // overlap (the loop was blocked, nothing was hidden).
             inflight_.push_back(InFlight{ticket, epoch, cache_, Timer{}});
-            ++stats_.submitted;
+            m_submitted_->add();
+            if (in_stall_) {
+                // The stall span ends at the submit that got through.
+                in_stall_ = false;
+                const double span = stall_timer_.seconds();
+                m_stall_span_s_->add(span);
+                if (trace_) {
+                    trace_->event(
+                        "pipeline.stall_end",
+                        {{"span_s", span},
+                         {"epoch", static_cast<double>(epoch)}});
+                }
+            }
         } else {
-            ++stats_.stalls;
+            m_stalls_->add();
+            if (!in_stall_) {
+                in_stall_ = true;
+                stall_timer_.reset();
+                if (trace_) {
+                    trace_->event(
+                        "pipeline.stall_begin",
+                        {{"epoch", static_cast<double>(epoch)},
+                         {"inflight", static_cast<double>(
+                                          inflight_.size())}});
+                }
+            }
         }
     }
+    m_occupancy_->record(static_cast<double>(inflight_.size()));
 
     harvest(epoch, &ready);
 }
@@ -82,15 +157,18 @@ SamplePipeline::harvest(std::uint64_t epoch,
 
         const double wall = it->since_submit.seconds();
         const double device_s = completion.sample.device_time_us * 1e-6;
-        ++stats_.harvested;
-        stats_.inflight_s += wall;
-        stats_.blocking_s += std::max(0.0, device_s - wall);
-        stats_.device_s += device_s;
-        stats_.host_sample_s += completion.host_seconds;
-        stats_.chain_breaks += completion.sample.chain_breaks;
+        m_harvested_->add();
+        m_inflight_s_->add(wall);
+        m_blocking_s_->add(std::max(0.0, device_s - wall));
+        m_device_s_->add(device_s);
+        m_host_sample_s_->add(completion.host_seconds);
+        if (completion.sample.chain_breaks > 0) {
+            m_chain_breaks_->add(static_cast<std::uint64_t>(
+                completion.sample.chain_breaks));
+        }
 
         if (it->epoch != epoch || ready == nullptr) {
-            ++stats_.stale_discarded;
+            m_stale_->add();
         } else {
             ready->push_back(ReadySample{
                 it->frontend, std::move(completion.sample)});

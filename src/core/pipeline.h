@@ -26,12 +26,18 @@
 #include "anneal/sampler.h"
 #include "core/frontend.h"
 #include "sat/solver.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
 namespace hyqsat::core {
 
-/** Pipeline counters folded into HybridResult after a solve. */
+/**
+ * Pipeline counters folded into HybridResult after a solve. This is
+ * a *view* snapshotted from the metrics registry (stats()): the
+ * registry is the single source of truth, the struct just gives the
+ * hybrid loop and the tests a stable typed window onto it.
+ */
 struct PipelineStats
 {
     int submitted = 0;       ///< jobs handed to the sampler
@@ -59,8 +65,15 @@ struct ReadySample
 class SamplePipeline
 {
   public:
+    /**
+     * @param metrics registry receiving the pipeline's counters,
+     *        phase timers, in-flight occupancy histogram and stall
+     *        spans; nullptr uses a private registry so stats() is
+     *        always available (single source of truth either way).
+     */
     SamplePipeline(const Frontend &frontend, anneal::Sampler &sampler,
-                   Rng &rng, bool use_embedding);
+                   Rng &rng, bool use_embedding,
+                   MetricsRegistry *metrics = nullptr);
 
     /**
      * One pipeline advance at a decision iteration: refresh the
@@ -83,7 +96,8 @@ class SamplePipeline
     /** True when the backend overlaps sampling with search. */
     bool asynchronous() const { return sampler_.capacity() > 1; }
 
-    const PipelineStats &stats() const { return stats_; }
+    /** Snapshot of the registry's pipeline.* metrics. */
+    PipelineStats stats() const;
 
   private:
     struct InFlight
@@ -105,7 +119,30 @@ class SamplePipeline
     std::shared_ptr<const FrontendResult> cache_;
     std::uint64_t cache_epoch_ = ~0ull;
     std::vector<InFlight> inflight_;
-    PipelineStats stats_;
+
+    /** Private fallback registry when the caller supplies none. */
+    std::unique_ptr<MetricsRegistry> own_metrics_;
+
+    // Resolved record handles (always non-null: the pipeline records
+    // unconditionally; the one-branch contract applies to *callers*
+    // that never construct a pipeline).
+    Counter *m_submitted_;
+    Counter *m_harvested_;
+    Counter *m_stale_;
+    Counter *m_stalls_;
+    Counter *m_chain_breaks_;
+    MetricTimer *m_frontend_s_;
+    MetricTimer *m_host_sample_s_;
+    MetricTimer *m_device_s_;
+    MetricTimer *m_inflight_s_;
+    MetricTimer *m_blocking_s_;
+    MetricTimer *m_stall_span_s_;
+    LatencyHistogram *m_occupancy_;
+    TraceSink *trace_;
+
+    /** Open stall span: set while consecutive steps find us full. */
+    bool in_stall_ = false;
+    Timer stall_timer_;
 };
 
 } // namespace hyqsat::core

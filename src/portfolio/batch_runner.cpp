@@ -8,6 +8,7 @@
 
 #include "sat/dimacs.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace hyqsat::portfolio {
@@ -122,10 +123,17 @@ BatchRunner::solveOne(const std::string &path)
     if (!cnf.isThreeSat())
         cnf = sat::toThreeSat(cnf);
 
+    // Private per-instance registry: snapshotted into the record,
+    // then merged into the batch-level registry under the lock.
+    MetricsRegistry inst_metrics;
+    if (opts_.metrics)
+        inst_metrics.setTrace(opts_.metrics->trace());
+
     PortfolioOptions popts = opts_.portfolio;
     if (opts_.instance_timeout_s > 0.0)
         popts.timeout_s = opts_.instance_timeout_s;
     popts.external_stop = opts_.external_stop;
+    popts.metrics = &inst_metrics;
 
     const int workers = popts.workers.empty()
                             ? popts.num_workers
@@ -161,6 +169,26 @@ BatchRunner::solveOne(const std::string &path)
         rec.qa_blocking_s = w.time.qa_blocking_s;
         rec.backend_s = w.time.backend_s;
         rec.cdcl_s = w.time.cdcl_s;
+    }
+
+    // All-worker totals and the full per-instance snapshot come from
+    // the registry even when nobody decided (a timeout still did
+    // measurable work).
+    rec.restarts = inst_metrics.counter("solver.restarts")->value();
+    rec.propagations =
+        inst_metrics.counter("solver.propagations")->value();
+    rec.metrics = inst_metrics.snapshot();
+    if (opts_.metrics) {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        opts_.metrics->merge(inst_metrics);
+        if (TraceSink *trace = opts_.metrics->trace()) {
+            trace->event("batch.instance_done",
+                         {{"wall_s", rec.wall_s},
+                          {"conflicts",
+                           static_cast<double>(rec.conflicts)}},
+                         {{"name", rec.name},
+                          {"status", rec.status}});
+        }
     }
     return rec;
 }
@@ -230,31 +258,12 @@ BatchRunner::run(const std::vector<std::string> &paths)
 // Report writers
 // ----------------------------------------------------------------------
 
-namespace {
-
-/** Minimal JSON string escaping (paths, names). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        default: out += c; break;
-        }
-    }
-    return out;
-}
-
-} // namespace
-
 void
 BatchRunner::writeJson(const BatchReport &report, std::ostream &out)
 {
+    // Every double is routed through jsonNumber(): timing fields can
+    // be NaN/Inf after clock trouble or 0/0 derivations, and a bare
+    // "nan" token makes the whole report unparseable downstream.
     out << "{\n  \"summary\": {"
         << "\"instances\": " << report.records.size()
         << ", \"sat\": " << report.sat
@@ -263,25 +272,35 @@ BatchRunner::writeJson(const BatchReport &report, std::ostream &out)
         << ", \"timeouts\": " << report.timeouts
         << ", \"skipped\": " << report.skipped
         << ", \"errors\": " << report.errors
-        << ", \"wall_s\": " << report.wall_s << "},\n  \"instances\": [\n";
+        << ", \"wall_s\": " << jsonNumber(report.wall_s)
+        << "},\n  \"instances\": [\n";
     for (std::size_t i = 0; i < report.records.size(); ++i) {
         const InstanceRecord &r = report.records[i];
         out << "    {\"name\": \"" << jsonEscape(r.name)
             << "\", \"path\": \"" << jsonEscape(r.path)
-            << "\", \"status\": \"" << r.status
+            << "\", \"status\": \"" << jsonEscape(r.status)
             << "\", \"winner\": \"" << jsonEscape(r.winner)
-            << "\", \"wall_s\": " << r.wall_s
+            << "\", \"wall_s\": " << jsonNumber(r.wall_s)
             << ", \"vars\": " << r.vars
             << ", \"clauses\": " << r.clauses
             << ", \"iterations\": " << r.iterations
             << ", \"conflicts\": " << r.conflicts
+            << ", \"restarts\": " << r.restarts
+            << ", \"propagations\": " << r.propagations
             << ", \"qa_samples\": " << r.qa_samples
-            << ", \"time\": {\"frontend_s\": " << r.frontend_s
-            << ", \"qa_device_s\": " << r.qa_device_s
-            << ", \"qa_blocking_s\": " << r.qa_blocking_s
-            << ", \"backend_s\": " << r.backend_s
-            << ", \"cdcl_s\": " << r.cdcl_s << "}}"
-            << (i + 1 < report.records.size() ? "," : "") << "\n";
+            << ", \"time\": {\"frontend_s\": " << jsonNumber(r.frontend_s)
+            << ", \"qa_device_s\": " << jsonNumber(r.qa_device_s)
+            << ", \"qa_blocking_s\": " << jsonNumber(r.qa_blocking_s)
+            << ", \"backend_s\": " << jsonNumber(r.backend_s)
+            << ", \"cdcl_s\": " << jsonNumber(r.cdcl_s) << "}";
+        out << ", \"metrics\": {";
+        for (std::size_t k = 0; k < r.metrics.size(); ++k) {
+            out << (k ? ", " : "") << '"'
+                << jsonEscape(r.metrics[k].first)
+                << "\": " << jsonNumber(r.metrics[k].second);
+        }
+        out << "}}" << (i + 1 < report.records.size() ? "," : "")
+            << "\n";
     }
     out << "  ]\n}\n";
 }
@@ -290,15 +309,19 @@ void
 BatchRunner::writeCsv(const BatchReport &report, std::ostream &out)
 {
     out << "name,path,status,winner,wall_s,vars,clauses,iterations,"
-           "conflicts,qa_samples,frontend_s,qa_device_s,qa_blocking_s,"
-           "backend_s,cdcl_s\n";
+           "conflicts,restarts,propagations,qa_samples,frontend_s,"
+           "qa_device_s,qa_blocking_s,backend_s,cdcl_s\n";
     for (const InstanceRecord &r : report.records) {
         out << r.name << ',' << r.path << ',' << r.status << ','
-            << r.winner << ',' << r.wall_s << ',' << r.vars << ','
-            << r.clauses << ',' << r.iterations << ',' << r.conflicts
-            << ',' << r.qa_samples << ',' << r.frontend_s << ','
-            << r.qa_device_s << ',' << r.qa_blocking_s << ','
-            << r.backend_s << ',' << r.cdcl_s << "\n";
+            << r.winner << ',' << jsonNumber(r.wall_s) << ','
+            << r.vars << ',' << r.clauses << ',' << r.iterations
+            << ',' << r.conflicts << ',' << r.restarts << ','
+            << r.propagations << ',' << r.qa_samples << ','
+            << jsonNumber(r.frontend_s) << ','
+            << jsonNumber(r.qa_device_s) << ','
+            << jsonNumber(r.qa_blocking_s) << ','
+            << jsonNumber(r.backend_s) << ','
+            << jsonNumber(r.cdcl_s) << "\n";
     }
 }
 

@@ -64,12 +64,23 @@ struct InstanceRecord
     std::uint64_t conflicts = 0;
     int qa_samples = 0;
 
+    /** Totals over every raced worker (from the instance registry). */
+    std::uint64_t restarts = 0;
+    std::uint64_t propagations = 0;
+
     /** Winner's host/device time breakdown (zeros if no winner). */
     double frontend_s = 0.0;
     double qa_device_s = 0.0;
     double qa_blocking_s = 0.0;
     double backend_s = 0.0;
     double cdcl_s = 0.0;
+
+    /**
+     * Flat snapshot of the instance's full metrics registry
+     * (portfolio + solver + pipeline + backend), embedded as the
+     * "metrics" object of the JSON report row.
+     */
+    std::vector<std::pair<std::string, double>> metrics;
 };
 
 /** Whole-batch outcome. */
@@ -117,6 +128,15 @@ struct BatchOptions
 
     /** Caller-side cancellation for the whole batch. */
     const StopToken *external_stop = nullptr;
+
+    /**
+     * Observability: each instance solves against a private registry
+     * (snapshotted into its InstanceRecord), then merges here under
+     * the runner's lock — so the file a CLI dumps holds whole-batch
+     * totals. Instance begin/done events stream to this registry's
+     * trace sink. nullptr records nothing.
+     */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** The thread-pool batch service. */
@@ -146,6 +166,7 @@ class BatchRunner
     InstanceRecord solveOne(const std::string &path);
 
     BatchOptions opts_;
+    std::mutex metrics_mutex_; ///< serializes merges into opts_.metrics
 };
 
 } // namespace hyqsat::portfolio

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -123,6 +124,20 @@ PortfolioSolver::solve(const sat::Cnf &formula)
         n, ClauseExchange::Options{opts_.share_max_len,
                                    opts_.share_capacity});
 
+    // One private registry per worker: hot-handle writes never cross
+    // threads; everything is merged into opts_.metrics after join.
+    TraceSink *const trace =
+        opts_.metrics ? opts_.metrics->trace() : nullptr;
+    std::vector<std::unique_ptr<MetricsRegistry>> worker_metrics;
+    if (opts_.metrics) {
+        worker_metrics.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            worker_metrics.push_back(
+                std::make_unique<MetricsRegistry>());
+            worker_metrics.back()->setTrace(trace);
+        }
+    }
+
     std::mutex mutex;
     std::condition_variable cv;
     int running = n;
@@ -134,6 +149,8 @@ PortfolioSolver::solve(const sat::Cnf &formula)
         const Timer worker_timer;
         core::HybridConfig cfg = slate[static_cast<std::size_t>(i)].hybrid;
         cfg.stop = &stop;
+        if (!worker_metrics.empty())
+            cfg.metrics = worker_metrics[static_cast<std::size_t>(i)].get();
         if (opts_.conflict_budget >= 0)
             cfg.solver.conflict_budget = opts_.conflict_budget;
         if (share) {
@@ -181,6 +198,19 @@ PortfolioSolver::solve(const sat::Cnf &formula)
                 stop.requestStop(); // cancel the losers
             }
             --running;
+            if (trace) {
+                trace->event(
+                    "portfolio.worker_done",
+                    {{"seconds", seconds},
+                     {"conflicts",
+                      static_cast<double>(rep.conflicts)},
+                     {"qa_samples",
+                      static_cast<double>(rep.qa_samples)}},
+                    {{"label", rep.label},
+                     {"status", rep.status.isTrue()    ? "SAT"
+                                : rep.status.isFalse() ? "UNSAT"
+                                                       : "UNDEF"}});
+            }
         }
         cv.notify_all();
     };
@@ -242,6 +272,43 @@ PortfolioSolver::solve(const sat::Cnf &formula)
         result.winner_result = std::move(winner_result);
     }
     result.exchange = exchange.stats();
+
+    if (opts_.metrics) {
+        MetricsRegistry &m = *opts_.metrics;
+        for (const auto &wm : worker_metrics)
+            m.merge(*wm);
+        m.counter("portfolio.races")->add();
+        m.timer("portfolio.wall")->add(result.wall_s);
+        if (result.winner >= 0) {
+            m.counter("portfolio.decided")->add();
+            m.counter("portfolio.wins." + result.winner_label)->add();
+            m.timer("portfolio.cancel_latency")
+                ->add(result.cancel_latency_s);
+        }
+        if (result.timed_out)
+            m.counter("portfolio.timeouts")->add();
+        if (result.external_stopped)
+            m.counter("portfolio.external_stops")->add();
+        m.counter("portfolio.exchange.published")
+            ->add(result.exchange.published);
+        m.counter("portfolio.exchange.rejected_len")
+            ->add(result.exchange.rejected_len);
+        m.counter("portfolio.exchange.overflowed")
+            ->add(result.exchange.overflowed);
+        m.counter("portfolio.exchange.fetched")
+            ->add(result.exchange.fetched);
+        if (trace) {
+            trace->event(
+                "portfolio.race_done",
+                {{"wall_s", result.wall_s},
+                 {"cancel_latency_s", result.cancel_latency_s},
+                 {"workers", static_cast<double>(n)}},
+                {{"winner", result.winner_label},
+                 {"status", result.status.isTrue()    ? "SAT"
+                            : result.status.isFalse() ? "UNSAT"
+                                                      : "UNDEF"}});
+        }
+    }
     return result;
 }
 

@@ -78,6 +78,17 @@ struct PortfolioOptions
 
     /** Seed exporters' first-UIP polarity into importers' phases. */
     bool share_polarity = true;
+
+    /**
+     * Observability: each worker records into a private registry
+     * (no cross-thread contention on the hot handles); after the
+     * race the per-worker registries are merged here along with the
+     * portfolio-level counters (races, decisions, timeouts, win
+     * counts per label, clause-exchange totals) and the cancel-
+     * latency timer. Worker start/done/winner events stream to this
+     * registry's trace sink live. nullptr records nothing.
+     */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Per-worker outcome (losers report whatever they had at stop). */

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/timer.h"
 
 namespace hyqsat::sat {
 
@@ -590,6 +593,7 @@ Solver::removeClause(CRef cr)
 void
 Solver::reduceDB()
 {
+    ++stats_.reduce_dbs;
     std::sort(learnts_.begin(), learnts_.end(),
               [&](CRef a, CRef b) {
                   const Clause &ca = arena_.ref(a);
@@ -688,13 +692,87 @@ Solver::simplifyAtRoot()
     return true;
 }
 
-double
+std::int64_t
 Solver::restartLimit(int restart_number) const
 {
-    if (opts_.luby_restarts)
-        return luby(2.0, restart_number) * opts_.restart_first;
-    return std::pow(opts_.restart_inc, restart_number) *
-           opts_.restart_first;
+    const double raw =
+        opts_.luby_restarts
+            ? luby(2.0, restart_number) * opts_.restart_first
+            : std::pow(opts_.restart_inc, restart_number) *
+                  opts_.restart_first;
+    // Geometric schedules exceed any integer after a few dozen
+    // restarts; saturate (the !(raw < max) form also catches NaN)
+    // instead of letting the cast hit UB.
+    constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+    if (!(raw < static_cast<double>(kMax)))
+        return kMax;
+    return std::max<std::int64_t>(static_cast<std::int64_t>(raw), 1);
+}
+
+void
+Solver::attachMetrics(MetricsRegistry *registry)
+{
+    if (!registry) {
+        metrics_ = {};
+        return;
+    }
+    metrics_.decisions = registry->counter("solver.decisions");
+    metrics_.propagations = registry->counter("solver.propagations");
+    metrics_.conflicts = registry->counter("solver.conflicts");
+    metrics_.restarts = registry->counter("solver.restarts");
+    metrics_.reduce_dbs = registry->counter("solver.reduce_dbs");
+    metrics_.learned_clauses =
+        registry->counter("solver.learned_clauses");
+    metrics_.removed_clauses =
+        registry->counter("solver.removed_clauses");
+    metrics_.minimized_literals =
+        registry->counter("solver.minimized_literals");
+    metrics_.exported_clauses =
+        registry->counter("solver.exported_clauses");
+    metrics_.imported_clauses =
+        registry->counter("solver.imported_clauses");
+    metrics_.iterations = registry->counter("solver.iterations");
+    metrics_.search_s = registry->timer("solver.search");
+    metrics_.propagations_per_s =
+        registry->gauge("solver.propagations_per_s");
+    metrics_.trace = registry->trace();
+    // Publish future deltas only: attaching mid-life must not replay
+    // counts an earlier registry already received.
+    metrics_base_ = stats_;
+}
+
+void
+Solver::publishMetrics()
+{
+    if (!metrics_.decisions)
+        return;
+    const auto publish = [](Counter *c, std::uint64_t cur,
+                            std::uint64_t &base) {
+        if (cur > base)
+            c->add(cur - base);
+        base = cur;
+    };
+    publish(metrics_.decisions, stats_.decisions,
+            metrics_base_.decisions);
+    publish(metrics_.propagations, stats_.propagations,
+            metrics_base_.propagations);
+    publish(metrics_.conflicts, stats_.conflicts,
+            metrics_base_.conflicts);
+    publish(metrics_.restarts, stats_.restarts, metrics_base_.restarts);
+    publish(metrics_.reduce_dbs, stats_.reduce_dbs,
+            metrics_base_.reduce_dbs);
+    publish(metrics_.learned_clauses, stats_.learned_clauses,
+            metrics_base_.learned_clauses);
+    publish(metrics_.removed_clauses, stats_.removed_clauses,
+            metrics_base_.removed_clauses);
+    publish(metrics_.minimized_literals, stats_.minimized_literals,
+            metrics_base_.minimized_literals);
+    publish(metrics_.exported_clauses, stats_.exported_clauses,
+            metrics_base_.exported_clauses);
+    publish(metrics_.imported_clauses, stats_.imported_clauses,
+            metrics_base_.imported_clauses);
+    publish(metrics_.iterations, stats_.iterations,
+            metrics_base_.iterations);
 }
 
 bool
@@ -712,9 +790,9 @@ Solver::budgetExhausted() const
 }
 
 lbool
-Solver::search(int max_conflicts)
+Solver::search(std::int64_t max_conflicts)
 {
-    int conflicts_here = 0;
+    std::int64_t conflicts_here = 0;
     LitVec learnt;
 
     for (;;) {
@@ -894,16 +972,40 @@ Solver::solveInternal()
     learntsize_adjust_confl_ = 100;
     learntsize_adjust_cnt_ = 100;
 
+    const Timer search_timer;
+    const std::uint64_t propagations_before = stats_.propagations;
+
     lbool status = l_Undef;
     for (int restarts = 0; status.isUndef(); ++restarts) {
-        const auto limit =
-            static_cast<int>(restartLimit(restarts));
+        const std::int64_t limit = restartLimit(restarts);
         status = search(limit);
         if (status.isUndef() && (budgetExhausted() || stopNow()))
             break;
-        if (status.isUndef())
+        if (status.isUndef()) {
             ++stats_.restarts;
+            if (metrics_.trace) {
+                metrics_.trace->event(
+                    "solver.restart",
+                    {{"number", static_cast<double>(restarts + 1)},
+                     {"limit_conflicts", static_cast<double>(limit)},
+                     {"conflicts",
+                      static_cast<double>(stats_.conflicts)}});
+            }
+            publishMetrics();
+        }
     }
+
+    if (metrics_.search_s) {
+        const double seconds = search_timer.seconds();
+        metrics_.search_s->add(seconds);
+        if (seconds > 0.0) {
+            metrics_.propagations_per_s->set(
+                static_cast<double>(stats_.propagations -
+                                    propagations_before) /
+                seconds);
+        }
+    }
+    publishMetrics();
 
     if (status.isTrue()) {
         model_.assign(assigns_.begin(), assigns_.end());

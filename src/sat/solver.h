@@ -29,6 +29,14 @@
 #include "util/cancel.h"
 #include "util/rng.h"
 
+namespace hyqsat {
+class Counter;
+class Gauge;
+class MetricTimer;
+class MetricsRegistry;
+class TraceSink;
+} // namespace hyqsat
+
 namespace hyqsat::sat {
 
 /** CDCL solver. See file comment for the feature set. */
@@ -264,6 +272,30 @@ class Solver
     /** @return the configured options (read-only). */
     const SolverOptions &options() const { return opts_; }
 
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /**
+     * Resolve record handles against @p registry (nullptr detaches).
+     * SolverStats stays the live in-loop counter block; the solver
+     * publishes deltas into the registry at restart boundaries and at
+     * the end of every solve, so the hot path is untouched and a
+     * detached solver pays one branch per cold publish site. Restart
+     * events (number, conflict limit) go to the registry's trace
+     * sink when one is attached.
+     */
+    void attachMetrics(MetricsRegistry *registry);
+
+    /**
+     * Conflict limit of the @p restart_number-th restart. Geometric
+     * schedules (`pow(restart_inc, n) * restart_first`) overflow any
+     * integer after a few dozen restarts, so the limit saturates at
+     * INT64_MAX instead of invoking cast UB; always >= 1. Public for
+     * the restart-overflow regression tests.
+     */
+    std::int64_t restartLimit(int restart_number) const;
+
   private:
     // --- internal types ------------------------------------------------
     struct Watcher
@@ -309,11 +341,13 @@ class Solver
 
     // --- search ------------------------------------------------------------
     lbool solveInternal();
-    lbool search(int max_conflicts);
-    double restartLimit(int restart_number) const;
+    lbool search(std::int64_t max_conflicts);
     bool budgetExhausted() const;
 
     void noteClauseInConflict(const Clause &c);
+
+    /** Add SolverStats deltas since the last publish to the registry. */
+    void publishMetrics();
 
     // --- data ----------------------------------------------------------------
     SolverOptions opts_;
@@ -364,6 +398,32 @@ class Solver
     LitVec assumptions_;
     LitVec final_conflict_;
     SolverStats stats_;
+
+    /**
+     * Handles into an attached MetricsRegistry, all null when
+     * detached (the one-branch-per-record-site contract). Counters
+     * receive SolverStats deltas from publishMetrics().
+     */
+    struct MetricHandles
+    {
+        Counter *decisions = nullptr;
+        Counter *propagations = nullptr;
+        Counter *conflicts = nullptr;
+        Counter *restarts = nullptr;
+        Counter *reduce_dbs = nullptr;
+        Counter *learned_clauses = nullptr;
+        Counter *removed_clauses = nullptr;
+        Counter *minimized_literals = nullptr;
+        Counter *exported_clauses = nullptr;
+        Counter *imported_clauses = nullptr;
+        Counter *iterations = nullptr;
+        MetricTimer *search_s = nullptr;
+        Gauge *propagations_per_s = nullptr;
+        TraceSink *trace = nullptr;
+    };
+    MetricHandles metrics_;
+    SolverStats metrics_base_; ///< last published SolverStats values
+
     IterationHook hook_;
     ConflictHook conflict_hook_;
     LearntExportHook export_hook_;

@@ -117,6 +117,9 @@ struct SolverStats
     std::uint64_t removed_clauses = 0;
     std::uint64_t minimized_literals = 0;
 
+    /** Learnt-database reductions (reduceDB invocations). */
+    std::uint64_t reduce_dbs = 0;
+
     /** Clauses offered to the learnt-export hook (clause sharing). */
     std::uint64_t exported_clauses = 0;
 

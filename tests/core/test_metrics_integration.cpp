@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Integration tests for the observability layer through the hybrid
+ * loop: HybridConfig.metrics as the single source of truth, result
+ * fields as views over it, accumulation across solves, JSON output
+ * validity, and metrics neutrality (attaching a registry must not
+ * perturb the search).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/hybrid_solver.h"
+#include "tests/sat/helpers.h"
+#include "util/metrics.h"
+
+namespace hyqsat::core {
+namespace {
+
+HybridConfig
+noiseFreeConfig(std::uint64_t seed = 0x777)
+{
+    HybridConfig cfg;
+    cfg.annealer.noise = anneal::NoiseModel::noiseFree();
+    cfg.annealer.greedy_finish = true;
+    cfg.annealer.attempts = 2;
+    cfg.seed = seed;
+    return cfg;
+}
+
+sat::Cnf
+testFormula(std::uint64_t seed = 11)
+{
+    Rng rng(seed);
+    return sat::testing::randomCnf(30, 124, 3, rng);
+}
+
+TEST(MetricsIntegration, CountersMatchSolverStats)
+{
+    const sat::Cnf cnf = testFormula();
+    MetricsRegistry registry;
+    HybridConfig cfg = noiseFreeConfig();
+    cfg.metrics = &registry;
+    HybridSolver solver(cfg);
+    const HybridResult result = solver.solve(cnf);
+    ASSERT_FALSE(result.status.isUndef());
+
+    EXPECT_EQ(registry.counter("solver.conflicts")->value(),
+              result.stats.conflicts);
+    EXPECT_EQ(registry.counter("solver.decisions")->value(),
+              result.stats.decisions);
+    EXPECT_EQ(registry.counter("solver.iterations")->value(),
+              result.stats.iterations);
+    EXPECT_EQ(registry.counter("solver.restarts")->value(),
+              result.stats.restarts);
+    EXPECT_EQ(registry.counter("solver.propagations")->value(),
+              result.stats.propagations);
+    EXPECT_EQ(registry.counter("pipeline.submitted")->value(),
+              static_cast<std::uint64_t>(result.qa_submitted));
+    EXPECT_EQ(registry.counter("backend.samples")->value(),
+              static_cast<std::uint64_t>(result.qa_samples));
+    EXPECT_EQ(registry.counter("hybrid.warmup_iterations")->value(),
+              static_cast<std::uint64_t>(result.warmup_iterations));
+
+    // Result time fields are views over the same registry.
+    EXPECT_DOUBLE_EQ(registry.timer("backend.apply")->seconds(),
+                     result.time.backend_s);
+    EXPECT_DOUBLE_EQ(registry.timer("pipeline.frontend")->seconds(),
+                     result.time.frontend_s);
+    EXPECT_GT(registry.timer("hybrid.total")->seconds(), 0.0);
+}
+
+TEST(MetricsIntegration, RepeatedSolvesAccumulateExactly)
+{
+    const sat::Cnf cnf = testFormula();
+    MetricsRegistry once, twice;
+
+    {
+        HybridConfig cfg = noiseFreeConfig();
+        cfg.metrics = &once;
+        HybridSolver solver(cfg);
+        solver.solve(cnf);
+    }
+    {
+        HybridConfig cfg = noiseFreeConfig();
+        cfg.metrics = &twice;
+        HybridSolver a(cfg);
+        a.solve(cnf);
+        HybridSolver b(cfg);
+        b.solve(cnf);
+    }
+    // Deterministic config: two solves record exactly double.
+    EXPECT_EQ(twice.counter("solver.conflicts")->value(),
+              2 * once.counter("solver.conflicts")->value());
+    EXPECT_EQ(twice.counter("solver.decisions")->value(),
+              2 * once.counter("solver.decisions")->value());
+    EXPECT_EQ(twice.counter("backend.samples")->value(),
+              2 * once.counter("backend.samples")->value());
+    EXPECT_EQ(twice.timer("hybrid.total")->count(), 2u);
+}
+
+TEST(MetricsIntegration, AttachingMetricsDoesNotPerturbSearch)
+{
+    const sat::Cnf cnf = testFormula(23);
+
+    HybridConfig plain_cfg = noiseFreeConfig();
+    HybridSolver plain(plain_cfg);
+    const HybridResult without = plain.solve(cnf);
+
+    MetricsRegistry registry;
+    HybridConfig metered_cfg = noiseFreeConfig();
+    metered_cfg.metrics = &registry;
+    HybridSolver metered(metered_cfg);
+    const HybridResult with = metered.solve(cnf);
+
+    EXPECT_EQ(without.status.isTrue(), with.status.isTrue());
+    EXPECT_EQ(without.stats.conflicts, with.stats.conflicts);
+    EXPECT_EQ(without.stats.decisions, with.stats.decisions);
+    EXPECT_EQ(without.stats.iterations, with.stats.iterations);
+    EXPECT_EQ(without.qa_samples, with.qa_samples);
+}
+
+TEST(MetricsIntegration, WriteJsonContainsExactCounterValues)
+{
+    const sat::Cnf cnf = testFormula();
+    MetricsRegistry registry;
+    HybridConfig cfg = noiseFreeConfig();
+    cfg.metrics = &registry;
+    HybridSolver solver(cfg);
+    const HybridResult result = solver.solve(cnf);
+
+    std::ostringstream out;
+    registry.writeJson(out);
+    const std::string json = out.str();
+
+    EXPECT_NE(json.find("\"schema\": \"hyqsat.metrics/1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"solver.conflicts\": " +
+                        std::to_string(result.stats.conflicts)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"solver.decisions\": " +
+                        std::to_string(result.stats.decisions)),
+              std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+
+    int depth = 0;
+    for (const char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsIntegration, ClassicCdclRecordsSolverCounters)
+{
+    const sat::Cnf cnf = testFormula();
+    MetricsRegistry registry;
+    const HybridResult result = solveClassicCdcl(
+        cnf, sat::SolverOptions::minisatStyle(), nullptr, &registry);
+    ASSERT_FALSE(result.status.isUndef());
+    EXPECT_EQ(registry.counter("solver.conflicts")->value(),
+              result.stats.conflicts);
+    EXPECT_EQ(registry.counter("solver.decisions")->value(),
+              result.stats.decisions);
+    EXPECT_DOUBLE_EQ(registry.timer("hybrid.cdcl")->seconds(),
+                     result.time.cdcl_s);
+}
+
+TEST(MetricsIntegration, TraceStreamsSolveEvents)
+{
+    const sat::Cnf cnf = testFormula();
+    std::ostringstream trace_out;
+    TraceSink sink(trace_out);
+    MetricsRegistry registry;
+    registry.setTrace(&sink);
+
+    HybridConfig cfg = noiseFreeConfig();
+    cfg.metrics = &registry;
+    HybridSolver solver(cfg);
+    const HybridResult result = solver.solve(cnf);
+
+    if (result.stats.restarts > 0) {
+        EXPECT_NE(trace_out.str().find("\"event\": \"solver.restart\""),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace hyqsat::core

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include <unistd.h>
 
 #include "portfolio/batch_runner.h"
+#include "util/metrics.h"
 
 namespace hyqsat::portfolio {
 namespace {
@@ -240,6 +242,71 @@ TEST(BatchRunner, JsonAndCsvReportsWellFormed)
     EXPECT_EQ(std::count(c.begin(), c.end(), '\n'), 3);
     EXPECT_NE(c.find("name,path,status"), std::string::npos);
     EXPECT_NE(c.find("easy,"), std::string::npos);
+}
+
+TEST(BatchRunner, JsonReportGuardsNonFiniteDoubles)
+{
+    // A record with poisoned timing fields (NaN / ±Inf) must still
+    // serialize as parseable JSON: jsonNumber maps them to 0.
+    BatchReport report;
+    InstanceRecord rec;
+    rec.name = "poisoned";
+    rec.path = "/tmp/poisoned.cnf";
+    rec.status = "SAT";
+    rec.wall_s = std::numeric_limits<double>::quiet_NaN();
+    rec.frontend_s = std::numeric_limits<double>::infinity();
+    rec.cdcl_s = -std::numeric_limits<double>::infinity();
+    rec.metrics.emplace_back(
+        "bad.gauge", std::numeric_limits<double>::quiet_NaN());
+    report.records.push_back(rec);
+    report.wall_s = std::numeric_limits<double>::quiet_NaN();
+
+    std::ostringstream json;
+    BatchRunner::writeJson(report, json);
+    const std::string j = json.str();
+    EXPECT_EQ(j.find("nan"), std::string::npos);
+    EXPECT_EQ(j.find("inf"), std::string::npos);
+    EXPECT_NE(j.find("\"wall_s\": 0"), std::string::npos);
+    EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+              std::count(j.begin(), j.end(), '}'));
+    EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+              std::count(j.begin(), j.end(), ']'));
+
+    std::ostringstream csv;
+    BatchRunner::writeCsv(report, csv);
+    EXPECT_EQ(csv.str().find("nan"), std::string::npos);
+    EXPECT_EQ(csv.str().find("inf"), std::string::npos);
+}
+
+TEST(BatchRunner, MetricsRegistryCollectsWholeBatchTotals)
+{
+    TempDir dir;
+    const auto sat_path = dir.write("easy.cnf", kSatCnf);
+    const auto unsat_path = dir.write("hard.cnf", unsatCnf());
+
+    MetricsRegistry registry;
+    auto opts = smallOptions();
+    opts.metrics = &registry;
+    BatchRunner runner(opts);
+    const auto report = runner.run({sat_path, unsat_path});
+    ASSERT_EQ(report.records.size(), 2u);
+
+    // One portfolio race per instance, merged under the lock.
+    EXPECT_EQ(registry.counter("portfolio.races")->value(), 2u);
+    EXPECT_GT(registry.counter("solver.decisions")->value(), 0u);
+
+    // Per-instance snapshots are embedded in the records and carry
+    // the per-record totals the JSON report exposes.
+    for (const auto &rec : report.records) {
+        EXPECT_FALSE(rec.metrics.empty()) << rec.name;
+        std::ostringstream json;
+        BatchRunner::writeJson(report, json);
+        EXPECT_NE(json.str().find("\"metrics\": {"),
+                  std::string::npos);
+    }
+    // The UNSAT instance needed conflicts, so propagations landed in
+    // its record from the instance registry.
+    EXPECT_GT(report.records[1].propagations, 0u);
 }
 
 } // namespace

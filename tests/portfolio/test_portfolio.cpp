@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 #include "core/hybrid_solver.h"
 #include "gen/random_sat.h"
 #include "portfolio/portfolio.h"
 #include "sat/brute_force.h"
 #include "tests/sat/helpers.h"
+#include "util/metrics.h"
 
 namespace hyqsat::portfolio {
 namespace {
@@ -277,6 +279,61 @@ TEST(PortfolioSolver, ExplicitWorkerSlateRespected)
     ASSERT_EQ(result.workers.size(), 1u);
     EXPECT_EQ(result.workers[0].label, "just-cdcl");
     EXPECT_FALSE(result.status.isUndef());
+}
+
+TEST(PortfolioSolver, MetricsRegistryRecordsRaceOutcome)
+{
+    Rng gen(31);
+    const auto cnf = sat::testing::randomCnf(30, 124, 3, gen);
+
+    MetricsRegistry registry;
+    PortfolioOptions opts;
+    opts.base = noiseFreeConfig();
+    opts.num_workers = 2;
+    opts.metrics = &registry;
+    PortfolioSolver solver(opts);
+    const auto result = solver.solve(cnf);
+    ASSERT_FALSE(result.status.isUndef());
+
+    // Portfolio-level counters land after the join.
+    EXPECT_EQ(registry.counter("portfolio.races")->value(), 1u);
+    EXPECT_EQ(registry.counter("portfolio.decided")->value(), 1u);
+    EXPECT_EQ(registry
+                  .counter("portfolio.wins." + result.winner_label)
+                  ->value(),
+              1u);
+    EXPECT_EQ(registry.timer("portfolio.wall")->count(), 1u);
+
+    // Per-worker registries merged: solver counters from every
+    // raced worker accumulate here.
+    EXPECT_GT(registry.counter("solver.decisions")->value(), 0u);
+    EXPECT_GE(registry.counter("solver.decisions")->value(),
+              result.winner_result.stats.decisions);
+}
+
+TEST(PortfolioSolver, MetricsTraceStreamsWorkerEvents)
+{
+    Rng gen(33);
+    const auto cnf = sat::testing::randomCnf(20, 85, 3, gen);
+
+    std::ostringstream trace_out;
+    TraceSink sink(trace_out);
+    MetricsRegistry registry;
+    registry.setTrace(&sink);
+
+    PortfolioOptions opts;
+    opts.base = noiseFreeConfig();
+    opts.num_workers = 2;
+    opts.metrics = &registry;
+    PortfolioSolver solver(opts);
+    const auto result = solver.solve(cnf);
+    ASSERT_FALSE(result.status.isUndef());
+
+    const std::string text = trace_out.str();
+    EXPECT_NE(text.find("\"event\": \"portfolio.worker_done\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"event\": \"portfolio.race_done\""),
+              std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Regression tests for the geometric restart-limit overflow: with
+ * restart_inc=2 the raw pow(inc, n) * first exceeds every integer
+ * type within ~62 restarts, and the old int cast was undefined
+ * behaviour. restartLimit must saturate (monotonically) instead,
+ * and a solver driven through 100+ real restarts must stay sane.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "sat/solver.h"
+#include "tests/sat/helpers.h"
+#include "util/rng.h"
+
+using namespace hyqsat;
+using namespace hyqsat::sat;
+
+namespace {
+
+SolverOptions
+geometricOptions(int first, double inc)
+{
+    SolverOptions opts;
+    opts.luby_restarts = false;
+    opts.restart_first = first;
+    opts.restart_inc = inc;
+    return opts;
+}
+
+TEST(RestartOverflow, GeometricLimitsSaturateMonotonically)
+{
+    const Solver solver(geometricOptions(1, 2.0));
+    constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+
+    std::int64_t prev = 0;
+    for (int n = 0; n <= 300; ++n) {
+        const std::int64_t limit = solver.restartLimit(n);
+        ASSERT_GE(limit, 1) << "restart " << n;
+        ASSERT_GE(limit, prev)
+            << "limit must be nondecreasing at restart " << n;
+        prev = limit;
+    }
+    // 2^300 is astronomically past int64: the tail must be pinned at
+    // the saturation value, not wrapped or negative.
+    EXPECT_EQ(solver.restartLimit(300), kMax);
+    EXPECT_EQ(solver.restartLimit(63), kMax);
+    // Early values are still the exact geometric sequence.
+    EXPECT_EQ(solver.restartLimit(0), 1);
+    EXPECT_EQ(solver.restartLimit(10), 1024);
+}
+
+TEST(RestartOverflow, GeometricLimitRespectsRestartFirst)
+{
+    const Solver solver(geometricOptions(100, 1.5));
+    EXPECT_EQ(solver.restartLimit(0), 100);
+    EXPECT_EQ(solver.restartLimit(1), 150);
+    EXPECT_EQ(solver.restartLimit(2), 225);
+    // Far past overflow: saturated, not UB.
+    EXPECT_EQ(solver.restartLimit(10000),
+              std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(RestartOverflow, LubyLimitsStayPositive)
+{
+    SolverOptions opts;
+    opts.luby_restarts = true;
+    opts.restart_first = 100;
+    const Solver solver(opts);
+    for (int n = 0; n <= 300; ++n)
+        ASSERT_GE(solver.restartLimit(n), 1) << "restart " << n;
+}
+
+TEST(RestartOverflow, SolverSurvives100PlusRealRestarts)
+{
+    // restart_first=1 with a near-flat geometric growth forces a
+    // restart every conflict or two; a past-threshold unsatisfiable
+    // formula (ratio 4.5 at n=100) keeps the solver in conflict long
+    // enough to drive the restart count well past 100. Before the
+    // fix, restart numbers whose raw pow() product exceeded INT_MAX
+    // made the int cast UB.
+    Rng rng(7);
+    const Cnf cnf = hyqsat::sat::testing::randomCnf(100, 450, 3, rng);
+    SolverOptions opts = geometricOptions(1, 1.01);
+    Solver solver(opts);
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    const lbool status = solver.solve();
+    EXPECT_TRUE(status.isFalse());
+    EXPECT_GE(solver.stats().restarts, 100u);
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the metrics registry: counter/gauge/timer/histogram
+ * semantics, null-safe helpers, JSON serialization (NaN/Inf safety),
+ * merge, snapshot and the JSONL trace sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "util/metrics.h"
+
+using namespace hyqsat;
+
+namespace {
+
+TEST(JsonNumber, FiniteValuesRoundTrip)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(-2.0), "-2");
+    EXPECT_EQ(std::stod(jsonNumber(0.123456789)), 0.123456789);
+}
+
+TEST(JsonNumber, NonFiniteBecomesZero)
+{
+    EXPECT_EQ(jsonNumber(std::nan("")), "0");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "0");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()), "0");
+}
+
+TEST(JsonEscape, EscapesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(CounterTest, AddsAndReads)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless)
+{
+    Counter c;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10000; ++i)
+                c.add();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(GaugeTest, KeepsLastValue)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(-1.25);
+    EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(MetricTimerTest, AccumulatesSecondsAndSections)
+{
+    MetricTimer t;
+    t.add(0.5);
+    t.add(0.25, 3);
+    EXPECT_DOUBLE_EQ(t.seconds(), 0.75);
+    EXPECT_EQ(t.count(), 4u);
+}
+
+TEST(MetricTimerTest, ScopeRecordsAndNullScopeIsNoop)
+{
+    MetricTimer t;
+    {
+        MetricTimer::Scope scope(&t);
+    }
+    EXPECT_EQ(t.count(), 1u);
+    EXPECT_GE(t.seconds(), 0.0);
+    {
+        MetricTimer::Scope scope(nullptr); // must not crash
+    }
+}
+
+TEST(LatencyHistogramTest, BucketsByUpperBound)
+{
+    LatencyHistogram h({1.0, 2.0, 4.0});
+    ASSERT_EQ(h.buckets(), 4u); // 3 bounds + overflow
+    h.record(0.5);  // <= 1.0  -> bucket 0
+    h.record(1.0);  // <= 1.0  -> bucket 0
+    h.record(1.5);  // <= 2.0  -> bucket 1
+    h.record(4.0);  // <= 4.0  -> bucket 2
+    h.record(99.0); // overflow -> bucket 3
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 99.0);
+}
+
+TEST(NullSafeHelpers, NullHandlesAreNoops)
+{
+    metricInc(nullptr);
+    metricInc(nullptr, 7);
+    metricSet(nullptr, 1.0);
+    metricTime(nullptr, 1.0);
+    metricObserve(nullptr, 1.0);
+    Counter c;
+    metricInc(&c, 2);
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableHandles)
+{
+    MetricsRegistry r;
+    Counter *a = r.counter("x");
+    Counter *b = r.counter("x");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(r.counter("y"), a);
+    EXPECT_EQ(r.timer("t"), r.timer("t"));
+    EXPECT_EQ(r.gauge("g"), r.gauge("g"));
+    LatencyHistogram *h = r.histogram("h", {1.0, 2.0});
+    // Existing histogram keeps its buckets regardless of new bounds.
+    EXPECT_EQ(r.histogram("h", {5.0}), h);
+    EXPECT_EQ(h->buckets(), 3u);
+}
+
+TEST(MetricsRegistryTest, WriteJsonIsValidAndNanFree)
+{
+    MetricsRegistry r;
+    r.counter("c.one")->add(3);
+    r.gauge("g.rate")->set(std::nan("")); // must not leak "nan"
+    r.timer("t.span")->add(0.5, 2);
+    r.histogram("h.occ", {1.0})->record(0.5);
+
+    std::ostringstream out;
+    r.writeJson(out);
+    const std::string json = out.str();
+
+    EXPECT_NE(json.find("\"schema\": \"hyqsat.metrics/1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"c.one\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"t.span\""), std::string::npos);
+    EXPECT_NE(json.find("\"h.occ\""), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+
+    // Structurally balanced braces/brackets (cheap validity check).
+    int depth = 0;
+    for (const char c : json) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistryTest, MergeAccumulates)
+{
+    MetricsRegistry a, b;
+    a.counter("c")->add(1);
+    b.counter("c")->add(2);
+    b.counter("only_b")->add(5);
+    a.timer("t")->add(1.0, 1);
+    b.timer("t")->add(0.5, 2);
+    a.gauge("g")->set(1.0);
+    b.gauge("g")->set(9.0);
+    a.histogram("h", {1.0})->record(0.5);
+    b.histogram("h", {1.0})->record(2.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("c")->value(), 3u);
+    EXPECT_EQ(a.counter("only_b")->value(), 5u);
+    EXPECT_DOUBLE_EQ(a.timer("t")->seconds(), 1.5);
+    EXPECT_EQ(a.timer("t")->count(), 3u);
+    EXPECT_EQ(a.gauge("g")->value(), 9.0); // gauges take last value
+    LatencyHistogram *h = a.histogram("h", {1.0});
+    EXPECT_EQ(h->total(), 2u);
+    EXPECT_EQ(h->bucketCount(0), 1u);
+    EXPECT_EQ(h->bucketCount(1), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotFlattensAllKinds)
+{
+    MetricsRegistry r;
+    r.counter("a.count")->add(2);
+    r.gauge("b.gauge")->set(1.5);
+    r.timer("c.timer")->add(0.5);
+    r.histogram("d.hist", {1.0})->record(0.25);
+
+    const auto snap = r.snapshot();
+    const auto find = [&](const std::string &name) -> const double * {
+        for (const auto &[k, v] : snap)
+            if (k == name)
+                return &v;
+        return nullptr;
+    };
+    ASSERT_NE(find("a.count"), nullptr);
+    EXPECT_EQ(*find("a.count"), 2.0);
+    ASSERT_NE(find("b.gauge"), nullptr);
+    EXPECT_EQ(*find("b.gauge"), 1.5);
+    ASSERT_NE(find("c.timer_s"), nullptr);
+    EXPECT_EQ(*find("c.timer_s"), 0.5);
+    ASSERT_NE(find("d.hist_total"), nullptr);
+    EXPECT_EQ(*find("d.hist_total"), 1.0);
+}
+
+TEST(TraceSinkTest, EmitsOneJsonLinePerEvent)
+{
+    std::ostringstream out;
+    TraceSink sink(out);
+    ASSERT_TRUE(sink.ok());
+    sink.event("alpha", {{"x", 1.5}}, {{"who", "me"}});
+    sink.event("beta");
+
+    const std::string text = out.str();
+    // Two newline-terminated lines.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+    EXPECT_NE(text.find("\"event\": \"alpha\""), std::string::npos);
+    EXPECT_NE(text.find("\"x\": 1.5"), std::string::npos);
+    EXPECT_NE(text.find("\"who\": \"me\""), std::string::npos);
+    EXPECT_NE(text.find("\"event\": \"beta\""), std::string::npos);
+    EXPECT_NE(text.find("\"t_s\": "), std::string::npos);
+}
+
+TEST(TraceSinkTest, NonFinitePayloadStaysValidJson)
+{
+    std::ostringstream out;
+    TraceSink sink(out);
+    sink.event("bad", {{"v", std::nan("")}});
+    const std::string text = out.str();
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_NE(text.find("\"v\": 0"), std::string::npos);
+}
+
+} // namespace
