@@ -8,7 +8,8 @@
  *   ./build/examples/dimacs_solver problem.cnf [--classic]
  *       [--noisy] [--warmup N] [--sampler=NAME] [--depth N]
  *       [--timeout-s X] [--conflicts N] [--metrics FILE]
- *       [--trace FILE]
+ *       [--trace FILE] [--no-frontend-cache]
+ *       [--incremental-tracking]
  *
  * --sampler selects the annealing backend by name (sync, qa,
  * logical, sa, batch, async, async:<backend>); --depth >= 2 enables
@@ -18,7 +19,11 @@
  * either prints "s UNKNOWN" when it fires. --metrics dumps the
  * run's metrics registry as JSON ("hyqsat.metrics/1" schema);
  * --trace streams JSONL events (restarts, pipeline stalls, backend
- * outcomes) as they happen.
+ * outcomes) as they happen. --no-frontend-cache disables the
+ * frontend's (embedding, encoding) memoization (ablation knob;
+ * results are bit-identical either way) and --incremental-tracking
+ * switches the solver to incremental satisfied-clause counters
+ * instead of O(clauses) scans.
  */
 
 #include <atomic>
@@ -50,7 +55,8 @@ main(int argc, char **argv)
         std::printf("usage: %s problem.cnf [--classic] [--noisy] "
                     "[--warmup N] [--sampler=%s] [--depth N] "
                     "[--timeout-s X] [--conflicts N] "
-                    "[--metrics FILE] [--trace FILE]\n",
+                    "[--metrics FILE] [--trace FILE] "
+                    "[--no-frontend-cache] [--incremental-tracking]\n",
                     argv[0], names.c_str());
         return 2;
     }
@@ -61,6 +67,7 @@ main(int argc, char **argv)
     int depth = 1;
     double timeout_s = 0.0;
     std::int64_t conflict_budget = -1;
+    bool frontend_cache = true, incremental_tracking = false;
     std::string metrics_path, trace_path;
     for (int i = 2; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--classic"))
@@ -85,6 +92,10 @@ main(int argc, char **argv)
             metrics_path = argv[++i];
         else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
             trace_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--no-frontend-cache"))
+            frontend_cache = false;
+        else if (!std::strcmp(argv[i], "--incremental-tracking"))
+            incremental_tracking = true;
     }
 
     // One registry for the whole run; the solve layers merge their
@@ -181,6 +192,9 @@ main(int argc, char **argv)
         config.stop = &stop;
         config.metrics = &registry;
         config.solver.conflict_budget = conflict_budget;
+        config.solver.incremental_clause_tracking =
+            incremental_tracking;
+        config.frontend.cache_embeddings = frontend_cache;
         if (noisy) {
             config.annealer.noise = anneal::NoiseModel::dwave2000q();
         } else {

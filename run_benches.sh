@@ -1,17 +1,23 @@
 #!/bin/bash
 # Regenerate every table/figure: one binary per experiment
 # (includes bench/portfolio_scaling, the portfolio racing
-# trajectory), then smoke the batch DIMACS service end to end.
+# trajectory, and bench/micro_frontend, the frontend fast-path
+# micro-benchmark), then smoke the batch DIMACS service end to end.
 #
 #   ./run_benches.sh           full run, writes BENCH_<name>.json
 #   ./run_benches.sh --smoke   tiny inputs (HYQSAT_BENCH_TINY=1),
-#                              portfolio_scaling only, writes
-#                              BENCH_<name>_smoke.json
+#                              portfolio_scaling + micro_frontend
+#                              only, writes BENCH_<name>_smoke.json
 #
 # Any bench that prints machine-readable "BENCH {json}" lines gets
 # its trajectory collected into BENCH_<name><suffix>.json (a JSON
 # array, one element per line) next to this script — that file is
 # what CI validates and plots consume.
+#
+# Every bench/<name>.cpp is expected to have a built binary at
+# build/bench/<name>; a missing binary fails the run immediately
+# (a silently skipped bench looks like a passing one). A per-bench
+# wall-clock summary is printed at the end.
 cd "$(dirname "$0")"
 
 SMOKE=0
@@ -24,6 +30,8 @@ if [ "$SMOKE" = 1 ]; then
     export HYQSAT_BENCH_TINY=1
     suffix="_smoke"
 fi
+
+SUMMARY=""
 
 # Collect "^BENCH " JSON lines from a log into BENCH_<name><suffix>.json.
 write_trajectory() {
@@ -39,23 +47,49 @@ write_trajectory() {
 
 run_bench() {
     local b="$1"
-    local name log st
+    local name log st t0 t1
     name=$(basename "$b")
+    if [ ! -x "$b" ]; then
+        echo "ERROR: bench binary $b is missing (build it first)" >&2
+        exit 1
+    fi
     echo "===== $b ====="
     log=$(mktemp)
+    t0=$(date +%s.%N)
     timeout 1500 "$b" | tee "$log"
     st=${PIPESTATUS[0]}
+    t1=$(date +%s.%N)
     write_trajectory "$name" "$log"
     rm -f "$log"
+    SUMMARY+=$(printf '%-28s %8.2f s  exit %d' "$name" \
+        "$(echo "$t1 $t0" | awk '{print $1 - $2}')" "$st")$'\n'
     echo
     return "$st"
 }
 
+print_summary() {
+    echo "===== per-bench wall clock ====="
+    printf '%s' "$SUMMARY"
+}
+
 if [ "$SMOKE" = 1 ]; then
     run_bench build/bench/portfolio_scaling || exit 1
+    run_bench build/bench/micro_frontend || exit 1
+    print_summary
     echo "ALL_BENCHES_DONE"
     exit 0
 fi
+
+# Fail fast when any expected binary is absent: every bench source
+# must have a built, executable counterpart.
+for src in bench/*.cpp; do
+    name=$(basename "$src" .cpp)
+    if [ ! -x "build/bench/$name" ]; then
+        echo "ERROR: bench binary build/bench/$name is missing" \
+             "(expected for $src; build the bench target first)" >&2
+        exit 1
+    fi
+done
 
 for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
@@ -75,4 +109,5 @@ if [ -x build/examples/batch_solver ] &&
             --workers 2 --jobs 1 --timeout-s 300 --strict
     echo
 fi
+print_summary
 echo "ALL_BENCHES_DONE"

@@ -46,12 +46,12 @@ Backend::apply(sat::Solver &solver, const FrontendResult &frontend,
 {
     Timer timer;
     BackendOutcome out;
-    const auto &problem = frontend.embedded.problem;
-    if (problem.numNodes() == 0) {
+    if (!frontend.embedded || frontend.embedded->problem.numNodes() == 0) {
         out.seconds = timer.seconds();
         record(out);
         return out;
     }
+    const auto &problem = frontend.embedded->problem;
 
     out.cls = opts_.classifier.classify(sample.clause_energy);
 

@@ -1,7 +1,6 @@
 #include "core/clause_queue.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace hyqsat::core {
 
@@ -9,56 +8,98 @@ std::vector<int>
 generateClauseQueue(const sat::Solver &solver,
                     const ClauseQueueOptions &opts, Rng &rng)
 {
-    std::vector<int> unsat = solver.unsatisfiedOriginalClauses();
-    if (unsat.empty())
-        return {};
+    ClauseQueueWorkspace ws;
+    std::vector<int> queue;
+    generateClauseQueue(solver, opts, rng, ws, queue);
+    return queue;
+}
+
+void
+generateClauseQueue(const sat::Solver &solver,
+                    const ClauseQueueOptions &opts, Rng &rng,
+                    ClauseQueueWorkspace &ws,
+                    std::vector<int> &out_queue)
+{
+    out_queue.clear();
+    solver.unsatisfiedOriginalClausesInto(ws.unsat);
+    if (ws.unsat.empty())
+        return;
 
     if (opts.random_queue) {
-        rng.shuffle(unsat);
-        if (static_cast<int>(unsat.size()) > opts.capacity)
-            unsat.resize(opts.capacity);
-        return unsat;
+        out_queue.assign(ws.unsat.begin(), ws.unsat.end());
+        rng.shuffle(out_queue);
+        if (static_cast<int>(out_queue.size()) > opts.capacity)
+            out_queue.resize(opts.capacity);
+        return;
     }
 
     // Head: uniform among the top-k activity scores. Random choice
     // avoids re-deploying the same clauses when scores are static.
-    std::vector<int> by_score = unsat;
-    const auto k = std::min<std::size_t>(by_score.size(),
+    ws.by_score.assign(ws.unsat.begin(), ws.unsat.end());
+    const auto k = std::min<std::size_t>(ws.by_score.size(),
                                          static_cast<std::size_t>(
                                              std::max(opts.top_k, 1)));
-    std::partial_sort(by_score.begin(), by_score.begin() + k,
-                      by_score.end(), [&](int a, int b) {
+    std::partial_sort(ws.by_score.begin(), ws.by_score.begin() + k,
+                      ws.by_score.end(), [&](int a, int b) {
                           return solver.clauseActivityScore(a) >
                                  solver.clauseActivityScore(b);
                       });
-    const int head = by_score[rng.below(k)];
+    const int head = ws.by_score[rng.below(k)];
 
-    // Shared-variable index over the unsatisfied clauses.
-    std::unordered_map<sat::Var, std::vector<int>> var_clauses;
-    for (int ci : unsat)
-        for (sat::Lit p : solver.originalClause(ci))
-            var_clauses[p.var()].push_back(ci);
+    // Shared-variable index over the unsatisfied clauses. Dense
+    // per-variable lists replace the map of the allocating path; the
+    // per-variable insertion order is identical, so lookups (and
+    // therefore the BFS order) are too.
+    if (ws.var_clauses.size() <
+        static_cast<std::size_t>(solver.numVars())) {
+        ws.var_clauses.resize(solver.numVars());
+    }
+    if (ws.queued.size() <
+        static_cast<std::size_t>(solver.numOriginalClauses())) {
+        ws.queued.resize(solver.numOriginalClauses(), 0);
+    }
+    for (int ci : ws.unsat) {
+        for (sat::Lit p : solver.originalClause(ci)) {
+            auto &list = ws.var_clauses[p.var()];
+            if (list.empty())
+                ws.touched_vars.push_back(p.var());
+            list.push_back(ci);
+        }
+    }
 
     // Breadth-first traversal over shared variables.
-    std::vector<int> queue{head};
-    std::unordered_map<int, bool> queued{{head, true}};
+    out_queue.push_back(head);
+    ws.queued[head] = 1;
+    bool full = false;
     for (std::size_t at = 0;
-         at < queue.size() &&
-         static_cast<int>(queue.size()) < opts.capacity;
+         !full && at < out_queue.size() &&
+         static_cast<int>(out_queue.size()) < opts.capacity;
          ++at) {
-        for (sat::Lit p : solver.originalClause(queue[at])) {
-            for (int ci : var_clauses[p.var()]) {
-                if (queued.emplace(ci, true).second) {
-                    queue.push_back(ci);
-                    if (static_cast<int>(queue.size()) >=
+        for (sat::Lit p : solver.originalClause(out_queue[at])) {
+            for (int ci : ws.var_clauses[p.var()]) {
+                if (!ws.queued[ci]) {
+                    ws.queued[ci] = 1;
+                    out_queue.push_back(ci);
+                    if (static_cast<int>(out_queue.size()) >=
                         opts.capacity) {
-                        return queue;
+                        full = true;
+                        break;
                     }
                 }
             }
+            if (full)
+                break;
         }
     }
-    return queue;
+
+    // Reset marks and per-variable lists, keeping their capacity.
+    // Marks are set exactly for queued clauses, so clearing by the
+    // queue is complete.
+    for (int ci : out_queue)
+        ws.queued[ci] = 0;
+    for (sat::Var v : ws.touched_vars)
+        ws.var_clauses[v].clear();
+    ws.touched_vars.clear();
 }
 
 } // namespace hyqsat::core

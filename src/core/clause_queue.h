@@ -34,12 +34,42 @@ struct ClauseQueueOptions
 };
 
 /**
+ * Reusable buffers for generateClauseQueue. A workspace makes
+ * steady-state queue generation allocation-free: the dense
+ * per-variable clause index and the queued-marks array keep their
+ * capacity between calls (contents are reset on every call, so a
+ * workspace can be reused across solvers of compatible size — the
+ * arrays grow on demand). Not thread-safe; one workspace per caller.
+ */
+struct ClauseQueueWorkspace
+{
+    std::vector<int> unsat;     ///< unsatisfied clauses, ascending
+    std::vector<int> by_score;  ///< activity-ordered prefix scratch
+    std::vector<std::vector<int>> var_clauses; ///< indexed by Var
+    std::vector<sat::Var> touched_vars; ///< vars to clear after a run
+    std::vector<char> queued;           ///< BFS marks per clause
+};
+
+/**
  * Generate a clause queue from the solver's current state.
  * @return original-clause indices in queue order (possibly empty).
  */
 std::vector<int> generateClauseQueue(const sat::Solver &solver,
                                      const ClauseQueueOptions &opts,
                                      Rng &rng);
+
+/**
+ * Workspace overload: identical output and RNG consumption to the
+ * allocating signature (the delegating wrapper is the proof), with
+ * all scratch taken from @p ws and the queue written into
+ * @p out_queue (cleared first, capacity reused). After the call
+ * ws.unsat holds the unsatisfied-clause set the queue was built
+ * from, which callers can reuse (e.g. for coverage accounting).
+ */
+void generateClauseQueue(const sat::Solver &solver,
+                         const ClauseQueueOptions &opts, Rng &rng,
+                         ClauseQueueWorkspace &ws,
+                         std::vector<int> &out_queue);
 
 } // namespace hyqsat::core
 

@@ -69,7 +69,7 @@ HybridSolver::solve(const sat::Cnf &formula)
     if (config_.metrics)
         metrics.setTrace(config_.metrics->trace());
 
-    Frontend frontend(graph_, config_.frontend);
+    Frontend frontend(graph_, config_.frontend, &metrics);
     Backend backend(config_.backend, &metrics);
     // A fresh sampler per solve keeps repeated solves reproducible
     // (the backend Rng streams restart from the configured seed).

@@ -69,8 +69,8 @@ SamplePipeline::refreshCache(const sat::Solver &solver,
 {
     if (cache_ && cache_epoch_ == epoch)
         return;
-    auto fe =
-        std::make_shared<FrontendResult>(frontend_.run(solver, rng_));
+    auto fe = std::make_shared<FrontendResult>(
+        frontend_.run(solver, rng_, workspace_));
     m_frontend_s_->add(fe->seconds);
     cache_ = std::move(fe);
     cache_epoch_ = epoch;
@@ -90,9 +90,9 @@ SamplePipeline::step(const sat::Solver &solver, std::uint64_t epoch,
             // while the job is in flight.
             anneal::SampleRequest request;
             request.problem = std::shared_ptr<const qubo::EncodedProblem>(
-                cache_, &cache_->embedded.problem);
+                cache_->embedded, &cache_->embedded->problem);
             request.embedding = std::shared_ptr<const embed::Embedding>(
-                cache_, &cache_->embedded.embedding);
+                cache_->embedded, &cache_->embedded->embedding);
             request.use_embedding = use_embedding_;
             const std::uint64_t ticket =
                 sampler_.submit(std::move(request));

@@ -120,6 +120,13 @@ class SamplePipeline
     std::uint64_t cache_epoch_ = ~0ull;
     std::vector<InFlight> inflight_;
 
+    /**
+     * Frontend fast-path buffers + embedding cache, reused across
+     * every refresh this pipeline performs. Mutable state of the
+     * pipeline, not of the (shared, const) Frontend.
+     */
+    FrontendWorkspace workspace_;
+
     /** Private fallback registry when the caller supplies none. */
     std::unique_ptr<MetricsRegistry> own_metrics_;
 

@@ -1,0 +1,107 @@
+#include "embed/embed_cache.h"
+
+#include <algorithm>
+
+namespace hyqsat::embed {
+
+std::uint64_t
+QueueEmbedCache::hashQueue(const std::vector<sat::LitVec> &queue)
+{
+    // FNV-1a over the flattened (size, lit.x...) stream. The clause
+    // sizes participate so [ab][c] and [a][bc] cannot collide by
+    // concatenation.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint32_t word) {
+        h ^= word;
+        h *= 1099511628211ull;
+    };
+    for (const auto &clause : queue) {
+        mix(static_cast<std::uint32_t>(clause.size()));
+        for (const sat::Lit p : clause)
+            mix(static_cast<std::uint32_t>(p.x));
+    }
+    return h;
+}
+
+void
+QueueEmbedCache::flattenQueue(const std::vector<sat::LitVec> &queue,
+                              std::vector<std::uint32_t> &out)
+{
+    out.clear();
+    for (const auto &clause : queue) {
+        out.push_back(static_cast<std::uint32_t>(clause.size()));
+        for (const sat::Lit p : clause)
+            out.push_back(static_cast<std::uint32_t>(p.x));
+    }
+}
+
+std::shared_ptr<const QueueEmbedResult>
+QueueEmbedCache::find(const std::vector<sat::LitVec> &queue)
+{
+    const std::uint64_t h = hashQueue(queue);
+    bool flattened = false;
+    for (auto &entry : entries_) {
+        if (entry.hash != h)
+            continue;
+        // Exact comparison guards against hash collisions: a cache
+        // must never alias two different queues.
+        if (!flattened) {
+            flattenQueue(queue, probe_);
+            flattened = true;
+        }
+        if (entry.key != probe_)
+            continue;
+        entry.last_used = ++clock_;
+        return entry.result;
+    }
+    return nullptr;
+}
+
+bool
+QueueEmbedCache::insert(const std::vector<sat::LitVec> &queue,
+                        std::shared_ptr<const QueueEmbedResult> result)
+{
+    Entry entry;
+    entry.hash = hashQueue(queue);
+    flattenQueue(queue, entry.key);
+    entry.result = std::move(result);
+    entry.last_used = ++clock_;
+
+    bool evicted = false;
+    if (entries_.size() >= capacity_) {
+        auto victim = std::min_element(
+            entries_.begin(), entries_.end(),
+            [](const Entry &a, const Entry &b) {
+                return a.last_used < b.last_used;
+            });
+        *victim = std::move(entry);
+        evicted = true;
+    } else {
+        entries_.push_back(std::move(entry));
+    }
+    return evicted;
+}
+
+void
+QueueEmbedCache::clear()
+{
+    entries_.clear();
+}
+
+void
+QueueEmbedCache::setCapacity(std::size_t capacity)
+{
+    capacity_ = capacity ? capacity : 1;
+    while (entries_.size() > capacity_) {
+        auto victim = std::min_element(
+            entries_.begin(), entries_.end(),
+            [](const Entry &a, const Entry &b) {
+                return a.last_used < b.last_used;
+            });
+        if (victim != entries_.end() - 1)
+            *victim = std::move(entries_.back());
+        entries_.pop_back();
+    }
+}
+
+} // namespace hyqsat::embed

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Memoization of (embedding, encoding) pairs keyed by clause-queue
+ * content.
+ *
+ * Consecutive hybrid-loop iterations frequently regenerate an
+ * identical clause queue (the activity scores and trail may not have
+ * changed between decisions), so the embed + encode work — the
+ * dominant frontend cost — can be reused. The key is the exact
+ * literal content of the queued clauses: a 64-bit FNV-1a hash for
+ * the fast path, with a flattened copy of the literals compared on
+ * hash match so collisions can never alias two different queues
+ * (invalidation-by-content: there is nothing to invalidate, a
+ * changed queue simply misses).
+ */
+
+#ifndef HYQSAT_EMBED_EMBED_CACHE_H
+#define HYQSAT_EMBED_EMBED_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "embed/hyqsat_embedder.h"
+#include "sat/types.h"
+
+namespace hyqsat::embed {
+
+/**
+ * Small LRU cache of embedQueue results. Entries are shared_ptr so a
+ * hit costs one refcount, never a deep copy of the QUBO/embedding.
+ * Linear-scan lookup: with the default capacity (~32) a scan beats
+ * any hashed container on constant factors. Not thread-safe; one
+ * cache per frontend workspace.
+ */
+class QueueEmbedCache
+{
+  public:
+    explicit QueueEmbedCache(std::size_t capacity = 32)
+        : capacity_(capacity ? capacity : 1)
+    {
+    }
+
+    /**
+     * Look up the queue's content key. On a hit the entry is
+     * freshened (LRU) and returned; on a miss, nullptr.
+     */
+    std::shared_ptr<const QueueEmbedResult>
+    find(const std::vector<sat::LitVec> &queue);
+
+    /**
+     * Insert a result for @p queue, evicting the least-recently-used
+     * entry when full.
+     * @return true iff an entry was evicted.
+     */
+    bool insert(const std::vector<sat::LitVec> &queue,
+                std::shared_ptr<const QueueEmbedResult> result);
+
+    /** Drop every entry (capacity and LRU clock are kept). */
+    void clear();
+
+    /**
+     * Change the capacity; shrinking evicts least-recently-used
+     * entries immediately. A zero capacity is clamped to 1.
+     */
+    void setCapacity(std::size_t capacity);
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t hash = 0;
+        /** Flattened (size, lit.x...) per clause: the exact key. */
+        std::vector<std::uint32_t> key;
+        std::shared_ptr<const QueueEmbedResult> result;
+        std::uint64_t last_used = 0;
+    };
+
+    static std::uint64_t hashQueue(const std::vector<sat::LitVec> &queue);
+    static void flattenQueue(const std::vector<sat::LitVec> &queue,
+                             std::vector<std::uint32_t> &out);
+
+    std::size_t capacity_;
+    std::uint64_t clock_ = 0;
+    std::vector<Entry> entries_;
+    std::vector<std::uint32_t> probe_; ///< scratch key for lookups
+};
+
+} // namespace hyqsat::embed
+
+#endif // HYQSAT_EMBED_EMBED_CACHE_H

@@ -43,15 +43,62 @@ canonical(LitVec clause)
     return out;
 }
 
-/** Working state of one embedQueue() run. */
+} // namespace
+
+/**
+ * Reusable containers behind EmbedderScratch. reset() clears contents
+ * but keeps capacity (vectors) and bucket arrays (hash containers),
+ * so repeated embedQueue runs stop paying the construction storm of
+ * the occupancy grid and per-variable maps.
+ */
+struct EmbedderScratch::Impl
+{
+    std::unordered_map<Var, int> var_line;
+    std::vector<std::vector<char>> hline_used;
+    std::vector<std::vector<Var>> line_vars;
+    std::vector<Segment> segments;
+    std::unordered_map<Var, std::vector<int>> rows_used;
+    std::unordered_set<std::uint64_t> var_coupled;
+
+    /** Prefix copy handed to the encoder on partial embeddings. */
+    std::vector<LitVec> accepted_prefix;
+
+    void
+    reset(const ChimeraGraph &graph)
+    {
+        var_line.clear();
+        hline_used.resize(graph.numHorizontalLines());
+        for (auto &line : hline_used)
+            line.assign(graph.cols(), 0);
+        line_vars.resize(graph.numVerticalLines());
+        for (auto &occupants : line_vars)
+            occupants.clear();
+        segments.clear();
+        rows_used.clear();
+        var_coupled.clear();
+    }
+};
+
+EmbedderScratch::EmbedderScratch() : impl_(std::make_unique<Impl>()) {}
+EmbedderScratch::~EmbedderScratch() = default;
+EmbedderScratch::EmbedderScratch(EmbedderScratch &&) noexcept = default;
+EmbedderScratch &
+EmbedderScratch::operator=(EmbedderScratch &&) noexcept = default;
+
+namespace {
+
+/** Working state of one embedQueue() run (containers borrowed from
+ * an EmbedderScratch::Impl that was reset for this run). */
 class Builder
 {
   public:
-    Builder(const ChimeraGraph &graph, const HyQsatEmbedderOptions &opts)
-        : graph_(graph), opts_(opts),
-          hline_used_(graph.numHorizontalLines(),
-                      std::vector<char>(graph.cols(), 0)),
-          line_vars_(graph.numVerticalLines())
+    Builder(const ChimeraGraph &graph, const HyQsatEmbedderOptions &opts,
+            EmbedderScratch::Impl &scratch)
+        : graph_(graph), opts_(opts), var_line_(scratch.var_line),
+          hline_used_(scratch.hline_used),
+          line_vars_(scratch.line_vars), segments_(scratch.segments),
+          rows_used_(scratch.rows_used),
+          var_coupled_(scratch.var_coupled)
     {
     }
 
@@ -426,13 +473,12 @@ class Builder
     const ChimeraGraph &graph_;
     HyQsatEmbedderOptions opts_;
 
-    std::unordered_map<Var, int> var_line_;
-    std::vector<std::vector<char>> hline_used_;
-    std::vector<std::vector<Var>> line_vars_; // per line occupants
-    int line_cursor_ = 0;
-    std::vector<Segment> segments_;
-    std::unordered_map<Var, std::vector<int>> rows_used_;
-    std::unordered_set<std::uint64_t> var_coupled_;
+    std::unordered_map<Var, int> &var_line_;
+    std::vector<std::vector<char>> &hline_used_;
+    std::vector<std::vector<Var>> &line_vars_; // per line occupants
+    std::vector<Segment> &segments_;
+    std::unordered_map<Var, std::vector<int>> &rows_used_;
+    std::unordered_set<std::uint64_t> &var_coupled_;
 };
 
 } // namespace
@@ -446,11 +492,21 @@ HyQsatEmbedder::HyQsatEmbedder(const chimera::ChimeraGraph &graph,
 QueueEmbedResult
 HyQsatEmbedder::embedQueue(const std::vector<sat::LitVec> &queue)
 {
+    EmbedderScratch scratch;
+    return embedQueue(queue, scratch);
+}
+
+QueueEmbedResult
+HyQsatEmbedder::embedQueue(const std::vector<sat::LitVec> &queue,
+                           EmbedderScratch &scratch)
+{
     Timer timer;
-    Builder builder(graph_, opts_);
+    EmbedderScratch::Impl &s = *scratch.impl_;
+    s.reset(graph_);
+    Builder builder(graph_, opts_, s);
 
     QueueEmbedResult result;
-    std::vector<LitVec> accepted;
+    int accepted = 0;
     for (const auto &raw : queue) {
         const LitVec clause = canonical(raw);
         if (clause.size() > 3) {
@@ -458,18 +514,24 @@ HyQsatEmbedder::embedQueue(const std::vector<sat::LitVec> &queue)
                   "literals)",
                   clause.size());
         }
-        if (!builder.tryClause(clause,
-                               static_cast<int>(accepted.size()))) {
+        if (!builder.tryClause(clause, accepted))
             break;
-        }
-        // Keep the raw clause: the encoder canonicalizes identically,
-        // and raw tautologies must stay tautologies for it.
-        accepted.push_back(raw);
+        ++accepted;
     }
 
-    result.embedded_clauses = static_cast<int>(accepted.size());
-    result.all_embedded = accepted.size() == queue.size();
-    result.problem = qubo::encodeClauses(accepted, opts_.encoder);
+    result.embedded_clauses = accepted;
+    result.all_embedded =
+        static_cast<std::size_t>(accepted) == queue.size();
+    if (result.all_embedded) {
+        // Keep the raw clauses: the encoder canonicalizes
+        // identically, and raw tautologies must stay tautologies.
+        result.problem = qubo::encodeClauses(queue, opts_.encoder);
+    } else {
+        s.accepted_prefix.assign(queue.begin(),
+                                 queue.begin() + accepted);
+        result.problem =
+            qubo::encodeClauses(s.accepted_prefix, opts_.encoder);
+    }
     result.embedding = builder.buildEmbedding(result.problem);
     result.seconds = timer.seconds();
     return result;

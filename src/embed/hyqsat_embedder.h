@@ -19,6 +19,7 @@
 #ifndef HYQSAT_EMBED_HYQSAT_EMBEDDER_H
 #define HYQSAT_EMBED_HYQSAT_EMBEDDER_H
 
+#include <memory>
 #include <vector>
 
 #include "chimera/chimera.h"
@@ -61,6 +62,31 @@ struct HyQsatEmbedderOptions
     qubo::EncoderOptions encoder;
 };
 
+/**
+ * Reusable working state for HyQsatEmbedder::embedQueue. The
+ * embedder's per-run containers (line occupancy grids, segment
+ * lists, per-variable row maps) are reset — keeping their capacity —
+ * instead of reallocated on every call, making steady-state
+ * embedding allocation-light. Opaque (pimpl) so the embedder's
+ * internals stay out of the public header. Not thread-safe; one
+ * scratch per caller.
+ */
+class EmbedderScratch
+{
+  public:
+    EmbedderScratch();
+    ~EmbedderScratch();
+    EmbedderScratch(EmbedderScratch &&) noexcept;
+    EmbedderScratch &operator=(EmbedderScratch &&) noexcept;
+
+    /** Opaque container bundle (defined in hyqsat_embedder.cpp). */
+    struct Impl;
+
+  private:
+    friend class HyQsatEmbedder;
+    std::unique_ptr<Impl> impl_;
+};
+
 /** The §IV-B embedder. Stateless between embedQueue() calls. */
 class HyQsatEmbedder
 {
@@ -74,6 +100,14 @@ class HyQsatEmbedder
      * consume no hardware).
      */
     QueueEmbedResult embedQueue(const std::vector<sat::LitVec> &queue);
+
+    /**
+     * Scratch overload: identical result, but every per-run buffer
+     * comes from @p scratch (reset on entry, capacity kept), so
+     * repeated embeddings avoid the allocation storm of a cold run.
+     */
+    QueueEmbedResult embedQueue(const std::vector<sat::LitVec> &queue,
+                                EmbedderScratch &scratch);
 
   private:
     const chimera::ChimeraGraph &graph_;

@@ -16,6 +16,7 @@
 #ifndef HYQSAT_SAT_CLAUSE_H
 #define HYQSAT_SAT_CLAUSE_H
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -117,19 +118,69 @@ class ClauseArena
   public:
     ClauseArena() { memory_.reserve(1 << 16); }
 
+    /**
+     * Hard capacity of the arena in words: a clause must start at a
+     * CRef strictly below CRef_Undef and fit entirely inside the
+     * 32-bit address space, so the region can never grow past
+     * CRef_Undef words (the sentinel itself stays unaddressable).
+     */
+    static constexpr std::size_t kMaxWords =
+        static_cast<std::size_t>(CRef_Undef);
+
+    /**
+     * Would allocating a clause of @p num_lits literals exceed the
+     * CRef address space? Callers holding reclaimable garbage should
+     * garbage-collect when this trips; alloc() panics instead of
+     * handing out a colliding/truncated reference.
+     */
+    bool
+    wouldExceed(std::size_t num_lits) const
+    {
+        return memory_.size() + 2 + num_lits > capacity_limit_;
+    }
+
     /** Allocate a clause with the given literals. */
     CRef
     alloc(const LitVec &lits, bool learnt)
     {
-        const auto need = 2 + lits.size();
-        const auto at = memory_.size();
-        memory_.resize(memory_.size() + need);
+        const std::size_t need = 2 + lits.size();
+        const std::size_t at = memory_.size();
+        if (at + need > capacity_limit_) {
+            panic("ClauseArena overflow: %zu + %zu words exceeds the "
+                  "32-bit CRef address space (limit %zu words); the "
+                  "learnt database outgrew the arena and garbage "
+                  "collection could not reclaim enough space",
+                  at, need, capacity_limit_);
+        }
+        // Explicit geometric growth: doubling keeps the amortized
+        // copy cost constant and makes the reallocation policy
+        // independent of the standard library's resize factor.
+        if (memory_.capacity() < at + need) {
+            memory_.reserve(
+                std::min(capacity_limit_,
+                         std::max(at + need, 2 * memory_.capacity())));
+        }
+        memory_.resize(at + need);
         auto &c = ref(static_cast<CRef>(at));
         c.init(static_cast<int>(lits.size()), learnt);
-        for (std::size_t i = 0; i < lits.size(); ++i)
-            c[static_cast<int>(i)] = lits[i];
+        // Lit is a trivially copyable 4-byte word (static_asserted
+        // below), laid out back to back after the two header words.
+        if (!lits.empty()) {
+            std::memcpy(&memory_[at + 2], lits.data(),
+                        lits.size() * sizeof(Lit));
+        }
         ++num_clauses_;
         return static_cast<CRef>(at);
+    }
+
+    /**
+     * Lower the capacity limit (test shim): lets the overflow guard
+     * be exercised without allocating 16 GiB. Clamped to kMaxWords.
+     */
+    void
+    setCapacityLimitForTest(std::size_t words)
+    {
+        capacity_limit_ = std::min(words, kMaxWords);
     }
 
     /** Dereference a clause. */
@@ -190,6 +241,9 @@ class ClauseArena
     void
     swap(ClauseArena &other)
     {
+        // capacity_limit_ intentionally stays with each arena: a gc
+        // compaction arena is unconstrained while it fills, and the
+        // solver's arena keeps its configured limit after the swap.
         memory_.swap(other.memory_);
         std::swap(wasted_, other.wasted_);
         std::swap(num_clauses_, other.num_clauses_);
@@ -199,6 +253,7 @@ class ClauseArena
     std::vector<std::uint32_t> memory_;
     std::size_t wasted_ = 0;
     std::size_t num_clauses_ = 0;
+    std::size_t capacity_limit_ = kMaxWords;
 };
 
 } // namespace hyqsat::sat

@@ -35,7 +35,9 @@ constexpr double kClauseActivityRescale = 1e20;
 Solver::Solver(const SolverOptions &opts)
     : opts_(opts), rng_(opts.seed), order_heap_(scores_),
       chb_alpha_(opts.chb_alpha), conflict_budget_(opts.conflict_budget),
-      decision_budget_(opts.decision_budget)
+      decision_budget_(opts.decision_budget),
+      track_sat_(opts.incremental_clause_tracking &&
+                 opts.instrument_clauses)
 {
 }
 
@@ -52,6 +54,10 @@ Solver::newVar()
     seen_.push_back(0);
     scores_.push_back(0.0);
     chb_last_conflict_.push_back(0);
+    if (track_sat_) {
+        lit_occurs_.emplace_back();
+        lit_occurs_.emplace_back();
+    }
     insertVarOrder(v);
     return v;
 }
@@ -74,12 +80,16 @@ Solver::addClause(LitVec lits, int original_index)
             visits_confl_.resize(need, 0);
             paper_score_.resize(need, 1.0);
         }
+        if (track_sat_)
+            untrackOriginal(original_index);
         source_[original_index] = lits;
     }
     for (Lit p : lits) {
         while (p.var() >= numVars())
             newVar();
     }
+    if (original_index >= 0 && track_sat_)
+        trackOriginal(original_index);
     if (!ok_)
         return false;
 
@@ -156,6 +166,8 @@ Solver::importClause(LitVec lits)
 
     // Into the learnt database (not originals_): imports are
     // redundant, so the reduction policy may drop them again.
+    if (arena_.wouldExceed(simplified.size()) && arena_.wasted() > 0)
+        garbageCollect();
     const CRef cr = arena_.alloc(simplified, true);
     learnts_.push_back(cr);
     attachClause(cr);
@@ -212,6 +224,13 @@ Solver::enqueue(Lit p, CRef from)
     assigns_[p.var()] = lbool(!p.sign());
     vardata_[p.var()] = {from, decisionLevel()};
     trail_.push_back(p);
+    if (track_sat_) {
+        // p just became true: every tracked clause containing the
+        // literal p gains one satisfied literal.
+        for (const int ci : lit_occurs_[p.x])
+            if (sat_count_[ci]++ == 0)
+                unsatRemove(ci);
+    }
     return true;
 }
 
@@ -454,6 +473,14 @@ Solver::cancelUntil(int level)
     for (int i = static_cast<int>(trail_.size()) - 1;
          i >= trail_lim_[level]; --i) {
         const Var v = trail_[i].var();
+        if (track_sat_) {
+            // The literal trail_[i] stops being true: clauses that
+            // relied on it as their last satisfied literal return to
+            // the unsat set.
+            for (const int ci : lit_occurs_[trail_[i].x])
+                if (--sat_count_[ci] == 0)
+                    unsatAdd(ci);
+        }
         assigns_[v] = l_Undef;
         if (opts_.phase_saving)
             polarity_[v] = trail_[i].sign();
@@ -839,6 +866,13 @@ Solver::search(std::int64_t max_conflicts)
             if (learnt.size() == 1) {
                 enqueue(learnt[0], CRef_Undef);
             } else {
+                // Saturating capacity guard: reclaim freed space
+                // before the arena would outgrow the CRef address
+                // space (alloc panics if gc cannot make room).
+                if (arena_.wouldExceed(learnt.size()) &&
+                    arena_.wasted() > 0) {
+                    garbageCollect();
+                }
                 const CRef cr = arena_.alloc(learnt, true);
                 learnts_.push_back(cr);
                 attachClause(cr);
@@ -1030,22 +1064,111 @@ Solver::boolModel() const
     return out;
 }
 
+void
+Solver::unsatAdd(int ci)
+{
+    if (unsat_pos_[ci] >= 0)
+        return;
+    unsat_pos_[ci] = static_cast<int>(unsat_list_.size());
+    unsat_list_.push_back(ci);
+}
+
+void
+Solver::unsatRemove(int ci)
+{
+    const int pos = unsat_pos_[ci];
+    if (pos < 0)
+        return;
+    const int last = unsat_list_.back();
+    unsat_list_[pos] = last;
+    unsat_pos_[last] = pos;
+    unsat_list_.pop_back();
+    unsat_pos_[ci] = -1;
+}
+
+void
+Solver::untrackOriginal(int idx)
+{
+    // Undo a previous registration of index idx (addClause reusing
+    // an original index): strip its occurrence-list entries so the
+    // new literals do not double-count. source_[idx] still holds the
+    // OLD literals at this point.
+    if (idx >= static_cast<int>(sat_count_.size()))
+        return;
+    for (const Lit p : source_[idx]) {
+        auto &occ = lit_occurs_[p.x];
+        for (std::size_t i = 0; i < occ.size(); ++i) {
+            if (occ[i] == idx) {
+                occ[i] = occ.back();
+                occ.pop_back();
+                break;
+            }
+        }
+    }
+    sat_count_[idx] = 0;
+    unsatAdd(idx);
+}
+
+void
+Solver::trackOriginal(int idx)
+{
+    // Grow the per-clause arrays; gap indices (reserved by a sparse
+    // original_index but never given literals) have zero satisfied
+    // literals and therefore sit in the unsat set, matching the
+    // scan over their empty source_ entries.
+    const int old = static_cast<int>(sat_count_.size());
+    if (idx >= old) {
+        sat_count_.resize(idx + 1, 0);
+        unsat_pos_.resize(idx + 1, -1);
+        for (int i = old; i <= idx; ++i)
+            unsatAdd(i);
+    }
+    int count = 0;
+    for (const Lit p : source_[idx]) {
+        lit_occurs_[p.x].push_back(idx);
+        if (value(p).isTrue())
+            ++count;
+    }
+    sat_count_[idx] = count;
+    if (count > 0)
+        unsatRemove(idx);
+    else
+        unsatAdd(idx);
+}
+
 bool
 Solver::originalClauseSatisfiedNow(int idx) const
 {
+    if (track_sat_)
+        return sat_count_[idx] > 0;
     for (const Lit p : source_[idx])
         if (value(p).isTrue())
             return true;
     return false;
 }
 
+void
+Solver::unsatisfiedOriginalClausesInto(std::vector<int> &out) const
+{
+    out.clear();
+    if (track_sat_) {
+        // Sorted copy of the live sparse set: ascending order keeps
+        // the result bit-identical to the scan implementation (and
+        // independent of the swap-erase history).
+        out.assign(unsat_list_.begin(), unsat_list_.end());
+        std::sort(out.begin(), out.end());
+        return;
+    }
+    for (int i = 0; i < numOriginalClauses(); ++i)
+        if (!originalClauseSatisfiedNow(i))
+            out.push_back(i);
+}
+
 std::vector<int>
 Solver::unsatisfiedOriginalClauses() const
 {
     std::vector<int> out;
-    for (int i = 0; i < numOriginalClauses(); ++i)
-        if (!originalClauseSatisfiedNow(i))
-            out.push_back(i);
+    unsatisfiedOriginalClausesInto(out);
     return out;
 }
 

@@ -259,12 +259,22 @@ class Solver
 
     /**
      * @return true iff original clause @p idx is satisfied under the
-     * current (possibly partial) trail.
+     * current (possibly partial) trail. O(1) when
+     * SolverOptions::incremental_clause_tracking is on, otherwise a
+     * scan of the clause's literals.
      */
     bool originalClauseSatisfiedNow(int idx) const;
 
     /** Indices of original clauses not yet satisfied by the trail. */
     std::vector<int> unsatisfiedOriginalClauses() const;
+
+    /**
+     * Fill @p out with the indices of unsatisfied original clauses,
+     * ascending, reusing @p out's capacity. With incremental
+     * tracking this is O(unsat · log unsat) (sorted copy of the live
+     * set); without it, a full O(M·3) scan.
+     */
+    void unsatisfiedOriginalClausesInto(std::vector<int> &out) const;
 
     /** Search statistics. */
     const SolverStats &stats() const { return stats_; }
@@ -286,6 +296,17 @@ class Solver
      * sink when one is attached.
      */
     void attachMetrics(MetricsRegistry *registry);
+
+    /**
+     * Test shim: lower the clause arena's capacity limit so the
+     * 32-bit overflow guard (gc-then-panic) can be exercised without
+     * allocating the full CRef address space.
+     */
+    void
+    setArenaCapacityLimitForTest(std::size_t words)
+    {
+        arena_.setCapacityLimitForTest(words);
+    }
 
     /**
      * Conflict limit of the @p restart_number-th restart. Geometric
@@ -434,6 +455,24 @@ class Solver
     std::vector<std::uint64_t> visits_prop_;
     std::vector<std::uint64_t> visits_confl_;
     std::vector<double> paper_score_;
+
+    // --- incremental satisfied-clause tracking -------------------------
+    // Enabled by SolverOptions::incremental_clause_tracking (requires
+    // instrument_clauses). sat_count_[i] is the number of currently
+    // true literals of original clause i; the unsat clauses form a
+    // sparse set (unsat_list_ + positions) maintained at the two
+    // assignment boundaries (enqueue / cancelUntil), so enumeration
+    // is O(unsat) instead of an O(M·3) trail rescan.
+    void untrackOriginal(int idx);
+    void trackOriginal(int idx);
+    void unsatAdd(int ci);
+    void unsatRemove(int ci);
+
+    bool track_sat_ = false;
+    std::vector<std::vector<int>> lit_occurs_; // indexed by Lit.x
+    std::vector<int> sat_count_;               // per original clause
+    std::vector<int> unsat_list_;              // sparse-set contents
+    std::vector<int> unsat_pos_; // index into unsat_list_, -1 if absent
 };
 
 } // namespace hyqsat::sat

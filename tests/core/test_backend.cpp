@@ -30,7 +30,7 @@ struct Fixture
     sampleWithEnergy(double clause_energy)
     {
         anneal::AnnealSample s;
-        s.node_bits.assign(frontend.embedded.problem.numNodes(),
+        s.node_bits.assign(frontend.embedded->problem.numNodes(),
                            false);
         s.clause_energy = clause_energy;
         return s;
@@ -44,7 +44,7 @@ TEST(Backend, Strategy1FinishesWithVerifiedModel)
 
     // Build a genuinely satisfying sample via brute force over the
     // encoded problem's SAT variables.
-    const auto &problem = fx.frontend.embedded.problem;
+    const auto &problem = fx.frontend.embedded->problem;
     anneal::AnnealSample sample;
     sample.node_bits.assign(problem.numNodes(), false);
     bool found = false;

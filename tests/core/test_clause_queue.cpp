@@ -145,5 +145,68 @@ TEST(ClauseQueue, DeterministicPerRngState)
               generateClauseQueue(solver, {}, b));
 }
 
+TEST(ClauseQueue, WorkspaceOverloadMatchesAllocatingSignature)
+{
+    // Same output and same RNG consumption across BFS and random
+    // modes, with one workspace reused (and therefore dirty) between
+    // calls and across solvers of different sizes.
+    ClauseQueueWorkspace ws;
+    std::vector<int> out;
+    for (const std::uint64_t seed : {16u, 17u, 18u}) {
+        Rng gen(seed);
+        const auto cnf = sat::testing::randomCnf(
+            20 + 10 * static_cast<int>(seed % 3), 150, 3, gen);
+        auto solver = loadedSolver(cnf);
+        for (const bool random_queue : {false, true}) {
+            ClauseQueueOptions opts;
+            opts.random_queue = random_queue;
+            opts.capacity = 35;
+            Rng a(seed * 7), b(seed * 7);
+            const auto plain = generateClauseQueue(solver, opts, a);
+            generateClauseQueue(solver, opts, b, ws, out);
+            EXPECT_EQ(plain, out) << "seed " << seed << " random "
+                                  << random_queue;
+            EXPECT_EQ(a.next(), b.next()); // streams in lockstep
+        }
+    }
+}
+
+TEST(ClauseQueue, WorkspaceExposesUnsatSetAndClipsCapacity)
+{
+    Rng gen(19);
+    const auto cnf = sat::testing::randomCnf(60, 260, 3, gen);
+    auto solver = loadedSolver(cnf);
+    ClauseQueueOptions opts;
+    opts.capacity = 10;
+    ClauseQueueWorkspace ws;
+    std::vector<int> out;
+    Rng rng(20);
+    generateClauseQueue(solver, opts, rng, ws, out);
+    EXPECT_EQ(out.size(), 10u);
+    EXPECT_EQ(ws.unsat, solver.unsatisfiedOriginalClauses());
+    EXPECT_GT(ws.unsat.size(), out.size());
+}
+
+TEST(ClauseQueue, RandomModeStillDrawsOnlyUnsatisfiedClauses)
+{
+    // The Fig. 14 ablation must differ only in ordering, never in
+    // eligibility: a satisfied clause may not enter the queue.
+    Rng gen(21);
+    const auto cnf = sat::testing::randomCnf(40, 170, 3, gen);
+    auto solver = loadedSolver(cnf);
+    solver.setConflictBudget(100);
+    solver.solve(); // leave a partial trail behind
+    ClauseQueueOptions opts;
+    opts.random_queue = true;
+    Rng rng(22);
+    const auto queue = generateClauseQueue(solver, opts, rng);
+    const auto unsat = solver.unsatisfiedOriginalClauses();
+    const std::set<int> unsat_set(unsat.begin(), unsat.end());
+    for (int ci : queue)
+        EXPECT_TRUE(unsat_set.count(ci)) << "clause " << ci;
+    std::set<int> dedup(queue.begin(), queue.end());
+    EXPECT_EQ(dedup.size(), queue.size());
+}
+
 } // namespace
 } // namespace hyqsat::core

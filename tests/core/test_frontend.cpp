@@ -18,10 +18,10 @@ TEST(Frontend, ProducesValidEmbeddingForUnsolvedFormula)
     Rng rng(2);
     const auto result = frontend.run(solver, rng);
     EXPECT_FALSE(result.queue.empty());
-    EXPECT_GT(result.embedded.embedded_clauses, 0);
+    EXPECT_GT(result.embedded->embedded_clauses, 0);
     std::string why;
-    EXPECT_TRUE(result.embedded.embedding.isValid(
-        g, result.embedded.problem.edges(), &why))
+    EXPECT_TRUE(result.embedded->embedding.isValid(
+        g, result.embedded->problem.edges(), &why))
         << why;
 }
 
@@ -37,7 +37,7 @@ TEST(Frontend, EmbeddedClausesArePrefixOfQueue)
     const auto result = frontend.run(solver, rng);
     ASSERT_EQ(result.embedded_clauses.size(),
               static_cast<std::size_t>(
-                  result.embedded.embedded_clauses));
+                  result.embedded->embedded_clauses));
     for (std::size_t i = 0; i < result.embedded_clauses.size(); ++i)
         EXPECT_EQ(result.embedded_clauses[i], result.queue[i]);
 }

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Incremental satisfied-clause tracking (the frontend fast path's
+ * sat-layer leg) and the ClauseArena 32-bit overflow guard.
+ *
+ * The tracking invariant is checked as a property test: during a
+ * real budgeted search — decisions, propagation, conflicts and
+ * backtracking included — the O(1) counters and the O(unsat) sparse
+ * set must agree with an independent literal-by-literal scan of
+ * every original clause at every sampled iteration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sat/clause.h"
+#include "sat/solver.h"
+#include "tests/sat/helpers.h"
+
+namespace hyqsat::sat {
+namespace {
+
+SolverOptions
+trackingOptions()
+{
+    SolverOptions opts;
+    opts.instrument_clauses = true;
+    opts.incremental_clause_tracking = true;
+    return opts;
+}
+
+/** Reference implementation: scan the clause under the trail. */
+bool
+satisfiedByScan(const Solver &solver, int idx)
+{
+    for (const Lit p : solver.originalClause(idx)) {
+        if (solver.value(p).isTrue())
+            return true;
+    }
+    return false;
+}
+
+std::vector<int>
+unsatisfiedByScan(const Solver &solver)
+{
+    std::vector<int> out;
+    for (int c = 0; c < solver.numOriginalClauses(); ++c) {
+        if (!satisfiedByScan(solver, c))
+            out.push_back(c);
+    }
+    return out;
+}
+
+TEST(ClauseTracking, MatchesScanThroughoutSearch)
+{
+    // Several random instances, each searched under a conflict
+    // budget so the trail sees deep assignments, conflicts and
+    // backtracking; the incremental state must match the scan at
+    // every sampled iteration.
+    for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+        Rng gen(seed);
+        const auto cnf =
+            testing::randomCnf(60, 250, 3, gen); // near 4.2 ratio
+        Solver solver(trackingOptions());
+        ASSERT_TRUE(solver.loadCnf(cnf));
+
+        int checked = 0, iteration = 0;
+        solver.setIterationHook([&](Solver &s) {
+            if (++iteration % 7 != 0) // sample, checks are O(M·3)
+                return;
+            ++checked;
+            std::vector<int> fast;
+            s.unsatisfiedOriginalClausesInto(fast);
+            EXPECT_EQ(fast, unsatisfiedByScan(s))
+                << "seed " << seed << " iteration " << iteration;
+            for (int c = 0; c < s.numOriginalClauses(); ++c) {
+                ASSERT_EQ(s.originalClauseSatisfiedNow(c),
+                          satisfiedByScan(s, c))
+                    << "seed " << seed << " clause " << c;
+            }
+        });
+        solver.setConflictBudget(400);
+        (void)solver.solve();
+        EXPECT_GT(checked, 0) << "hook never sampled the search";
+    }
+}
+
+TEST(ClauseTracking, MatchesScanAfterSolveAndAcrossRestarts)
+{
+    Rng gen(5);
+    const auto cnf = testing::randomCnf(40, 160, 3, gen);
+    Solver scan_solver;
+    Solver track_solver(trackingOptions());
+    ASSERT_TRUE(scan_solver.loadCnf(cnf));
+    ASSERT_TRUE(track_solver.loadCnf(cnf));
+    scan_solver.setConflictBudget(1000);
+    track_solver.setConflictBudget(1000);
+
+    // Identical options except the tracking flag: the searches are
+    // deterministic twins, so their public views must agree.
+    EXPECT_EQ(scan_solver.solve(), track_solver.solve());
+    EXPECT_EQ(scan_solver.unsatisfiedOriginalClauses(),
+              track_solver.unsatisfiedOriginalClauses());
+    EXPECT_EQ(track_solver.unsatisfiedOriginalClauses(),
+              unsatisfiedByScan(track_solver));
+}
+
+TEST(ClauseTracking, SparseSetSurvivesExplicitBacktracking)
+{
+    // Drive the trail directly with assumptions: every prefix of
+    // forced decisions ends in a solve() that backtracks to root, so
+    // the counters are exercised through full cancelUntil sweeps.
+    Rng gen(9);
+    const auto cnf = testing::randomCnf(30, 100, 3, gen);
+    Solver solver(trackingOptions());
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    Rng pick(17);
+    for (int round = 0; round < 10; ++round) {
+        LitVec assumptions;
+        const int depth = 1 + static_cast<int>(pick.below(8));
+        for (int i = 0; i < depth; ++i) {
+            assumptions.push_back(
+                mkLit(static_cast<Var>(pick.below(30)),
+                      pick.chance(0.5)));
+        }
+        solver.setConflictBudget(50);
+        (void)solver.solveWithAssumptions(assumptions);
+        EXPECT_EQ(solver.unsatisfiedOriginalClauses(),
+                  unsatisfiedByScan(solver))
+            << "round " << round;
+    }
+}
+
+// ---------------------------------------------------------------------
+// ClauseArena 32-bit overflow guard
+// ---------------------------------------------------------------------
+
+TEST(ClauseArena, WouldExceedTracksCapacityLimit)
+{
+    ClauseArena arena;
+    // 3-literal clause = 2 header words + 3 literal words.
+    arena.setCapacityLimitForTest(10);
+    const LitVec clause{mkLit(0), mkLit(1), mkLit(2)};
+    EXPECT_FALSE(arena.wouldExceed(clause.size()));
+    (void)arena.alloc(clause, false);
+    EXPECT_FALSE(arena.wouldExceed(clause.size())); // exactly fits
+    (void)arena.alloc(clause, false);
+    EXPECT_EQ(arena.size(), 10u);
+    EXPECT_TRUE(arena.wouldExceed(clause.size()));
+    EXPECT_TRUE(arena.wouldExceed(0));
+}
+
+TEST(ClauseArenaDeathTest, OverflowPanicsInsteadOfWrapping)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const LitVec clause{mkLit(0), mkLit(1), mkLit(2)};
+    EXPECT_DEATH(
+        {
+            ClauseArena arena;
+            arena.setCapacityLimitForTest(12);
+            for (int i = 0; i < 3; ++i)
+                (void)arena.alloc(clause, false);
+        },
+        "ClauseArena overflow");
+}
+
+TEST(ClauseTracking, SearchReclaimsArenaViaGcUnderTightLimit)
+{
+    // A limit with headroom for learnt churn but far below what an
+    // unbounded search would allocate: the wouldExceed guard in
+    // search() must garbage-collect freed learnts instead of
+    // panicking, and the search must still terminate normally.
+    Rng gen(13);
+    const auto cnf = testing::randomCnf(50, 210, 3, gen);
+    Solver solver;
+    ASSERT_TRUE(solver.loadCnf(cnf));
+    // Original clauses use ~210 * 5 words; leave ~4000 words for the
+    // learnt database.
+    solver.setArenaCapacityLimitForTest(5000);
+    solver.setConflictBudget(4000);
+    const auto status = solver.solve();
+    EXPECT_FALSE(status.isUndef() && solver.stats().conflicts == 0);
+    if (status.isTrue()) {
+        const auto model = solver.boolModel();
+        EXPECT_TRUE(cnf.eval(model));
+    }
+}
+
+} // namespace
+} // namespace hyqsat::sat
