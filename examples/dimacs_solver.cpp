@@ -7,13 +7,17 @@
  *
  *   ./build/examples/dimacs_solver problem.cnf [--classic]
  *       [--noisy] [--warmup N] [--sampler=NAME] [--depth N]
- *       [--timeout-s X] [--conflicts N] [--metrics FILE]
- *       [--trace FILE] [--no-frontend-cache]
+ *       [--num-reads N] [--timeout-s X] [--conflicts N]
+ *       [--metrics FILE] [--trace FILE] [--no-frontend-cache]
  *       [--incremental-tracking]
  *
  * --sampler selects the annealing backend by name (sync, qa,
  * logical, sa, batch, async, async:<backend>); --depth >= 2 enables
- * the asynchronous pipeline on any backend. --timeout-s bounds the
+ * the asynchronous pipeline on any backend. --num-reads N draws N
+ * independent annealing chains per device call (raced across the
+ * shared worker pool, best energy kept first), mirroring a real
+ * QPU's num_reads knob; read 1 is always bit-identical to a
+ * single-read run, so extra reads can only improve the sample. --timeout-s bounds the
  * run by wall clock (a watchdog thread trips the cooperative stop
  * token every layer observes) and --conflicts by conflict count;
  * either prints "s UNKNOWN" when it fires. --metrics dumps the
@@ -54,7 +58,7 @@ main(int argc, char **argv)
             names += (names.empty() ? "" : "|") + n;
         std::printf("usage: %s problem.cnf [--classic] [--noisy] "
                     "[--warmup N] [--sampler=%s] [--depth N] "
-                    "[--timeout-s X] [--conflicts N] "
+                    "[--num-reads N] [--timeout-s X] [--conflicts N] "
                     "[--metrics FILE] [--trace FILE] "
                     "[--no-frontend-cache] [--incremental-tracking]\n",
                     argv[0], names.c_str());
@@ -65,6 +69,7 @@ main(int argc, char **argv)
     std::int64_t warmup = -1;
     std::string sampler = "sync";
     int depth = 1;
+    int num_reads = 1;
     double timeout_s = 0.0;
     std::int64_t conflict_budget = -1;
     bool frontend_cache = true, incremental_tracking = false;
@@ -84,6 +89,8 @@ main(int argc, char **argv)
             sampler = argv[++i];
         else if (!std::strcmp(argv[i], "--depth") && i + 1 < argc)
             depth = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--num-reads") && i + 1 < argc)
+            num_reads = std::atoi(argv[++i]);
         else if (!std::strcmp(argv[i], "--timeout-s") && i + 1 < argc)
             timeout_s = std::atof(argv[++i]);
         else if (!std::strcmp(argv[i], "--conflicts") && i + 1 < argc)
@@ -205,10 +212,12 @@ main(int argc, char **argv)
         config.warmup_override = warmup;
         config.sampler = sampler;
         config.pipeline_depth = std::max(depth, 1);
+        config.num_reads = std::max(num_reads, 1);
         core::HybridSolver solver(config);
         result = solver.solve(cnf);
-        std::printf("c sampler=%s depth=%d\n", config.sampler.c_str(),
-                    config.pipeline_depth);
+        std::printf("c sampler=%s depth=%d num_reads=%d\n",
+                    config.sampler.c_str(), config.pipeline_depth,
+                    config.num_reads);
         std::printf("c %d QA samples applied over %d warm-up "
                     "iterations (%d submitted, %d stale, %d stalls)\n",
                     result.qa_samples, result.warmup_iterations,

@@ -2,11 +2,102 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <unordered_map>
 
 #include "util/logging.h"
 
 namespace hyqsat::anneal {
+
+/**
+ * See annealer.h. The replay schedule records every perturb() the
+ * legacy per-sample model build performed, in call order: replaying
+ * it with += into zeroed coefficient buffers reproduces the noisy
+ * model of the pre-compiled implementation bit for bit (same
+ * gaussian draw order, same accumulation order), while the expensive
+ * part — graph walks, coupler lookups, adjacency construction — runs
+ * once per problem instead of once per sample.
+ */
+struct AnnealCompiled
+{
+    /**
+     * One recorded coefficient program step. b < 0: a field op
+     * adding (base + noise) to h[a] (a is a spin index). b >= 0: a
+     * coupling op adding (base + noise) to w[a] and w[b] (both CSR
+     * twin slots of the edge).
+     */
+    struct CoeffOp
+    {
+        std::int32_t a = 0;
+        std::int32_t b = -1;
+        double base = 0.0;
+        double range = 1.0;
+    };
+
+    /** Flat model + chain groups (noise-free base coefficients). */
+    std::shared_ptr<const SaCompiled> sa;
+
+    /** Physical spin -> logical node (embedded flavor only). */
+    std::vector<int> spin_node;
+
+    /** Noise replay schedule, in legacy perturb() call order. */
+    std::vector<CoeffOp> ops;
+};
+
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Memo key for a CompiledSlot: the compiled product depends on the
+ * flavor (embedded vs logical), the hardware graph identity and the
+ * chain strength; the problem/embedding themselves are identified by
+ * the slot's owner (it lives on the QueueEmbedResult).
+ */
+std::uint64_t
+slotTag(std::uint64_t flavor, const void *graph, double chain_strength)
+{
+    std::uint64_t cs = 0;
+    std::memcpy(&cs, &chain_strength, sizeof(cs));
+    const auto g =
+        static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(graph));
+    return mix64(mix64(flavor ^ g) ^ cs);
+}
+
+void
+addStats(SaStats &into, const SaStats &s)
+{
+    into.sweeps += s.sweeps;
+    into.flips_attempted += s.flips_attempted;
+    into.flips_accepted += s.flips_accepted;
+    into.reads += s.reads;
+}
+
+/** Rewrite a coupling op's endpoints to the edge's CSR twin slots. */
+void
+resolveCouplingSlots(const qubo::CsrIsing &csr,
+                     std::vector<AnnealCompiled::CoeffOp> &ops)
+{
+    for (auto &op : ops) {
+        if (op.b < 0)
+            continue;
+        const int u = op.a;
+        const int v = op.b;
+        op.a = csr.slot(u, v);
+        op.b = csr.slot(v, u);
+        if (op.a < 0 || op.b < 0)
+            panic("compiled CSR lacks a slot for edge (%d, %d)", u, v);
+    }
+}
+
+} // namespace
 
 QuantumAnnealer::QuantumAnnealer(const chimera::ChimeraGraph &graph,
                                  Options opts)
@@ -23,27 +114,27 @@ QuantumAnnealer::perturb(double value, double range)
            rng_.gaussian(0.0, opts_.noise.coefficient_sigma * range);
 }
 
-AnnealSample
-QuantumAnnealer::sample(const qubo::EncodedProblem &problem,
-                        const embed::Embedding &embedding)
+std::shared_ptr<const AnnealCompiled>
+QuantumAnnealer::compiledEmbedded(const qubo::EncodedProblem &problem,
+                                  const embed::Embedding &embedding,
+                                  const embed::CompiledSlot *slot)
 {
-    AnnealSample out;
-    out.device_time_us = opts_.timing.sampleTimeUs(1);
+    const std::uint64_t tag =
+        slotTag(/*flavor=*/1, &graph_, opts_.chain_strength);
+    if (slot) {
+        if (auto hit = slot->get(tag))
+            return std::static_pointer_cast<const AnnealCompiled>(hit);
+    }
+
+    auto cp = std::make_shared<AnnealCompiled>();
     const int num_nodes = problem.numNodes();
-    out.node_bits.assign(num_nodes, false);
-    if (num_nodes == 0)
-        return out;
-    if (embedding.numNodes() != num_nodes)
-        panic("embedding/problem node count mismatch (%d vs %d)",
-              embedding.numNodes(), num_nodes);
 
     // Compact physical qubit indexing over the used qubits.
     std::unordered_map<int, int> dense; // hardware qubit -> spin index
-    std::vector<int> spin_node;         // spin index -> logical node
     for (int n = 0; n < num_nodes; ++n) {
         for (int q : embedding.chain(n)) {
             dense.emplace(q, static_cast<int>(dense.size()));
-            spin_node.push_back(n);
+            cp->spin_node.push_back(n);
         }
     }
 
@@ -55,11 +146,16 @@ QuantumAnnealer::sample(const qubo::EncodedProblem &problem,
         const auto &chain = embedding.chain(n);
         const double share =
             logical.field(n) / static_cast<double>(chain.size());
-        for (int q : chain)
-            physical.addField(dense.at(q), perturb(share, 2.0));
+        for (int q : chain) {
+            const int p = dense.at(q);
+            physical.addField(p, share);
+            cp->ops.push_back({p, -1, share, 2.0});
+        }
     }
 
-    // Each logical coupling sits on one physical coupler.
+    // Each logical coupling sits on one physical coupler. The zero
+    // skip precedes the (recorded) perturb, exactly as the legacy
+    // build skipped before drawing.
     for (const auto &[key, w] : logical.couplingTerms()) {
         if (w == 0.0)
             continue;
@@ -69,9 +165,10 @@ QuantumAnnealer::sample(const qubo::EncodedProblem &problem,
             panic("embedding lacks a coupler for edge (%d, %d)",
                   key.first(), key.second());
         }
-        physical.addCoupling(dense.at(coupler->first),
-                             dense.at(coupler->second),
-                             perturb(w, 1.0));
+        const int p = dense.at(coupler->first);
+        const int q = dense.at(coupler->second);
+        physical.addCoupling(p, q, w);
+        cp->ops.push_back({p, q, w, 1.0});
     }
 
     // Ferromagnetic chain couplings on every intra-chain coupler.
@@ -80,35 +177,131 @@ QuantumAnnealer::sample(const qubo::EncodedProblem &problem,
         for (std::size_t i = 0; i < chain.size(); ++i) {
             for (std::size_t j = i + 1; j < chain.size(); ++j) {
                 if (graph_.connected(chain[i], chain[j])) {
-                    physical.addCoupling(
-                        dense.at(chain[i]), dense.at(chain[j]),
-                        perturb(-opts_.chain_strength, 1.0));
+                    const int p = dense.at(chain[i]);
+                    const int q = dense.at(chain[j]);
+                    physical.addCoupling(p, q, -opts_.chain_strength);
+                    cp->ops.push_back(
+                        {p, q, -opts_.chain_strength, 1.0});
                 }
             }
         }
     }
 
-    // Anneal. Chains are registered as block-move groups: a logical
-    // variable flip is then a single proposal, which keeps long
-    // chains kinetically mobile (the device analogue is collective
-    // tunneling of the chain).
-    SaSampler sampler(physical);
+    // Chains are registered as block-move groups: a logical variable
+    // flip is then a single proposal, which keeps long chains
+    // kinetically mobile (the device analogue is collective
+    // tunneling of the chain). include_zero keeps every programmed
+    // edge addressable so the noise replay can perturb it.
+    SaCompiled built = SaCompiled::build(physical, /*include_zero=*/true);
     {
         std::vector<std::vector<int>> groups(num_nodes);
         for (int n = 0; n < num_nodes; ++n)
             for (int q : embedding.chain(n))
                 groups[n].push_back(dense.at(q));
-        sampler.setGroups(groups);
+        built.compileGroups(groups);
     }
+    resolveCouplingSlots(built.csr, cp->ops);
+    cp->sa = std::make_shared<const SaCompiled>(std::move(built));
+
+    if (slot)
+        slot->set(tag, cp);
+    return cp;
+}
+
+std::shared_ptr<const AnnealCompiled>
+QuantumAnnealer::compiledLogical(const qubo::EncodedProblem &problem,
+                                 const embed::CompiledSlot *slot)
+{
+    const std::uint64_t tag =
+        slotTag(/*flavor=*/2, &graph_, opts_.chain_strength);
+    if (slot) {
+        if (auto hit = slot->get(tag))
+            return std::static_pointer_cast<const AnnealCompiled>(hit);
+    }
+
+    auto cp = std::make_shared<AnnealCompiled>();
+    const qubo::IsingModel logical = quboToIsing(problem.normalized);
+
+    // The legacy noisy rebuild perturbed every field and EVERY
+    // coupling map entry (no zero skip here), so record them all;
+    // include_zero keeps the zero-weight slots addressable.
+    for (int i = 0; i < logical.numSpins(); ++i)
+        cp->ops.push_back({i, -1, logical.field(i), 2.0});
+    for (const auto &[key, w] : logical.couplingTerms())
+        cp->ops.push_back({key.first(), key.second(), w, 1.0});
+
+    SaCompiled built = SaCompiled::build(logical, /*include_zero=*/true);
+    resolveCouplingSlots(built.csr, cp->ops);
+    cp->sa = std::make_shared<const SaCompiled>(std::move(built));
+
+    if (slot)
+        slot->set(tag, cp);
+    return cp;
+}
+
+void
+QuantumAnnealer::applyNoise(const AnnealCompiled &cp, SaSampler &sampler)
+{
+    if (opts_.noise.coefficient_sigma <= 0.0) {
+        sampler.setCoeffs(nullptr, nullptr);
+        return;
+    }
+    const qubo::CsrIsing &csr = cp.sa->csr;
+    noisy_h_.assign(csr.h.size(), 0.0);
+    noisy_w_.assign(csr.w.size(), 0.0);
+    for (const AnnealCompiled::CoeffOp &op : cp.ops) {
+        const double v = perturb(op.base, op.range);
+        if (op.b < 0) {
+            noisy_h_[op.a] += v;
+        } else {
+            noisy_w_[op.a] += v;
+            noisy_w_[op.b] += v;
+        }
+    }
+    sampler.setCoeffs(noisy_h_.data(), noisy_w_.data());
+}
+
+AnnealSample
+QuantumAnnealer::sample(const qubo::EncodedProblem &problem,
+                        const embed::Embedding &embedding)
+{
+    return sample(problem, embedding, nullptr);
+}
+
+AnnealSample
+QuantumAnnealer::sample(const qubo::EncodedProblem &problem,
+                        const embed::Embedding &embedding,
+                        const embed::CompiledSlot *slot)
+{
+    run_stats_ = {};
+    AnnealSample out;
+    out.device_time_us = opts_.timing.sampleTimeUs(1);
+    const int num_nodes = problem.numNodes();
+    out.node_bits.assign(num_nodes, false);
+    if (num_nodes == 0)
+        return out;
+    if (embedding.numNodes() != num_nodes)
+        panic("embedding/problem node count mismatch (%d vs %d)",
+              embedding.numNodes(), num_nodes);
+
+    const auto cp = compiledEmbedded(problem, embedding, slot);
+    SaSampler sampler(cp->sa);
+    // One noise draw per sample() call (before any sampling draws),
+    // matching the legacy once-per-call model build.
+    applyNoise(*cp, sampler);
+
     SaOptions sa;
     sa.sweeps = opts_.noise.sweeps;
     sa.beta_end = opts_.noise.beta_final;
     sa.greedy_finish = opts_.greedy_finish;
+    sa.num_reads = opts_.num_reads;
 
+    const std::vector<int> &spin_node = cp->spin_node;
     bool have_best = false;
     for (int attempt = 0; attempt < std::max(opts_.attempts, 1);
          ++attempt) {
         SaResult result = sampler.sample(sa, rng_);
+        addStats(run_stats_, result.stats);
 
         // Readout error flips individual physical qubits.
         if (opts_.noise.readout_flip_prob > 0.0) {
@@ -163,9 +356,11 @@ QuantumAnnealer::sampleMajorityVote(const qubo::EncodedProblem &problem,
     if (num_nodes == 0 || samples <= 0)
         return out;
 
+    SaStats total;
     std::vector<int> votes(num_nodes, 0);
     for (int k = 0; k < samples; ++k) {
         const AnnealSample shot = sample(problem, embedding);
+        addStats(total, run_stats_);
         out.chain_breaks += shot.chain_breaks;
         for (int n = 0; n < num_nodes; ++n)
             votes[n] += shot.node_bits[n] ? 1 : -1;
@@ -179,12 +374,21 @@ QuantumAnnealer::sampleMajorityVote(const qubo::EncodedProblem &problem,
     out.clause_energy = problem.clauseSpaceEnergy(out.node_bits);
     out.weighted_energy = problem.objective.energy(out.node_bits);
     out.device_time_us = opts_.timing.sampleTimeUs(samples);
+    run_stats_ = total;
     return out;
 }
 
 AnnealSample
 QuantumAnnealer::sampleLogical(const qubo::EncodedProblem &problem)
 {
+    return sampleLogical(problem, nullptr);
+}
+
+AnnealSample
+QuantumAnnealer::sampleLogical(const qubo::EncodedProblem &problem,
+                               const embed::CompiledSlot *slot)
+{
+    run_stats_ = {};
     AnnealSample out;
     out.device_time_us = opts_.timing.sampleTimeUs(1);
     const int num_nodes = problem.numNodes();
@@ -192,28 +396,21 @@ QuantumAnnealer::sampleLogical(const qubo::EncodedProblem &problem)
     if (num_nodes == 0)
         return out;
 
-    qubo::IsingModel logical = quboToIsing(problem.normalized);
-    if (opts_.noise.coefficient_sigma > 0.0) {
-        qubo::IsingModel noisy(logical.numSpins());
-        noisy.addOffset(logical.offset());
-        for (int i = 0; i < logical.numSpins(); ++i)
-            noisy.addField(i, perturb(logical.field(i), 2.0));
-        for (const auto &[key, w] : logical.couplingTerms())
-            noisy.addCoupling(key.first(), key.second(),
-                              perturb(w, 1.0));
-        logical = std::move(noisy);
-    }
+    const auto cp = compiledLogical(problem, slot);
+    SaSampler sampler(cp->sa);
+    applyNoise(*cp, sampler);
 
-    SaSampler sampler(logical);
     SaOptions sa;
     sa.sweeps = opts_.noise.sweeps;
     sa.beta_end = opts_.noise.beta_final;
     sa.greedy_finish = opts_.greedy_finish;
+    sa.num_reads = opts_.num_reads;
 
     bool have_best = false;
     for (int attempt = 0; attempt < std::max(opts_.attempts, 1);
          ++attempt) {
         SaResult result = sampler.sample(sa, rng_);
+        addStats(run_stats_, result.stats);
         if (opts_.noise.readout_flip_prob > 0.0) {
             for (auto &s : result.spins)
                 if (rng_.chance(opts_.noise.readout_flip_prob))

@@ -12,17 +12,28 @@
 #define HYQSAT_ANNEAL_ANNEALER_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "anneal/noise.h"
 #include "anneal/sa_sampler.h"
 #include "anneal/timing.h"
 #include "chimera/chimera.h"
+#include "embed/compiled_slot.h"
 #include "embed/embedding.h"
 #include "qubo/encoder.h"
 #include "util/rng.h"
 
 namespace hyqsat::anneal {
+
+/**
+ * Everything about a programmed problem that survives between
+ * samples: the compiled flat Ising form (CSR + chain groups) and the
+ * ordered control-noise replay schedule. Built once per problem and
+ * memoized in the embed result's CompiledSlot; defined in
+ * annealer.cpp.
+ */
+struct AnnealCompiled;
 
 /** One annealer sample, already interpreted to logical space. */
 struct AnnealSample
@@ -85,6 +96,15 @@ class QuantumAnnealer
          */
         int attempts = 1;
 
+        /**
+         * Independent annealing chains per internal anneal (the
+         * device analogue of requesting num_reads samples and
+         * keeping the best); chains run in parallel on the shared
+         * WorkPool. 1 reproduces the single-chain annealer exactly,
+         * including its RNG stream.
+         */
+        int num_reads = 1;
+
         std::uint64_t seed = 0x5eed0f2a;
     };
 
@@ -98,10 +118,25 @@ class QuantumAnnealer
                         const embed::Embedding &embedding);
 
     /**
+     * Memoizing overload: identical result, but the compiled
+     * sampling form is fetched from (or parked in) @p slot — pass
+     * the CompiledSlot of the cached QueueEmbedResult that owns
+     * @p problem / @p embedding, so repeat samples of a cached
+     * embedding skip the whole model rebuild. @p slot may be null.
+     */
+    AnnealSample sample(const qubo::EncodedProblem &problem,
+                        const embed::Embedding &embedding,
+                        const embed::CompiledSlot *slot);
+
+    /**
      * Sample the logical problem directly (ideal all-to-all device).
      * Used by the noise-free simulator path and for calibration.
      */
     AnnealSample sampleLogical(const qubo::EncodedProblem &problem);
+
+    /** Memoizing overload of sampleLogical; see sample(). */
+    AnnealSample sampleLogical(const qubo::EncodedProblem &problem,
+                               const embed::CompiledSlot *slot);
 
     /**
      * Classical noise mitigation from the paper's related work
@@ -120,13 +155,44 @@ class QuantumAnnealer
 
     const Options &options() const { return opts_; }
 
+    /**
+     * Annealing work counters of the most recent sample() /
+     * sampleLogical() / sampleMajorityVote() call (summed over
+     * attempts, reads and shots). Feeds the anneal.* metrics.
+     */
+    const SaStats &lastRunStats() const { return run_stats_; }
+
   private:
     /** Gaussian control noise on a programmed coefficient. */
     double perturb(double value, double range);
 
+    /** Compile (or fetch from @p slot) the embedded physical form. */
+    std::shared_ptr<const AnnealCompiled>
+    compiledEmbedded(const qubo::EncodedProblem &problem,
+                     const embed::Embedding &embedding,
+                     const embed::CompiledSlot *slot);
+
+    /** Compile (or fetch from @p slot) the logical form. */
+    std::shared_ptr<const AnnealCompiled>
+    compiledLogical(const qubo::EncodedProblem &problem,
+                    const embed::CompiledSlot *slot);
+
+    /**
+     * Re-draw the control noise for one sample by replaying the
+     * compiled schedule into the member buffers and pointing
+     * @p sampler at them (no-op when coefficient_sigma is zero —
+     * the seed-identical RNG stream depends on drawing nothing).
+     */
+    void applyNoise(const AnnealCompiled &cp, SaSampler &sampler);
+
     const chimera::ChimeraGraph &graph_;
     Options opts_;
     Rng rng_;
+    SaStats run_stats_;
+
+    /** Per-sample noisy coefficient buffers (capacity reused). */
+    std::vector<double> noisy_h_;
+    std::vector<double> noisy_w_;
 };
 
 } // namespace hyqsat::anneal

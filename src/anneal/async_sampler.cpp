@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
+#include "anneal/work_pool.h"
 #include "util/timer.h"
 
 namespace hyqsat::anneal {
@@ -11,31 +13,37 @@ AsyncSampler::AsyncSampler(std::unique_ptr<Sampler> inner, Options opts)
     : inner_(std::move(inner)), opts_(opts)
 {
     opts_.depth = std::max(opts_.depth, 2);
-    worker_ = std::thread([this] { workerLoop(); });
 }
 
 AsyncSampler::~AsyncSampler()
 {
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        shutdown_ = true;
-    }
-    work_cv_.notify_all();
-    worker_.join();
+    // Stop accepting strand turns and wait for a running one to
+    // retire; queued-but-unprocessed jobs are abandoned with it.
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    done_cv_.wait(lock, [this] { return !strand_active_; });
 }
 
 std::uint64_t
 AsyncSampler::submit(SampleRequest request)
 {
     std::uint64_t ticket;
+    bool arm = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ticket = next_ticket_++;
         queue_.push_back(Job{ticket, std::move(request)});
         ++in_flight_;
         ++uncompleted_;
+        if (!strand_active_) {
+            strand_active_ = true;
+            arm = true;
+        }
     }
-    work_cv_.notify_one();
+    // At most one drain task exists at a time: that is what makes
+    // the pool a serial FIFO strand for this sampler.
+    if (arm)
+        WorkPool::shared().post([this] { drainLoop(); });
     return ticket;
 }
 
@@ -81,20 +89,20 @@ AsyncSampler::inFlight() const
 }
 
 void
-AsyncSampler::workerLoop()
+AsyncSampler::drainLoop()
 {
+    std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        Job job;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [this] {
-                return shutdown_ || !queue_.empty();
-            });
-            if (shutdown_)
-                return; // pending jobs are abandoned
-            job = std::move(queue_.front());
-            queue_.pop_front();
+        if (shutdown_ || queue_.empty()) {
+            strand_active_ = false;
+            lock.unlock();
+            // Wakes the dtor (strand retired) and any wait()er.
+            done_cv_.notify_all();
+            return;
         }
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
 
         // Cooperative cancellation: once the stop token trips every
         // completion would be discarded by the (stopping) consumer,
@@ -102,16 +110,17 @@ AsyncSampler::workerLoop()
         // jobs are never delivered — only wait()'s uncompleted_
         // accounting needs them retired.
         if (opts_.stop && opts_.stop->stopRequested()) {
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                --uncompleted_;
-            }
+            lock.lock();
+            --uncompleted_;
+            lock.unlock();
             done_cv_.notify_all();
+            lock.lock();
             continue;
         }
 
-        // The inner sampler is synchronous and only ever touched from
-        // this thread, so its Rng needs no locking.
+        // The inner sampler is synchronous and only ever touched by
+        // the (unique) active strand task, so its Rng needs no
+        // locking.
         Timer timer;
         AnnealSample sample = inner_->sampleNow(std::move(job.request));
         const double host_s = timer.seconds();
@@ -121,16 +130,16 @@ AsyncSampler::workerLoop()
                                         std::micro>(opts_.rtt_us));
         }
 
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            SampleCompletion completion;
-            completion.ticket = job.ticket;
-            completion.sample = std::move(sample);
-            completion.host_seconds = host_s;
-            done_.push_back(std::move(completion));
-            --uncompleted_;
-        }
+        lock.lock();
+        SampleCompletion completion;
+        completion.ticket = job.ticket;
+        completion.sample = std::move(sample);
+        completion.host_seconds = host_s;
+        done_.push_back(std::move(completion));
+        --uncompleted_;
+        lock.unlock();
         done_cv_.notify_all();
+        lock.lock();
     }
 }
 

@@ -6,10 +6,12 @@
  * 130 us sample latency (and, for a future remote QPU client, the
  * network round trip) inside the CDCL warm-up window.
  *
- * One worker thread services a FIFO request queue — a real QPU is a
- * single serially-scheduled device, so deeper parallelism would
- * misrepresent it; depth buys pipelining, not concurrency. An
- * optional modeled round-trip latency is slept on the worker to
+ * The request queue is a serial *strand* on the process-wide
+ * WorkPool: at most one drain task is in flight at a time, so jobs
+ * execute strictly in FIFO order on one thread at a time — a real
+ * QPU is a single serially-scheduled device, so deeper parallelism
+ * would misrepresent it; depth buys pipelining, not concurrency. An
+ * optional modeled round-trip latency is slept on the strand to
  * emulate a remote device.
  */
 
@@ -20,7 +22,6 @@
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "anneal/sampler.h"
@@ -28,7 +29,7 @@
 
 namespace hyqsat::anneal {
 
-/** Worker-thread pipeline around a synchronous sampler. */
+/** Strand-on-pool pipeline around a synchronous sampler. */
 class AsyncSampler : public Sampler
 {
   public:
@@ -72,21 +73,25 @@ class AsyncSampler : public Sampler
         SampleRequest request;
     };
 
-    void workerLoop();
+    /**
+     * One strand turn: process queued jobs until the queue is empty
+     * (or shutdown), then retire the strand. Runs on a pool thread;
+     * submit() re-arms it when work arrives with no strand active.
+     */
+    void drainLoop();
 
     std::unique_ptr<Sampler> inner_;
     Options opts_;
 
     mutable std::mutex mutex_;
-    std::condition_variable work_cv_; ///< signals the worker
-    std::condition_variable done_cv_; ///< signals wait()
+    std::condition_variable done_cv_; ///< signals wait() / the dtor
     std::deque<Job> queue_;
     std::vector<SampleCompletion> done_;
     int in_flight_ = 0;   ///< submitted - harvested
     int uncompleted_ = 0; ///< submitted - completed
     std::uint64_t next_ticket_ = 1;
     bool shutdown_ = false;
-    std::thread worker_;
+    bool strand_active_ = false; ///< a drain task is posted/running
 };
 
 } // namespace hyqsat::anneal

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "anneal/work_pool.h"
+#include "embed/hyqsat_embedder.h"
+
 namespace hyqsat::anneal {
 
 namespace {
@@ -20,7 +23,7 @@ workerSeed(std::uint64_t base, int index)
 
 BatchSampler::BatchSampler(const chimera::ChimeraGraph &graph,
                            Options opts)
-    : opts_(opts)
+    : opts_(opts), metrics_(AnnealMetrics::resolve(opts.metrics))
 {
     const int n = std::clamp(opts_.samples, 1, 16);
     opts_.samples = n;
@@ -32,75 +35,41 @@ BatchSampler::BatchSampler(const chimera::ChimeraGraph &graph,
         annealers_.push_back(
             std::make_unique<QuantumAnnealer>(graph, a));
     }
-    workers_.reserve(n);
-    for (int i = 0; i < n; ++i)
-        workers_.emplace_back([this, i] { workerLoop(i); });
-}
-
-BatchSampler::~BatchSampler()
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        shutdown_ = true;
-    }
-    work_cv_.notify_all();
-    for (auto &w : workers_)
-        w.join();
-}
-
-void
-BatchSampler::workerLoop(int index)
-{
-    std::uint64_t seen = 0;
-    for (;;) {
-        const SampleRequest *request = nullptr;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [&] {
-                return shutdown_ || generation_ != seen;
-            });
-            if (shutdown_)
-                return;
-            seen = generation_;
-            request = request_;
-        }
-
-        // Each worker samples with its own annealer (and Rng), so no
-        // state is shared during the round.
-        AnnealSample sample;
-        if (request->use_embedding) {
-            sample = annealers_[index]->sample(*request->problem,
-                                              *request->embedding);
-        } else {
-            sample =
-                annealers_[index]->sampleLogical(*request->problem);
-        }
-
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            results_[index] = std::move(sample);
-            --pending_;
-        }
-        done_cv_.notify_all();
-    }
 }
 
 AnnealSample
 BatchSampler::compute(const SampleRequest &request)
 {
+    MetricTimer::Scope scope(metrics_.sample_timer);
     const int n = numWorkers();
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        request_ = &request;
-        pending_ = n;
-        ++generation_;
+    const embed::CompiledSlot *slot =
+        request.embedded ? &request.embedded->compiled : nullptr;
+
+    // Each worker samples with its own annealer (and Rng), so no
+    // state is shared during the round — except the compiled-model
+    // slot, which is internally synchronized (first compile wins).
+    WorkPool::shared().runIndexed(n, [&](int i) {
+        if (request.use_embedding) {
+            results_[i] = annealers_[i]->sample(*request.problem,
+                                                *request.embedding,
+                                                slot);
+        } else {
+            results_[i] =
+                annealers_[i]->sampleLogical(*request.problem, slot);
+        }
+    });
+
+    // The fan-out barrier has passed: every annealer is quiescent, so
+    // reading its stats (and recording from this one thread) is safe.
+    SaStats total;
+    for (const auto &a : annealers_) {
+        const SaStats &s = a->lastRunStats();
+        total.sweeps += s.sweeps;
+        total.flips_attempted += s.flips_attempted;
+        total.flips_accepted += s.flips_accepted;
+        total.reads += s.reads;
     }
-    work_cv_.notify_all();
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_cv_.wait(lock, [this] { return pending_ == 0; });
-        request_ = nullptr;
-    }
+    metrics_.record(total);
 
     // Best clause-space energy wins; the first worker breaks ties so
     // the result is independent of completion order.

@@ -1,30 +1,30 @@
 /**
  * @file
- * Best-of-N batch sampler: a persistent thread pool where each worker
- * owns an independently seeded QuantumAnnealer; every submission is
- * sampled by all workers in parallel and the lowest clause-space
- * energy wins (ties resolved by worker index for determinism).
+ * Best-of-N batch sampler: each of N independently seeded
+ * QuantumAnnealers samples every submission, fanned out over the
+ * process-wide WorkPool, and the lowest clause-space energy wins
+ * (ties resolved by worker index for determinism).
  *
  * This models a multi-read device schedule — the reported device
  * time is N consecutive anneal-readout cycles, exactly like
  * QuantumAnnealer::sampleMajorityVote — while the host-side cost is
- * amortized across cores.
+ * amortized across cores. Per-worker results are deterministic
+ * regardless of which pool thread runs which worker: each worker
+ * owns its annealer (and Rng), and the submitting thread joins the
+ * fan-out barrier before reading anything.
  */
 
 #ifndef HYQSAT_ANNEAL_BATCH_SAMPLER_H
 #define HYQSAT_ANNEAL_BATCH_SAMPLER_H
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "anneal/sampler.h"
 
 namespace hyqsat::anneal {
 
-/** Thread-pool best-of-N sampler. */
+/** Pool-fan-out best-of-N sampler. */
 class BatchSampler : public SyncSampler
 {
   public:
@@ -34,10 +34,12 @@ class BatchSampler : public SyncSampler
         int samples = 4;
 
         QuantumAnnealer::Options annealer;
+
+        /** anneal.* metrics sink (see SamplerSpec::metrics). */
+        MetricsRegistry *metrics = nullptr;
     };
 
     BatchSampler(const chimera::ChimeraGraph &graph, Options opts);
-    ~BatchSampler() override;
 
     const char *name() const override { return "batch"; }
 
@@ -50,20 +52,10 @@ class BatchSampler : public SyncSampler
     AnnealSample compute(const SampleRequest &request) override;
 
   private:
-    void workerLoop(int index);
-
     Options opts_;
+    AnnealMetrics metrics_;
     std::vector<std::unique_ptr<QuantumAnnealer>> annealers_;
     std::vector<AnnealSample> results_;
-
-    std::mutex mutex_;
-    std::condition_variable work_cv_;
-    std::condition_variable done_cv_;
-    const SampleRequest *request_ = nullptr; ///< valid during a round
-    std::uint64_t generation_ = 0;           ///< bumped per round
-    int pending_ = 0;                        ///< workers still sampling
-    bool shutdown_ = false;
-    std::vector<std::thread> workers_;
 };
 
 } // namespace hyqsat::anneal

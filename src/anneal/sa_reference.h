@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Frozen copy of the pre-CSR simulated-annealing sampler, kept as the
+ * behavioral oracle for the hot-loop rewrite: the golden-seed test
+ * asserts SaSampler(num_reads=1) is bit-identical to this sampler
+ * (spins, energy, and post-sample RNG position), and bench/micro_anneal
+ * uses it as the "naive" baseline. Header-only and deliberately
+ * unoptimized — every delta re-scans the adjacency list. Do not edit
+ * the algorithm: its point is to stay exactly what shipped.
+ */
+
+#ifndef HYQSAT_ANNEAL_SA_REFERENCE_H
+#define HYQSAT_ANNEAL_SA_REFERENCE_H
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "anneal/sa_sampler.h"
+#include "anneal/schedule.h"
+#include "qubo/qubo.h"
+#include "util/rng.h"
+
+namespace hyqsat::anneal {
+
+/** The legacy vector-of-vectors SA sampler (see file comment). */
+class SaReferenceSampler
+{
+  public:
+    explicit SaReferenceSampler(const qubo::IsingModel &model)
+        : offset_(model.offset()), h_(model.fields()),
+          adj_(model.numSpins())
+    {
+        for (const auto &[key, w] : model.couplingTerms()) {
+            if (w == 0.0)
+                continue;
+            adj_[key.first()].emplace_back(key.second(), w);
+            adj_[key.second()].emplace_back(key.first(), w);
+        }
+    }
+
+    void
+    setGroups(const std::vector<std::vector<int>> &groups)
+    {
+        groups_ = groups;
+        group_of_.assign(numSpins(), -1);
+        for (std::size_t g = 0; g < groups_.size(); ++g)
+            for (int i : groups_[g])
+                group_of_[i] = static_cast<int>(g);
+    }
+
+    SaResult
+    sample(const SaOptions &opts, Rng &rng) const
+    {
+        const int n = numSpins();
+        SaResult result;
+        result.spins.resize(n);
+        for (auto &s : result.spins)
+            s = rng.chance(0.5) ? 1 : -1;
+
+        const auto betas =
+            geometricBetaSchedule(opts.beta_start, opts.beta_end,
+                                  std::max(opts.sweeps, 1));
+        for (const double beta : betas) {
+            for (int i = 0; i < n; ++i) {
+                const double delta =
+                    -2.0 * result.spins[i] *
+                    localField(result.spins, i);
+                if (delta <= 0.0 ||
+                    rng.uniform() < std::exp(-beta * delta))
+                    result.spins[i] = -result.spins[i];
+            }
+            for (std::size_t g = 0; g < groups_.size(); ++g) {
+                const double delta =
+                    groupFlipDelta(result.spins, static_cast<int>(g));
+                if (delta <= 0.0 ||
+                    rng.uniform() < std::exp(-beta * delta)) {
+                    for (int i : groups_[g])
+                        result.spins[i] = -result.spins[i];
+                }
+            }
+        }
+
+        if (opts.greedy_finish) {
+            bool improved = true;
+            int guard = 0;
+            while (improved && guard++ < 4 * n) {
+                improved = false;
+                for (int i = 0; i < n; ++i) {
+                    const double delta =
+                        -2.0 * result.spins[i] *
+                        localField(result.spins, i);
+                    if (delta < 0.0) {
+                        result.spins[i] = -result.spins[i];
+                        improved = true;
+                    }
+                }
+                for (std::size_t g = 0; g < groups_.size(); ++g) {
+                    const double delta = groupFlipDelta(
+                        result.spins, static_cast<int>(g));
+                    if (delta < 0.0) {
+                        for (int i : groups_[g])
+                            result.spins[i] = -result.spins[i];
+                        improved = true;
+                    }
+                }
+            }
+        }
+
+        result.energy = energy(result.spins);
+        return result;
+    }
+
+    int numSpins() const { return static_cast<int>(h_.size()); }
+
+    double
+    energy(const std::vector<std::int8_t> &spins) const
+    {
+        double e = offset_;
+        for (int i = 0; i < numSpins(); ++i) {
+            e += h_[i] * spins[i];
+            for (const auto &[j, w] : adj_[i])
+                if (j > i)
+                    e += w * spins[i] * spins[j];
+        }
+        return e;
+    }
+
+  private:
+    double
+    localField(const std::vector<std::int8_t> &s, int i) const
+    {
+        double f = h_[i];
+        for (const auto &[j, w] : adj_[i])
+            f += w * s[j];
+        return f;
+    }
+
+    double
+    groupFlipDelta(const std::vector<std::int8_t> &s, int group) const
+    {
+        double delta = 0.0;
+        for (int i : groups_[group]) {
+            double boundary = h_[i];
+            for (const auto &[j, w] : adj_[i])
+                if (group_of_[j] != group)
+                    boundary += w * s[j];
+            delta += -2.0 * s[i] * boundary;
+        }
+        return delta;
+    }
+
+    double offset_ = 0.0;
+    std::vector<double> h_;
+    std::vector<std::vector<std::pair<int, double>>> adj_;
+    std::vector<std::vector<int>> groups_;
+    std::vector<int> group_of_;
+};
+
+} // namespace hyqsat::anneal
+
+#endif // HYQSAT_ANNEAL_SA_REFERENCE_H

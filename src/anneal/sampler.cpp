@@ -2,10 +2,43 @@
 
 #include "anneal/async_sampler.h"
 #include "anneal/batch_sampler.h"
+#include "embed/hyqsat_embedder.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace hyqsat::anneal {
+
+namespace {
+
+/**
+ * CompiledSlot tag under which SaDirectSampler memoizes its compiled
+ * logical model (distinct from the QuantumAnnealer's tags, which mix
+ * graph identity and chain strength).
+ */
+constexpr std::uint64_t kSaDirectTag = 0x5ad17ec7c0de0001ull;
+
+/** The slot riding on the request's cached embed result, if any. */
+const embed::CompiledSlot *
+requestSlot(const SampleRequest &request)
+{
+    return request.embedded ? &request.embedded->compiled : nullptr;
+}
+
+} // namespace
+
+AnnealMetrics
+AnnealMetrics::resolve(MetricsRegistry *registry)
+{
+    AnnealMetrics m;
+    if (!registry)
+        return m;
+    m.sweeps = registry->counter("anneal.sweeps");
+    m.flips_attempted = registry->counter("anneal.flips.attempted");
+    m.flips_accepted = registry->counter("anneal.flips.accepted");
+    m.reads = registry->counter("anneal.reads");
+    m.sample_timer = registry->timer("anneal.sample");
+    return m;
+}
 
 AnnealSample
 Sampler::sampleNow(SampleRequest request)
@@ -52,27 +85,38 @@ SyncSampler::wait(std::vector<SampleCompletion> &out)
 }
 
 QaSampler::QaSampler(const chimera::ChimeraGraph &graph,
-                     QuantumAnnealer::Options opts, bool force_logical)
-    : annealer_(graph, opts), force_logical_(force_logical)
+                     QuantumAnnealer::Options opts, bool force_logical,
+                     MetricsRegistry *metrics)
+    : annealer_(graph, opts), force_logical_(force_logical),
+      metrics_(AnnealMetrics::resolve(metrics))
 {
 }
 
 AnnealSample
 QaSampler::compute(const SampleRequest &request)
 {
+    MetricTimer::Scope scope(metrics_.sample_timer);
+    const embed::CompiledSlot *slot = requestSlot(request);
+    AnnealSample out;
     if (force_logical_ || !request.use_embedding)
-        return annealer_.sampleLogical(*request.problem);
-    return annealer_.sample(*request.problem, *request.embedding);
+        out = annealer_.sampleLogical(*request.problem, slot);
+    else
+        out = annealer_.sample(*request.problem, *request.embedding,
+                               slot);
+    metrics_.record(annealer_.lastRunStats());
+    return out;
 }
 
-SaDirectSampler::SaDirectSampler(Options opts)
-    : opts_(opts), rng_(opts.seed)
+SaDirectSampler::SaDirectSampler(Options opts, MetricsRegistry *metrics)
+    : opts_(opts), rng_(opts.seed),
+      metrics_(AnnealMetrics::resolve(metrics))
 {
 }
 
 AnnealSample
 SaDirectSampler::compute(const SampleRequest &request)
 {
+    MetricTimer::Scope scope(metrics_.sample_timer);
     AnnealSample out;
     out.device_time_us = opts_.timing.sampleTimeUs(1);
     const qubo::EncodedProblem &problem = *request.problem;
@@ -81,9 +125,24 @@ SaDirectSampler::compute(const SampleRequest &request)
     if (num_nodes == 0)
         return out;
 
-    const qubo::IsingModel logical = quboToIsing(problem.normalized);
-    SaSampler sampler(logical);
+    // include_zero=false reproduces the legacy adjacency exactly
+    // (no coefficient replay happens on this backend).
+    const embed::CompiledSlot *slot = requestSlot(request);
+    std::shared_ptr<const SaCompiled> compiled;
+    if (slot) {
+        compiled = std::static_pointer_cast<const SaCompiled>(
+            slot->get(kSaDirectTag));
+    }
+    if (!compiled) {
+        compiled = std::make_shared<const SaCompiled>(SaCompiled::build(
+            quboToIsing(problem.normalized), /*include_zero=*/false));
+        if (slot)
+            slot->set(kSaDirectTag, compiled);
+    }
+
+    SaSampler sampler(std::move(compiled));
     const SaResult result = sampler.sample(opts_.sa, rng_);
+    metrics_.record(result.stats);
     out.physical_energy = result.energy;
     for (int n = 0; n < num_nodes; ++n)
         out.node_bits[n] = result.spins[n] > 0;
@@ -105,25 +164,31 @@ std::unique_ptr<Sampler>
 makeSampler(const SamplerSpec &spec, const chimera::ChimeraGraph &graph)
 {
     const std::string &name = spec.name;
-    if (name == "sync" || name == "qa" || name.empty())
-        return std::make_unique<QaSampler>(graph, spec.annealer);
+    if (name == "sync" || name == "qa" || name.empty()) {
+        return std::make_unique<QaSampler>(graph, spec.annealer,
+                                           /*force_logical=*/false,
+                                           spec.metrics);
+    }
     if (name == "logical") {
         return std::make_unique<QaSampler>(graph, spec.annealer,
-                                           /*force_logical=*/true);
+                                           /*force_logical=*/true,
+                                           spec.metrics);
     }
     if (name == "sa") {
         SaDirectSampler::Options opts;
         opts.sa.sweeps = spec.annealer.noise.sweeps;
         opts.sa.beta_end = spec.annealer.noise.beta_final;
         opts.sa.greedy_finish = spec.annealer.greedy_finish;
+        opts.sa.num_reads = spec.annealer.num_reads;
         opts.timing = spec.annealer.timing;
         opts.seed = spec.annealer.seed;
-        return std::make_unique<SaDirectSampler>(opts);
+        return std::make_unique<SaDirectSampler>(opts, spec.metrics);
     }
     if (name == "batch") {
         BatchSampler::Options opts;
         opts.samples = spec.batch_samples;
         opts.annealer = spec.annealer;
+        opts.metrics = spec.metrics;
         return std::make_unique<BatchSampler>(graph, opts);
     }
     if (name == "async" || name.rfind("async:", 0) == 0) {

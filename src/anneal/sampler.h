@@ -37,9 +37,42 @@
 #include "embed/embedding.h"
 #include "qubo/encoder.h"
 #include "util/cancel.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
+namespace hyqsat::embed {
+struct QueueEmbedResult;
+}
+
 namespace hyqsat::anneal {
+
+/**
+ * Resolved handles for the anneal.* metrics. All null when no
+ * registry is attached (the one-branch-when-disabled contract);
+ * resolve() binds them once at sampler construction.
+ */
+struct AnnealMetrics
+{
+    Counter *sweeps = nullptr;
+    Counter *flips_attempted = nullptr;
+    Counter *flips_accepted = nullptr;
+    Counter *reads = nullptr;
+
+    /** Host seconds spent producing samples ("anneal.sample"). */
+    MetricTimer *sample_timer = nullptr;
+
+    static AnnealMetrics resolve(MetricsRegistry *registry);
+
+    /** Record one sample's work counters. */
+    void
+    record(const SaStats &stats) const
+    {
+        metricInc(sweeps, stats.sweeps);
+        metricInc(flips_attempted, stats.flips_attempted);
+        metricInc(flips_accepted, stats.flips_accepted);
+        metricInc(reads, stats.reads);
+    }
+};
 
 /**
  * One sampling job. The request holds shared (non-null) references to
@@ -55,6 +88,16 @@ struct SampleRequest
 
     /** Sample through the embedding (false = ideal logical device). */
     bool use_embedding = true;
+
+    /**
+     * The cached embed result that owns @p problem / @p embedding,
+     * when the submitter has one (the hybrid pipeline's
+     * QueueEmbedCache entry). Carries the CompiledSlot where
+     * samplers memoize the compiled sampling form, so a frontend
+     * cache hit also skips the annealer's model rebuild. Optional —
+     * samplers must work (just compile per call) when null.
+     */
+    std::shared_ptr<const embed::QueueEmbedResult> embedded;
 };
 
 /** A finished job, correlated to its submission by ticket. */
@@ -139,7 +182,8 @@ class QaSampler : public SyncSampler
 {
   public:
     QaSampler(const chimera::ChimeraGraph &graph,
-              QuantumAnnealer::Options opts, bool force_logical = false);
+              QuantumAnnealer::Options opts, bool force_logical = false,
+              MetricsRegistry *metrics = nullptr);
 
     const char *name() const override
     {
@@ -154,6 +198,7 @@ class QaSampler : public SyncSampler
   private:
     QuantumAnnealer annealer_;
     bool force_logical_;
+    AnnealMetrics metrics_;
 };
 
 /**
@@ -171,7 +216,8 @@ class SaDirectSampler : public SyncSampler
         std::uint64_t seed = 0x5eed0f2a;
     };
 
-    explicit SaDirectSampler(Options opts);
+    explicit SaDirectSampler(Options opts,
+                             MetricsRegistry *metrics = nullptr);
 
     const char *name() const override { return "sa"; }
 
@@ -181,6 +227,7 @@ class SaDirectSampler : public SyncSampler
   private:
     Options opts_;
     Rng rng_;
+    AnnealMetrics metrics_;
 };
 
 /**
@@ -211,6 +258,13 @@ struct SamplerSpec
      * wait() (see AsyncSampler::Options::stop); nullptr = none.
      */
     const StopToken *stop = nullptr;
+
+    /**
+     * Registry receiving the anneal.* counters and the anneal.sample
+     * timer (not owned; must outlive the sampler). nullptr disables
+     * recording at one branch per site.
+     */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Build a backend by name; fatal() on an unknown name. */

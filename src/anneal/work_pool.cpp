@@ -1,0 +1,155 @@
+#include "anneal/work_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hyqsat::anneal {
+
+namespace {
+
+int
+defaultThreads()
+{
+    if (const char *env = std::getenv("HYQSAT_POOL_THREADS"))
+        return std::clamp(std::atoi(env), 1, 64);
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    // Leave one core for the submitting thread; runIndexed callers
+    // participate anyway, so a small pool only bounds parallelism,
+    // never correctness.
+    return std::clamp(hw - 1, 1, 16);
+}
+
+} // namespace
+
+WorkPool &
+WorkPool::shared()
+{
+    // Leaked on purpose: samplers may be destroyed during static
+    // teardown and must still be able to reach the pool; the threads
+    // die with the process.
+    static WorkPool *pool = new WorkPool(defaultThreads());
+    return *pool;
+}
+
+WorkPool::WorkPool(int threads)
+{
+    threads_.reserve(std::max(threads, 0));
+    for (int i = 0; i < threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkPool::~WorkPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+bool
+WorkPool::runOne(Batch &b, std::unique_lock<std::mutex> &lock)
+{
+    if (b.next >= b.total)
+        return false;
+    const int index = b.next++;
+    lock.unlock();
+    (*b.fn)(index);
+    lock.lock();
+    if (++b.done == b.total)
+        done_cv_.notify_all();
+    return true;
+}
+
+void
+WorkPool::runIndexed(int n, const std::function<void(int)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (n == 1 || threads_.empty()) {
+        for (int i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    Batch batch;
+    batch.fn = &fn;
+    batch.total = n;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    batches_.push_back(&batch);
+    work_cv_.notify_all();
+
+    // Caller participation: claim indices until none are left, then
+    // wait for helpers still running theirs. Guarantees progress
+    // even when every pool thread is busy (nested fan-outs).
+    while (runOne(batch, lock)) {
+    }
+    done_cv_.wait(lock, [&] { return batch.done == batch.total; });
+
+    // The batch is drained (next == total), but may still sit in the
+    // deque; remove it before the stack frame dies.
+    for (auto it = batches_.begin(); it != batches_.end(); ++it) {
+        if (*it == &batch) {
+            batches_.erase(it);
+            break;
+        }
+    }
+}
+
+void
+WorkPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+void
+WorkPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        // Priority: posted strand tasks first (they are latency
+        // sensitive — an async pipeline is waiting), then open
+        // fan-outs.
+        if (!tasks_.empty()) {
+            auto task = std::move(tasks_.front());
+            tasks_.pop_front();
+            lock.unlock();
+            task();
+            lock.lock();
+            continue;
+        }
+        // Select under the continuously-held lock, then run: runOne
+        // unlocks while calling fn, which may grow/shrink batches_,
+        // so no deque iterator may be live across it.
+        Batch *pick = nullptr;
+        for (Batch *b : batches_) {
+            if (b->next < b->total) {
+                pick = b;
+                break;
+            }
+        }
+        if (pick) {
+            runOne(*pick, lock);
+            continue;
+        }
+        if (shutdown_)
+            return;
+        work_cv_.wait(lock, [this] {
+            if (shutdown_ || !tasks_.empty())
+                return true;
+            for (Batch *b : batches_)
+                if (b->next < b->total)
+                    return true;
+            return false;
+        });
+    }
+}
+
+} // namespace hyqsat::anneal

@@ -21,6 +21,10 @@ HybridSolver::samplerSpec() const
     anneal::SamplerSpec spec;
     spec.name = config_.sampler;
     spec.annealer = config_.annealer;
+    // The top-level knob and a directly-configured annealer option
+    // compose as "whoever asks for more reads wins".
+    spec.annealer.num_reads =
+        std::max({config_.num_reads, config_.annealer.num_reads, 1});
     spec.batch_samples = config_.batch_samples;
     spec.pipeline_depth = std::max(config_.pipeline_depth, 2);
     spec.rtt_us = config_.rtt_us;
@@ -73,8 +77,10 @@ HybridSolver::solve(const sat::Cnf &formula)
     Backend backend(config_.backend, &metrics);
     // A fresh sampler per solve keeps repeated solves reproducible
     // (the backend Rng streams restart from the configured seed).
+    anneal::SamplerSpec spec = samplerSpec();
+    spec.metrics = &metrics; // anneal.* counters land per-solve
     const std::unique_ptr<anneal::Sampler> sampler =
-        anneal::makeSampler(samplerSpec(), graph_);
+        anneal::makeSampler(spec, graph_);
     Rng rng(config_.seed);
 
     sat::Solver solver(config_.solver);

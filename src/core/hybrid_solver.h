@@ -77,6 +77,14 @@ struct HybridConfig
     /** Independent seeds raced by the "batch" backend. */
     int batch_samples = 4;
 
+    /**
+     * Independent annealing chains per device sample, raced in
+     * parallel on the shared WorkPool; the best energy wins
+     * (anneal::SaOptions::num_reads). 1 reproduces the single-chain
+     * sampler bit for bit.
+     */
+    int num_reads = 1;
+
     /** Modeled network round trip per async sample (microseconds). */
     double rtt_us = 0.0;
 

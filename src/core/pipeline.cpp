@@ -94,6 +94,10 @@ SamplePipeline::step(const sat::Solver &solver, std::uint64_t epoch,
             request.embedding = std::shared_ptr<const embed::Embedding>(
                 cache_->embedded, &cache_->embedded->embedding);
             request.use_embedding = use_embedding_;
+            // Hand the sampler the owning embed result too: its
+            // CompiledSlot memoizes the compiled sampling form, so a
+            // cache hit here also skips the annealer's model rebuild.
+            request.embedded = cache_->embedded;
             const std::uint64_t ticket =
                 sampler_.submit(std::move(request));
             // The Timer starts after submit() returns so a

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A single-entry, type-erased memo slot that rides along with a
+ * cached embedding result (see QueueEmbedResult::compiled). The
+ * annealer compiles an embedded problem into its flat sampling form
+ * (CSR adjacency, chain groups, coefficient-replay schedule) exactly
+ * once per embed-cache entry and parks the product here, so a
+ * frontend cache hit also skips the adjacency rebuild — without the
+ * embed layer knowing anything about the anneal layer's types.
+ *
+ * The slot is keyed by an opaque 64-bit tag (the compiler hashes
+ * whatever its output depends on — topology identity, chain
+ * strength, compile flavor); a tag mismatch simply recompiles and
+ * replaces. Thread-safe: batch workers sampling the same cached
+ * problem race to fill it, the first compile wins and the rest read.
+ *
+ * Copying or moving the owner intentionally does NOT transport the
+ * memo (a fresh slot starts empty): the cache is an optimization
+ * attached to one resident object, never part of the value.
+ */
+
+#ifndef HYQSAT_EMBED_COMPILED_SLOT_H
+#define HYQSAT_EMBED_COMPILED_SLOT_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace hyqsat::embed {
+
+/** One (tag, shared value) memo cell; see file comment. */
+class CompiledSlot
+{
+  public:
+    CompiledSlot() = default;
+    ~CompiledSlot() = default;
+
+    CompiledSlot(const CompiledSlot &) : CompiledSlot() {}
+    CompiledSlot(CompiledSlot &&) noexcept : CompiledSlot() {}
+    CompiledSlot &
+    operator=(const CompiledSlot &)
+    {
+        return *this;
+    }
+    CompiledSlot &
+    operator=(CompiledSlot &&) noexcept
+    {
+        return *this;
+    }
+
+    /** The cached value if the stored tag matches, else nullptr. */
+    std::shared_ptr<const void>
+    get(std::uint64_t tag) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return tag_ == tag ? value_ : nullptr;
+    }
+
+    /** Store @p value under @p tag (replaces any previous entry). */
+    void
+    set(std::uint64_t tag, std::shared_ptr<const void> value) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tag_ = tag;
+        value_ = std::move(value);
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    mutable std::uint64_t tag_ = 0;
+    mutable std::shared_ptr<const void> value_;
+};
+
+} // namespace hyqsat::embed
+
+#endif // HYQSAT_EMBED_COMPILED_SLOT_H

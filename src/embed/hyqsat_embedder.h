@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "chimera/chimera.h"
+#include "embed/compiled_slot.h"
 #include "embed/embedding.h"
 #include "qubo/encoder.h"
 #include "sat/types.h"
@@ -46,6 +47,14 @@ struct QueueEmbedResult
 
     /** Wall-clock seconds for the embedding. */
     double seconds = 0.0;
+
+    /**
+     * Downstream compilation memo: the annealer parks its flat
+     * sampling form (CSR adjacency + replay schedule) here so a
+     * QueueEmbedCache hit also skips the per-sample model rebuild.
+     * Mutable side-cache, not part of the result's value.
+     */
+    CompiledSlot compiled;
 };
 
 /** Options for the fast embedder. */

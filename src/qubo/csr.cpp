@@ -1,0 +1,73 @@
+#include "qubo/csr.h"
+
+namespace hyqsat::qubo {
+
+CsrIsing
+CsrIsing::fromModel(const IsingModel &model, bool include_zero)
+{
+    CsrIsing out;
+    out.offset = model.offset();
+    out.h = model.fields();
+    const int n = model.numSpins();
+
+    // Two passes over the (deterministically ordered, const) term
+    // map: count row degrees, then fill with per-row cursors. The
+    // fill visits terms in the same order as the counting pass and
+    // as the legacy adjacency build, so each row's entry order is
+    // exactly the legacy push order.
+    std::vector<std::int32_t> degree(n, 0);
+    for (const auto &[key, weight] : model.couplingTerms()) {
+        if (!include_zero && weight == 0.0)
+            continue;
+        ++degree[key.first()];
+        ++degree[key.second()];
+    }
+    out.row_ptr.assign(n + 1, 0);
+    for (int i = 0; i < n; ++i)
+        out.row_ptr[i + 1] = out.row_ptr[i] + degree[i];
+    out.col.resize(out.row_ptr[n]);
+    out.w.resize(out.row_ptr[n]);
+
+    std::vector<std::int32_t> cursor(out.row_ptr.begin(),
+                                     out.row_ptr.end() - 1);
+    for (const auto &[key, weight] : model.couplingTerms()) {
+        if (!include_zero && weight == 0.0)
+            continue;
+        const int a = key.first(), b = key.second();
+        out.col[cursor[a]] = b;
+        out.w[cursor[a]] = weight;
+        ++cursor[a];
+        out.col[cursor[b]] = a;
+        out.w[cursor[b]] = weight;
+        ++cursor[b];
+    }
+    return out;
+}
+
+int
+CsrIsing::slot(int i, int j) const
+{
+    for (std::int32_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        if (col[k] == j)
+            return k;
+    }
+    return -1;
+}
+
+double
+CsrIsing::energyWith(const std::int8_t *spins, const double *fields,
+                     const double *weights) const
+{
+    double e = offset;
+    const int n = numSpins();
+    for (int i = 0; i < n; ++i) {
+        e += fields[i] * spins[i];
+        for (std::int32_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+            if (col[k] > i)
+                e += weights[k] * spins[i] * spins[col[k]];
+        }
+    }
+    return e;
+}
+
+} // namespace hyqsat::qubo

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Flat CSR (compressed sparse row) adjacency for an Ising model —
+ * the cache-friendly layout the annealing hot loop runs on.
+ *
+ * The row order of each spin's neighbors reproduces, entry for
+ * entry, the order in which the legacy vector-of-vectors adjacency
+ * was built (one pass over IsingModel::couplingTerms(), pushing
+ * (second, w) onto row `first` and (first, w) onto row `second`).
+ * That invariant matters: the sampler's exactness guard re-sums a
+ * local field in this order whenever a cached energy delta sits on
+ * the accept/reject boundary, so the decision — and therefore the
+ * RNG stream — is bit-identical to the pre-CSR implementation.
+ *
+ * Every undirected coupling is stored twice (once per endpoint);
+ * `slot()` finds the directed entry (i -> j) so callers that
+ * overwrite weights in place (the annealer's control-noise replay)
+ * can update both twins.
+ */
+
+#ifndef HYQSAT_QUBO_CSR_H
+#define HYQSAT_QUBO_CSR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "qubo/qubo.h"
+
+namespace hyqsat::qubo {
+
+/** Flat adjacency + coefficients of an Ising model. */
+struct CsrIsing
+{
+    double offset = 0.0;
+
+    /** Linear fields, one per spin. */
+    std::vector<double> h;
+
+    /** Row extents: neighbors of spin i live in [row_ptr[i], row_ptr[i+1]). */
+    std::vector<std::int32_t> row_ptr;
+
+    /** Neighbor spin per entry. */
+    std::vector<std::int32_t> col;
+
+    /** Coupling weight per entry (each coupling appears twice). */
+    std::vector<double> w;
+
+    int numSpins() const { return static_cast<int>(h.size()); }
+
+    /** Total directed entries (2x the coupling count). */
+    int numEntries() const { return static_cast<int>(col.size()); }
+
+    /**
+     * Build from a model. @p include_zero keeps couplings whose
+     * accumulated weight is exactly 0.0; the legacy adjacency
+     * dropped them, so pass false wherever bit-compatibility with a
+     * model built *without* later in-place weight replay is needed,
+     * and true when zero base weights will be overwritten (noise).
+     */
+    static CsrIsing fromModel(const IsingModel &model, bool include_zero);
+
+    /**
+     * Directed entry index of neighbor @p j in row @p i, or -1.
+     * Linear scan; compile-time use only (rows are short on
+     * hardware topologies, and the hot loop never calls this).
+     */
+    int slot(int i, int j) const;
+
+    /**
+     * Energy at @p spins using weights @p weights (size
+     * numEntries(); pass w.data() for the base model). Term order
+     * matches the legacy IsingModel/SaSampler evaluation: row by
+     * row, counting each coupling once at its j > i twin.
+     */
+    double energyWith(const std::int8_t *spins,
+                      const double *fields,
+                      const double *weights) const;
+
+    /** Energy at @p spins under the base coefficients. */
+    double
+    energy(const std::vector<std::int8_t> &spins) const
+    {
+        return energyWith(spins.data(), h.data(), w.data());
+    }
+};
+
+} // namespace hyqsat::qubo
+
+#endif // HYQSAT_QUBO_CSR_H

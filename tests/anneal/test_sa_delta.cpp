@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Property tests for the incremental local-field engine: the cached
+ * O(1) deltas (and the legacy-order fresh recomputations) must agree
+ * with brute-force energy(after) - energy(before) on random Ising
+ * models — with and without chain groups — through long sequences of
+ * accepted flips, and the running energy must track the brute-force
+ * energy throughout. Tolerance 1e-9 for the cached (incrementally
+ * maintained) values; the fresh recomputations use the exact legacy
+ * summation order and are compared tighter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "anneal/sa_sampler.h"
+#include "qubo/qubo.h"
+#include "util/rng.h"
+
+namespace hyqsat::anneal {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct Fixture
+{
+    std::shared_ptr<const SaCompiled> compiled;
+    std::vector<std::vector<int>> groups;
+};
+
+Fixture
+randomFixture(int n, int edges, std::uint64_t seed, bool with_chains)
+{
+    Rng rng(seed);
+    qubo::IsingModel m(n);
+    m.addOffset(rng.uniform() * 4.0 - 2.0);
+    for (int i = 0; i < n; ++i)
+        m.addField(i, rng.uniform() * 2.0 - 1.0);
+    for (int e = 0; e < edges; ++e) {
+        const int i = static_cast<int>(rng.below(n));
+        const int j = static_cast<int>(rng.below(n));
+        if (i == j)
+            continue;
+        m.addCoupling(i, j, rng.uniform() * 2.0 - 1.0);
+    }
+    Fixture fx;
+    if (with_chains) {
+        for (int k = 0; 3 * k + 2 < n; k += 2) {
+            const int a = 3 * k, b = 3 * k + 1, c = 3 * k + 2;
+            fx.groups.push_back({a, b, c});
+            m.addCoupling(a, b, -1.0);
+            m.addCoupling(b, c, -1.0);
+        }
+    }
+    SaCompiled built = SaCompiled::build(m, /*include_zero=*/false);
+    built.compileGroups(fx.groups);
+    fx.compiled = std::make_shared<const SaCompiled>(std::move(built));
+    return fx;
+}
+
+std::vector<std::int8_t>
+randomSpins(int n, Rng &rng)
+{
+    std::vector<std::int8_t> s(n);
+    for (auto &v : s)
+        v = rng.chance(0.5) ? 1 : -1;
+    return s;
+}
+
+double
+bruteEnergy(const SaCompiled &c, const std::vector<std::int8_t> &s)
+{
+    return c.csr.energy(s);
+}
+
+TEST(SaDelta, FlipDeltaMatchesBruteForceThroughAcceptedSequence)
+{
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const Fixture fx = randomFixture(28, 90, 0xDE17Aull + seed,
+                                         /*with_chains=*/false);
+        const SaCompiled &c = *fx.compiled;
+        Rng rng(seed * 7919);
+        auto spins = randomSpins(c.numSpins(), rng);
+
+        detail::IncrementalIsing inc;
+        inc.reset(c, c.csr.h.data(), c.csr.w.data(), spins);
+        ASSERT_NEAR(inc.energy(), bruteEnergy(c, spins), kTol);
+
+        for (int step = 0; step < 400; ++step) {
+            const int i = static_cast<int>(rng.below(c.numSpins()));
+            const double before = bruteEnergy(c, spins);
+            spins[i] = static_cast<std::int8_t>(-spins[i]);
+            const double want = bruteEnergy(c, spins) - before;
+
+            const double cached = inc.flipDelta(i);
+            const double fresh = inc.freshFlipDelta(i);
+            EXPECT_NEAR(cached, want, kTol)
+                << "seed " << seed << " step " << step;
+            EXPECT_NEAR(fresh, want, kTol)
+                << "seed " << seed << " step " << step;
+            // The guard band only matters if cached and fresh agree
+            // on which side of zero genuine boundary cases fall.
+            if (std::abs(want) > kTol) {
+                EXPECT_EQ(cached < 0.0, want < 0.0);
+            }
+
+            inc.applyFlip(i, cached);
+            EXPECT_EQ(inc.spins()[i], spins[i]);
+            EXPECT_NEAR(inc.energy(), bruteEnergy(c, spins), kTol)
+                << "running energy drifted at step " << step;
+        }
+    }
+}
+
+TEST(SaDelta, GroupDeltaMatchesBruteForceWithChains)
+{
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const Fixture fx = randomFixture(30, 80, 0xC4A17ull + seed,
+                                         /*with_chains=*/true);
+        const SaCompiled &c = *fx.compiled;
+        ASSERT_FALSE(c.groups.empty());
+        Rng rng(seed * 104729);
+        auto spins = randomSpins(c.numSpins(), rng);
+
+        detail::IncrementalIsing inc;
+        inc.reset(c, c.csr.h.data(), c.csr.w.data(), spins);
+
+        for (int step = 0; step < 300; ++step) {
+            // Interleave group flips and single flips so the cached
+            // fields are maintained across both move kinds.
+            if (step % 3 != 0) {
+                const int i = static_cast<int>(rng.below(c.numSpins()));
+                const double before = bruteEnergy(c, spins);
+                spins[i] = static_cast<std::int8_t>(-spins[i]);
+                const double want = bruteEnergy(c, spins) - before;
+                const double cached = inc.flipDelta(i);
+                EXPECT_NEAR(cached, want, kTol);
+                inc.applyFlip(i, cached);
+            } else {
+                const int g = static_cast<int>(
+                    rng.below(static_cast<int>(c.groups.size())));
+                const double before = bruteEnergy(c, spins);
+                for (int i : c.groups[g])
+                    spins[i] = static_cast<std::int8_t>(-spins[i]);
+                const double want = bruteEnergy(c, spins) - before;
+
+                const double cached = inc.groupDelta(g);
+                const double fresh = inc.freshGroupDelta(g);
+                EXPECT_NEAR(cached, want, kTol)
+                    << "seed " << seed << " step " << step;
+                EXPECT_NEAR(fresh, want, kTol)
+                    << "seed " << seed << " step " << step;
+                inc.applyGroup(g, cached);
+            }
+            EXPECT_NEAR(inc.energy(), bruteEnergy(c, spins), kTol)
+                << "running energy drifted at step " << step;
+        }
+    }
+}
+
+TEST(SaDelta, ExternalCoefficientViewsAreHonored)
+{
+    const Fixture fx =
+        randomFixture(20, 50, 0xE57ull, /*with_chains=*/true);
+    const SaCompiled &c = *fx.compiled;
+
+    // Scale every coefficient: deltas and energies must follow the
+    // external arrays, not the compiled base values.
+    std::vector<double> h2 = c.csr.h;
+    std::vector<double> w2 = c.csr.w;
+    for (auto &v : h2)
+        v *= 3.0;
+    for (auto &v : w2)
+        v *= 3.0;
+
+    Rng rng(99);
+    auto spins = randomSpins(c.numSpins(), rng);
+
+    detail::IncrementalIsing base, scaled;
+    base.reset(c, c.csr.h.data(), c.csr.w.data(), spins);
+    scaled.reset(c, h2.data(), w2.data(), spins);
+    const double base_offsetless = base.energy() - c.csr.offset;
+    EXPECT_NEAR(scaled.energy() - c.csr.offset, 3.0 * base_offsetless,
+                1e-9);
+    for (int i = 0; i < c.numSpins(); ++i)
+        EXPECT_NEAR(scaled.flipDelta(i), 3.0 * base.flipDelta(i), 1e-9);
+    for (std::size_t g = 0; g < c.groups.size(); ++g) {
+        EXPECT_NEAR(scaled.groupDelta(static_cast<int>(g)),
+                    3.0 * base.groupDelta(static_cast<int>(g)), 1e-9);
+    }
+}
+
+} // namespace
+} // namespace hyqsat::anneal

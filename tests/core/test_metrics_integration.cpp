@@ -122,6 +122,30 @@ TEST(MetricsIntegration, AttachingMetricsDoesNotPerturbSearch)
     EXPECT_EQ(without.qa_samples, with.qa_samples);
 }
 
+TEST(MetricsIntegration, AnnealCountersRecordSamplingWork)
+{
+    const sat::Cnf cnf = testFormula();
+    MetricsRegistry registry;
+    HybridConfig cfg = noiseFreeConfig();
+    cfg.metrics = &registry;
+    cfg.num_reads = 2;
+    HybridSolver solver(cfg);
+    const HybridResult result = solver.solve(cnf);
+    ASSERT_FALSE(result.status.isUndef());
+    ASSERT_GT(result.qa_samples, 0);
+
+    // Every device sample runs SA chains: the anneal.* instruments
+    // must have recorded real work through the hot loop.
+    EXPECT_GT(registry.counter("anneal.sweeps")->value(), 0u);
+    EXPECT_GT(registry.counter("anneal.flips.attempted")->value(), 0u);
+    EXPECT_GT(registry.counter("anneal.flips.accepted")->value(), 0u);
+    EXPECT_GT(registry.counter("anneal.reads")->value(), 0u);
+    EXPECT_GT(registry.timer("anneal.sample")->count(), 0u);
+    // num_reads = 2: at least two chains per recorded sample() call.
+    EXPECT_GE(registry.counter("anneal.reads")->value(),
+              2 * registry.timer("anneal.sample")->count());
+}
+
 TEST(MetricsIntegration, WriteJsonContainsExactCounterValues)
 {
     const sat::Cnf cnf = testFormula();
