@@ -59,16 +59,18 @@ mix64(std::uint64_t z)
  * Memo key for a CompiledSlot: the compiled product depends on the
  * flavor (embedded vs logical), the hardware graph identity and the
  * chain strength; the problem/embedding themselves are identified by
- * the slot's owner (it lives on the QueueEmbedResult).
+ * the slot's owner (it lives on the QueueEmbedResult). The graph is
+ * keyed by its never-reused uid(), not its address — the slot lives
+ * on a long-lived cached QueueEmbedResult, so an address could be
+ * recycled by a different graph within the slot's lifetime.
  */
 std::uint64_t
-slotTag(std::uint64_t flavor, const void *graph, double chain_strength)
+slotTag(std::uint64_t flavor, const chimera::ChimeraGraph &graph,
+        double chain_strength)
 {
     std::uint64_t cs = 0;
     std::memcpy(&cs, &chain_strength, sizeof(cs));
-    const auto g =
-        static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(graph));
-    return mix64(mix64(flavor ^ g) ^ cs);
+    return mix64(mix64(flavor ^ graph.uid()) ^ cs);
 }
 
 void
@@ -120,7 +122,7 @@ QuantumAnnealer::compiledEmbedded(const qubo::EncodedProblem &problem,
                                   const embed::CompiledSlot *slot)
 {
     const std::uint64_t tag =
-        slotTag(/*flavor=*/1, &graph_, opts_.chain_strength);
+        slotTag(/*flavor=*/1, graph_, opts_.chain_strength);
     if (slot) {
         if (auto hit = slot->get(tag))
             return std::static_pointer_cast<const AnnealCompiled>(hit);
@@ -213,7 +215,7 @@ QuantumAnnealer::compiledLogical(const qubo::EncodedProblem &problem,
                                  const embed::CompiledSlot *slot)
 {
     const std::uint64_t tag =
-        slotTag(/*flavor=*/2, &graph_, opts_.chain_strength);
+        slotTag(/*flavor=*/2, graph_, opts_.chain_strength);
     if (slot) {
         if (auto hit = slot->get(tag))
             return std::static_pointer_cast<const AnnealCompiled>(hit);
@@ -242,6 +244,12 @@ QuantumAnnealer::compiledLogical(const qubo::EncodedProblem &problem,
 void
 QuantumAnnealer::applyNoise(const AnnealCompiled &cp, SaSampler &sampler)
 {
+    // sigma <= 0 draws NOTHING, exactly like the legacy per-sample
+    // model build: its perturb() had the same early-out before ever
+    // reaching Rng::gaussian, so the noise-free RNG stream never
+    // contained noise draws. Verified bit-identical (bits + stream
+    // position) against the pre-rewrite build; pinned by the
+    // Annealer.GoldenSeed* tests.
     if (opts_.noise.coefficient_sigma <= 0.0) {
         sampler.setCoeffs(nullptr, nullptr);
         return;

@@ -95,9 +95,14 @@ AsyncSampler::drainLoop()
     for (;;) {
         if (shutdown_ || queue_.empty()) {
             strand_active_ = false;
-            lock.unlock();
-            // Wakes the dtor (strand retired) and any wait()er.
+            // Final notify under the lock: the destructor is
+            // released by !strand_active_ and may destroy *this the
+            // moment it can observe it (including via a spurious
+            // wakeup between an unlock and a late notify), so
+            // done_cv_ must not be touched after the mutex is
+            // released here.
             done_cv_.notify_all();
+            lock.unlock();
             return;
         }
         Job job = std::move(queue_.front());

@@ -52,15 +52,41 @@ WorkPool::~WorkPool()
 bool
 WorkPool::runOne(Batch &b, std::unique_lock<std::mutex> &lock)
 {
-    if (b.next >= b.total)
+    if (b.cancelled || b.next >= b.total)
         return false;
     const int index = b.next++;
+    ++b.active;
     lock.unlock();
-    (*b.fn)(index);
+    try {
+        (*b.fn)(index);
+    } catch (...) {
+        // Poison the batch so no further indices are claimed, and
+        // wake the owner, whose unwind handler waits for the claims
+        // already inside fn. (A throw on a pool thread still
+        // escapes workerLoop and terminates — fn must only throw on
+        // the runIndexed caller's own thread.)
+        lock.lock();
+        b.cancelled = true;
+        --b.active;
+        done_cv_.notify_all();
+        throw;
+    }
     lock.lock();
-    if (++b.done == b.total)
+    --b.active;
+    if (++b.done == b.total || (b.cancelled && b.active == 0))
         done_cv_.notify_all();
     return true;
+}
+
+void
+WorkPool::unlink(Batch &b)
+{
+    for (auto it = batches_.begin(); it != batches_.end(); ++it) {
+        if (*it == &b) {
+            batches_.erase(it);
+            break;
+        }
+    }
 }
 
 void
@@ -85,18 +111,24 @@ WorkPool::runIndexed(int n, const std::function<void(int)> &fn)
     // Caller participation: claim indices until none are left, then
     // wait for helpers still running theirs. Guarantees progress
     // even when every pool thread is busy (nested fan-outs).
-    while (runOne(batch, lock)) {
+    try {
+        while (runOne(batch, lock)) {
+        }
+        done_cv_.wait(lock, [&] { return batch.done == batch.total; });
+    } catch (...) {
+        // fn threw on this (the caller's) thread: runOne's handler
+        // relocked and poisoned the batch, so helpers claim nothing
+        // new. Wait out the claims still inside fn, then unlink the
+        // stack-allocated batch before the frame unwinds — a
+        // dangling deque entry would hand workers a dead pointer.
+        done_cv_.wait(lock, [&] { return batch.active == 0; });
+        unlink(batch);
+        throw;
     }
-    done_cv_.wait(lock, [&] { return batch.done == batch.total; });
 
     // The batch is drained (next == total), but may still sit in the
     // deque; remove it before the stack frame dies.
-    for (auto it = batches_.begin(); it != batches_.end(); ++it) {
-        if (*it == &batch) {
-            batches_.erase(it);
-            break;
-        }
-    }
+    unlink(batch);
 }
 
 void
@@ -130,7 +162,7 @@ WorkPool::workerLoop()
         // so no deque iterator may be live across it.
         Batch *pick = nullptr;
         for (Batch *b : batches_) {
-            if (b->next < b->total) {
+            if (!b->cancelled && b->next < b->total) {
                 pick = b;
                 break;
             }
@@ -145,7 +177,7 @@ WorkPool::workerLoop()
             if (shutdown_ || !tasks_.empty())
                 return true;
             for (Batch *b : batches_)
-                if (b->next < b->total)
+                if (!b->cancelled && b->next < b->total)
                     return true;
             return false;
         });

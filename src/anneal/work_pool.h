@@ -71,9 +71,14 @@ class WorkPool
         int total = 0;
         int next = 0; ///< next unclaimed index (guarded by pool mutex)
         int done = 0; ///< finished calls (guarded by pool mutex)
+        int active = 0; ///< claims currently inside fn (pool mutex)
+        bool cancelled = false; ///< fn threw; no further claims
     };
 
     void workerLoop();
+
+    /** Unlink @p b from batches_ (mutex must be held). */
+    void unlink(Batch &b);
 
     /** Claim-and-run one index of @p b; true if one was claimed. */
     bool runOne(Batch &b, std::unique_lock<std::mutex> &lock);

@@ -1,13 +1,25 @@
 #include "chimera/chimera.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.h"
 
 namespace hyqsat::chimera {
 
+namespace {
+
+std::uint64_t
+nextGraphUid()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
 ChimeraGraph::ChimeraGraph(int rows, int cols, int shore)
-    : rows_(rows), cols_(cols), shore_(shore)
+    : rows_(rows), cols_(cols), shore_(shore), uid_(nextGraphUid())
 {
     if (rows < 1 || cols < 1 || shore < 1)
         fatal("ChimeraGraph requires positive dimensions");

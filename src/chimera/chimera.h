@@ -19,6 +19,7 @@
 #ifndef HYQSAT_CHIMERA_CHIMERA_H
 #define HYQSAT_CHIMERA_CHIMERA_H
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -64,6 +65,14 @@ class ChimeraGraph
     int rows() const { return rows_; }
     int cols() const { return cols_; }
     int shore() const { return shore_; }
+
+    /**
+     * Stable per-instance identity for memoization keys: unique
+     * across all graphs ever constructed in the process (never
+     * reused, unlike an address), and shared by copies — which have
+     * identical topology, so a memo hit through a copy is safe.
+     */
+    std::uint64_t uid() const { return uid_; }
 
     /** @return total number of qubits (rows*cols*2*shore). */
     int numQubits() const { return rows_ * cols_ * 2 * shore_; }
@@ -116,6 +125,7 @@ class ChimeraGraph
 
   private:
     int rows_, cols_, shore_;
+    std::uint64_t uid_ = 0;
     std::vector<std::vector<int>> adjacency_;
     std::vector<std::pair<int, int>> edges_;
 };

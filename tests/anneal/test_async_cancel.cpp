@@ -39,6 +39,23 @@ class SlowSampler : public SyncSampler
     std::chrono::milliseconds per_sample_;
 };
 
+TEST(AsyncSamplerCancel, DestructionRacesStrandRetirement)
+{
+    // Destroy the sampler the instant jobs are in flight, many times
+    // over: the destructor waits for the drain strand to retire, and
+    // the strand's final done_cv_ notify must happen before it drops
+    // the mutex — a notify after the unlock can land on a destroyed
+    // condition variable (caught by TSAN/ASAN builds).
+    for (int round = 0; round < 200; ++round) {
+        AsyncSampler sampler(
+            std::make_unique<SlowSampler>(std::chrono::milliseconds(0)),
+            AsyncSampler::Options{});
+        for (int j = 0; j < 3; ++j)
+            sampler.submit(SampleRequest{});
+        // dtor runs here, racing the drain loop's retirement
+    }
+}
+
 TEST(AsyncSamplerCancel, WaitReturnsWithinPollIntervalAfterStop)
 {
     // ISSUE 2 cancellation satellite: a portfolio worker blocked in

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -88,6 +89,44 @@ TEST(WorkPool, RunIndexedWorksOnSharedPoolUnderConcurrentCallers)
         EXPECT_EQ(h.load(), 1);
     for (auto &h : b)
         EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkPool, CallerThrowUnwindsCleanlyAndPoolStaysUsable)
+{
+    // fn may only throw on the runIndexed caller's own thread (a
+    // pool-thread throw terminates); the unwind must stop further
+    // claims, wait out in-flight helpers and unlink the batch, so
+    // the exception propagates and the pool keeps working.
+    WorkPool pool(3);
+    const auto caller = std::this_thread::get_id();
+    for (int round = 0; round < 4; ++round) {
+        std::atomic<int> caller_calls{0};
+        bool threw = false;
+        try {
+            pool.runIndexed(64, [&](int) {
+                if (std::this_thread::get_id() != caller) {
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(100));
+                    return;
+                }
+                if (caller_calls.fetch_add(1) == 1)
+                    throw std::runtime_error("boom");
+            });
+        } catch (const std::runtime_error &) {
+            threw = true;
+        }
+        // The caller participates from index 0, so it claims at
+        // least two indices (the pool threads sleep) and throws.
+        EXPECT_TRUE(threw) << "round " << round;
+
+        std::vector<std::atomic<int>> hits(37);
+        for (auto &h : hits)
+            h.store(0);
+        pool.runIndexed(static_cast<int>(hits.size()),
+                        [&](int i) { hits[i].fetch_add(1); });
+        for (auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "round " << round;
+    }
 }
 
 TEST(WorkPool, PostRunsDetachedTasks)
