@@ -16,6 +16,12 @@
  * UNKNOWN / TIMEOUT / SKIPPED / PARSE_ERROR (the CI smoke gate).
  * --metrics dumps whole-batch totals from the metrics registry as
  * JSON; --trace streams per-worker / per-instance JSONL events live.
+ *
+ * SIGINT/SIGTERM drain gracefully: in-flight instances are
+ * cancelled through the StopToken machinery and the report is still
+ * written (interrupted instances show UNKNOWN) instead of the old
+ * die-mid-job-and-lose-everything behaviour. A second signal
+ * force-kills.
  */
 
 #include <cstdio>
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "portfolio/batch_runner.h"
+#include "service/signals.h"
 #include "util/metrics.h"
 
 using namespace hyqsat;
@@ -136,8 +143,19 @@ main(int argc, char **argv)
     if (!metrics_path.empty() || !trace_path.empty())
         opts.metrics = &registry;
 
+    // Graceful drain on SIGINT/SIGTERM: the token cancels queued and
+    // in-flight instances cooperatively, and the report/metrics
+    // files below are still flushed.
+    static StopToken stop;
+    service::installStopSignalHandlers(stop);
+    opts.external_stop = &stop;
+
     portfolio::BatchRunner runner(opts);
     const portfolio::BatchReport report = runner.run(paths);
+
+    if (stop.stopRequested() && !quiet)
+        std::fprintf(stderr,
+                     "interrupted: drained batch, writing report\n");
 
     if (!quiet) {
         std::printf("%-24s %-10s %-12s %9s %8s %10s\n", "instance",

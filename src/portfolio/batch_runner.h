@@ -1,107 +1,37 @@
 /**
  * @file
  * Batch DIMACS service: streams many instances (directory, file
- * list, or stdin manifest) through portfolio workers on a thread
- * pool, with per-instance timeout and memory budgets, structured
- * per-instance result records and JSON/CSV report output. This is
- * the serving layer the ROADMAP's "heavy traffic" north star builds
- * on: one process, bounded resources, machine-readable results.
+ * list, or stdin manifest) through portfolio workers, with
+ * per-instance timeout and memory budgets, structured per-instance
+ * result records and JSON/CSV report output.
+ *
+ * Since the service-layer refactor this is a thin client of
+ * service::JobScheduler: the runner submits every path as a job of
+ * the "batch" tenant, waits for the records in input order, and
+ * assembles the report with the shared writers in service/report.h.
+ * The scheduling, budgeting, cancellation and metrics machinery all
+ * live in src/service/ — shared with the persistent daemon.
  */
 
 #ifndef HYQSAT_PORTFOLIO_BATCH_RUNNER_H
 #define HYQSAT_PORTFOLIO_BATCH_RUNNER_H
 
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "portfolio/portfolio.h"
+#include "portfolio/work_queue.h"
+#include "service/report.h"
 
 namespace hyqsat::portfolio {
 
-/** Thread-safe FIFO of instance paths feeding the pool. */
-class WorkQueue
-{
-  public:
-    /** Enqueue one instance path. */
-    void push(std::string path);
-
-    /**
-     * Dequeue the next path into @p out.
-     * @return false when the queue is empty.
-     */
-    bool pop(std::string &out);
-
-    /** Jobs currently queued. */
-    std::size_t size() const;
-
-  private:
-    mutable std::mutex mutex_;
-    std::deque<std::string> queue_;
-};
-
 /** One instance's outcome (a row of the batch report). */
-struct InstanceRecord
-{
-    std::string name; ///< file stem
-    std::string path;
-
-    /**
-     * "SAT", "UNSAT", "UNKNOWN" (budget exhausted), "TIMEOUT"
-     * (wall-clock budget fired), "SKIPPED" (memory budget),
-     * "PARSE_ERROR".
-     */
-    std::string status;
-
-    std::string winner; ///< winning worker label ("" if none)
-    double wall_s = 0.0;
-    int vars = 0;
-    int clauses = 0;
-    std::uint64_t iterations = 0;
-    std::uint64_t conflicts = 0;
-    int qa_samples = 0;
-
-    /** Totals over every raced worker (from the instance registry). */
-    std::uint64_t restarts = 0;
-    std::uint64_t propagations = 0;
-
-    /** Winner's host/device time breakdown (zeros if no winner). */
-    double frontend_s = 0.0;
-    double qa_device_s = 0.0;
-    double qa_blocking_s = 0.0;
-    double backend_s = 0.0;
-    double cdcl_s = 0.0;
-
-    /**
-     * Flat snapshot of the instance's full metrics registry
-     * (portfolio + solver + pipeline + backend), embedded as the
-     * "metrics" object of the JSON report row.
-     */
-    std::vector<std::pair<std::string, double>> metrics;
-};
+using InstanceRecord = service::InstanceRecord;
 
 /** Whole-batch outcome. */
-struct BatchReport
-{
-    std::vector<InstanceRecord> records; ///< input order
-    double wall_s = 0.0;
-    int sat = 0;
-    int unsat = 0;
-    int unknown = 0;
-    int timeouts = 0;
-    int skipped = 0;
-    int errors = 0;
-
-    /** True iff every instance decided (no UNKNOWN/TIMEOUT/error). */
-    bool allDecided() const
-    {
-        return unknown == 0 && timeouts == 0 && skipped == 0 &&
-               errors == 0;
-    }
-};
+using BatchReport = service::BatchReport;
 
 /** Batch-service options. */
 struct BatchOptions
@@ -126,20 +56,22 @@ struct BatchOptions
      */
     std::size_t memory_budget_mb = 0;
 
-    /** Caller-side cancellation for the whole batch. */
+    /** Caller-side cancellation for the whole batch (e.g. the
+     *  SIGINT/SIGTERM token): stops accepting queued instances and
+     *  cancels in-flight solves, leaving their records UNKNOWN. */
     const StopToken *external_stop = nullptr;
 
     /**
      * Observability: each instance solves against a private registry
-     * (snapshotted into its InstanceRecord), then merges here under
-     * the runner's lock — so the file a CLI dumps holds whole-batch
-     * totals. Instance begin/done events stream to this registry's
-     * trace sink. nullptr records nothing.
+     * (snapshotted into its InstanceRecord), then merges here — so
+     * the file a CLI dumps holds whole-batch totals. Instance done
+     * events stream to this registry's trace sink. nullptr records
+     * nothing.
      */
     MetricsRegistry *metrics = nullptr;
 };
 
-/** The thread-pool batch service. */
+/** The batch service: a one-shot client of service::JobScheduler. */
 class BatchRunner
 {
   public:
@@ -163,10 +95,7 @@ class BatchRunner
     static void writeCsv(const BatchReport &report, std::ostream &out);
 
   private:
-    InstanceRecord solveOne(const std::string &path);
-
     BatchOptions opts_;
-    std::mutex metrics_mutex_; ///< serializes merges into opts_.metrics
 };
 
 } // namespace hyqsat::portfolio

@@ -1,0 +1,30 @@
+#include "portfolio/work_queue.h"
+
+namespace hyqsat::portfolio {
+
+void
+WorkQueue::push(std::string item)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(item));
+}
+
+bool
+WorkQueue::pop(std::string &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty())
+        return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+std::size_t
+WorkQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+} // namespace hyqsat::portfolio

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Thread-safe FIFO work queue feeding solver pools. Grown for the
+ * batch runner's instance paths, reused by the service layer's
+ * multi-tenant scheduler (one queue per tenant, job ids as items).
+ */
+
+#ifndef HYQSAT_PORTFOLIO_WORK_QUEUE_H
+#define HYQSAT_PORTFOLIO_WORK_QUEUE_H
+
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace hyqsat::portfolio {
+
+/** Thread-safe FIFO of work items (paths, job ids). */
+class WorkQueue
+{
+  public:
+    /** Enqueue one item. */
+    void push(std::string item);
+
+    /**
+     * Dequeue the next item into @p out.
+     * @return false when the queue is empty.
+     */
+    bool pop(std::string &out);
+
+    /** Items currently queued. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::deque<std::string> queue_;
+};
+
+} // namespace hyqsat::portfolio
+
+#endif // HYQSAT_PORTFOLIO_WORK_QUEUE_H

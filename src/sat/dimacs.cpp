@@ -1,5 +1,6 @@
 #include "sat/dimacs.h"
 
+#include <charconv>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -8,17 +9,58 @@
 
 namespace hyqsat::sat {
 
+namespace {
+
+/** Whitespace accepted between DIMACS tokens (istream semantics). */
+bool
+isSpace(char c)
+{
+    return c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+           c == '\f';
+}
+
+/**
+ * Parse one signed integer token starting at @p pos; advances @p pos
+ * past it. Mirrors `istream >> long long`: optional +/- sign, at
+ * least one digit, failure on anything else (including overflow).
+ */
+bool
+parseNumber(std::string_view line, std::size_t &pos, long long &out)
+{
+    const char *begin = line.data() + pos;
+    const char *end = line.data() + line.size();
+    if (begin != end && *begin == '+')
+        ++begin; // from_chars rejects '+' but istream accepts it
+    const auto res = std::from_chars(begin, end, out);
+    if (res.ec != std::errc())
+        return false;
+    pos = static_cast<std::size_t>(res.ptr - line.data());
+    return true;
+}
+
+} // namespace
+
 std::optional<Cnf>
-parseDimacs(std::istream &in)
+parseDimacs(std::string_view text)
 {
     Cnf cnf;
     bool saw_header = false;
     int declared_vars = 0;
     int declared_clauses = 0;
 
-    std::string line;
     LitVec current;
-    while (std::getline(in, line)) {
+    std::size_t line_start = 0;
+    while (line_start <= text.size()) {
+        std::size_t nl = text.find('\n', line_start);
+        if (nl == std::string_view::npos) {
+            if (line_start == text.size())
+                break; // no trailing newline and nothing left
+            nl = text.size();
+        }
+        const std::string_view line =
+            text.substr(line_start, nl - line_start);
+        line_start = nl + 1;
+
         if (line.empty())
             continue;
         if (line[0] == 'c')
@@ -28,21 +70,32 @@ parseDimacs(std::istream &in)
             break;
         }
         if (line[0] == 'p') {
-            std::istringstream hdr(line);
+            std::istringstream hdr{std::string(line)};
             std::string p, fmt;
             hdr >> p >> fmt >> declared_vars >> declared_clauses;
             if (fmt != "cnf" || hdr.fail() || declared_vars < 0 ||
                 declared_clauses < 0) {
-                warn("malformed DIMACS header: %s", line.c_str());
+                warn("malformed DIMACS header: %.*s",
+                     static_cast<int>(line.size()), line.data());
                 return std::nullopt;
             }
             saw_header = true;
             cnf.ensureVars(declared_vars);
             continue;
         }
-        std::istringstream body(line);
-        long long v;
-        while (body >> v) {
+        std::size_t pos = 0;
+        for (;;) {
+            while (pos < line.size() && isSpace(line[pos]))
+                ++pos;
+            if (pos >= line.size())
+                break; // clean end of line
+            long long v;
+            if (!parseNumber(line, pos, v)) {
+                // Non-numeric token outside a comment line.
+                warn("malformed DIMACS clause line: %.*s",
+                     static_cast<int>(line.size()), line.data());
+                return std::nullopt;
+            }
             if (v == 0) {
                 cnf.addClause(current);
                 current.clear();
@@ -53,11 +106,6 @@ parseDimacs(std::istream &in)
                 }
                 current.push_back(fromDimacs(static_cast<int>(v)));
             }
-        }
-        if (!body.eof() && body.fail()) {
-            // Non-numeric token outside a comment line.
-            warn("malformed DIMACS clause line: %s", line.c_str());
-            return std::nullopt;
         }
     }
     if (!current.empty()) {
@@ -76,16 +124,24 @@ parseDimacs(std::istream &in)
 }
 
 std::optional<Cnf>
+parseDimacs(std::istream &in)
+{
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = std::move(buf).str();
+    return parseDimacs(std::string_view(text));
+}
+
+std::optional<Cnf>
 parseDimacsString(const std::string &text)
 {
-    std::istringstream in(text);
-    return parseDimacs(in);
+    return parseDimacs(std::string_view(text));
 }
 
 std::optional<Cnf>
 parseDimacsFile(const std::string &path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
         fatal("cannot open DIMACS file: %s", path.c_str());
     return parseDimacs(in);

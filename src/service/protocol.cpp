@@ -1,0 +1,173 @@
+#include "service/protocol.h"
+
+#include <charconv>
+
+#include "util/metrics.h"
+
+namespace hyqsat::service {
+
+namespace {
+
+bool
+parseUint(std::string_view tok, std::uint64_t &out)
+{
+    const auto res =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out);
+    return res.ec == std::errc() &&
+           res.ptr == tok.data() + tok.size();
+}
+
+bool
+parseInt(std::string_view tok, int &out)
+{
+    const auto res =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out);
+    return res.ec == std::errc() &&
+           res.ptr == tok.data() + tok.size();
+}
+
+} // namespace
+
+std::vector<std::string_view>
+splitTokens(std::string_view line)
+{
+    std::vector<std::string_view> tokens;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        while (pos < line.size() &&
+               (line[pos] == ' ' || line[pos] == '\t' ||
+                line[pos] == '\r'))
+            ++pos;
+        std::size_t end = pos;
+        while (end < line.size() && line[end] != ' ' &&
+               line[end] != '\t' && line[end] != '\r')
+            ++end;
+        if (end > pos)
+            tokens.push_back(line.substr(pos, end - pos));
+        pos = end;
+    }
+    return tokens;
+}
+
+Request
+parseRequest(std::string_view line)
+{
+    Request req;
+    const auto tokens = splitTokens(line);
+    if (tokens.empty()) {
+        req.error = "empty request";
+        return req;
+    }
+    const std::string_view verb = tokens[0];
+    if (verb == "SUBMIT") {
+        // SUBMIT <tenant> <priority> <name> — all single tokens.
+        if (tokens.size() != 4) {
+            req.error = "usage: SUBMIT <tenant> <priority> <name>";
+            return req;
+        }
+        if (!parseInt(tokens[2], req.priority)) {
+            req.error = "bad priority";
+            return req;
+        }
+        req.verb = Verb::Submit;
+        req.tenant = std::string(tokens[1]);
+        req.name = std::string(tokens[3]);
+        return req;
+    }
+    if (verb == "WAIT" || verb == "STATUS") {
+        if (tokens.size() != 2 || !parseUint(tokens[1], req.id)) {
+            req.error = "usage: " + std::string(verb) + " <id>";
+            return req;
+        }
+        req.verb = verb == "WAIT" ? Verb::Wait : Verb::Status;
+        return req;
+    }
+    if (verb == "METRICS") {
+        req.verb = Verb::Metrics;
+        return req;
+    }
+    if (verb == "PING") {
+        req.verb = Verb::Ping;
+        return req;
+    }
+    if (verb == "SHUTDOWN") {
+        if (tokens.size() > 2 ||
+            (tokens.size() == 2 && tokens[1] != "finish" &&
+             tokens[1] != "cancel")) {
+            req.error = "usage: SHUTDOWN [finish|cancel]";
+            return req;
+        }
+        req.verb = Verb::Shutdown;
+        req.drain_policy = (tokens.size() == 2 && tokens[1] == "cancel")
+                               ? DrainPolicy::CancelPending
+                               : DrainPolicy::FinishQueued;
+        return req;
+    }
+    if (verb == "QUIT") {
+        req.verb = Verb::Quit;
+        return req;
+    }
+    req.error = "unknown verb: " + std::string(verb);
+    return req;
+}
+
+std::string
+formatSubmission(const Submission &sub)
+{
+    if (sub.accepted)
+        return "OK " + std::to_string(sub.id);
+    return "REJECTED " + sub.reject_reason;
+}
+
+std::string
+formatResult(JobId id, const InstanceRecord &rec)
+{
+    std::string out = "RESULT " + std::to_string(id) + ' ' +
+                      rec.status + ' ' + jsonNumber(rec.wall_s) +
+                      ' ' + std::to_string(rec.vars) + ' ' +
+                      std::to_string(rec.clauses) + ' ' +
+                      std::to_string(rec.conflicts) + ' ' +
+                      (rec.winner.empty() ? "-" : rec.winner);
+    return out;
+}
+
+std::string
+formatState(JobId id, JobState state, const std::string &status)
+{
+    std::string out = "STATE " + std::to_string(id) + ' ';
+    switch (state) {
+    case JobState::Queued: out += "QUEUED"; break;
+    case JobState::Running: out += "RUNNING"; break;
+    case JobState::Done: out += "DONE"; break;
+    }
+    if (state == JobState::Done && !status.empty())
+        out += ' ' + status;
+    return out;
+}
+
+std::optional<std::pair<JobId, InstanceRecord>>
+parseResult(std::string_view line)
+{
+    const auto tokens = splitTokens(line);
+    if (tokens.size() != 8 || tokens[0] != "RESULT")
+        return std::nullopt;
+    JobId id = 0;
+    if (!parseUint(tokens[1], id))
+        return std::nullopt;
+    InstanceRecord rec;
+    rec.status = std::string(tokens[2]);
+    rec.wall_s = std::atof(std::string(tokens[3]).c_str());
+    int vars = 0, clauses = 0;
+    std::uint64_t conflicts = 0;
+    if (!parseInt(tokens[4], vars) || !parseInt(tokens[5], clauses) ||
+        !parseUint(tokens[6], conflicts))
+        return std::nullopt;
+    rec.vars = vars;
+    rec.clauses = clauses;
+    rec.conflicts = conflicts;
+    if (tokens[7] != "-")
+        rec.winner = std::string(tokens[7]);
+    return std::make_pair(id, rec);
+}
+
+} // namespace hyqsat::service

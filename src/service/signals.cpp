@@ -1,0 +1,48 @@
+#include "service/signals.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace hyqsat::service {
+
+namespace {
+
+// The handler can only touch async-signal-safe state: one atomic
+// pointer to the installed token. StopToken::requestStop() is a
+// relaxed atomic store, so calling it from the handler is safe.
+std::atomic<StopToken *> g_stop_token{nullptr};
+
+void
+onStopSignal(int sig)
+{
+    if (StopToken *token =
+            g_stop_token.load(std::memory_order_relaxed))
+        token->requestStop();
+    // Second signal force-kills: restore the default disposition so
+    // the next delivery terminates the process.
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+void
+installStopSignalHandlers(StopToken &token)
+{
+    g_stop_token.store(&token, std::memory_order_relaxed);
+    struct sigaction sa = {};
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: blocked reads should wake
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+uninstallStopSignalHandlers()
+{
+    g_stop_token.store(nullptr, std::memory_order_relaxed);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+}
+
+} // namespace hyqsat::service

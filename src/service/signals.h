@@ -1,0 +1,30 @@
+/**
+ * @file
+ * SIGINT/SIGTERM -> StopToken bridge for the service front doors.
+ * The first signal requests a graceful drain (the handler is one
+ * async-signal-safe atomic store); the second restores the default
+ * disposition, so a repeated Ctrl-C still force-kills a wedged
+ * process. This replaces the batch CLI's old behaviour of dying
+ * mid-job and losing the whole report.
+ */
+
+#ifndef HYQSAT_SERVICE_SIGNALS_H
+#define HYQSAT_SERVICE_SIGNALS_H
+
+#include "util/cancel.h"
+
+namespace hyqsat::service {
+
+/**
+ * Route SIGINT and SIGTERM to @p token.requestStop(). One token per
+ * process (a second call rebinds the handlers to the new token);
+ * @p token must outlive the handlers.
+ */
+void installStopSignalHandlers(StopToken &token);
+
+/** Restore the default SIGINT/SIGTERM dispositions (tests). */
+void uninstallStopSignalHandlers();
+
+} // namespace hyqsat::service
+
+#endif // HYQSAT_SERVICE_SIGNALS_H

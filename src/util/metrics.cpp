@@ -221,6 +221,53 @@ MetricsRegistry::writeJson(std::ostream &out) const
     out << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
 }
 
+namespace {
+
+/** `solver.wins.greedy-queue` -> `hyqsat_solver_wins_greedy_queue`. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "hyqsat_";
+    out.reserve(out.size() + name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeText(std::ostream &out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_)
+        out << promName(name) << ' ' << c->value() << '\n';
+    for (const auto &[name, g] : gauges_)
+        out << promName(name) << ' ' << jsonNumber(g->value())
+            << '\n';
+    for (const auto &[name, t] : timers_) {
+        const std::string p = promName(name);
+        out << p << "_seconds " << jsonNumber(t->seconds()) << '\n'
+            << p << "_count " << t->count() << '\n';
+    }
+    for (const auto &[name, h] : histograms_) {
+        const std::string p = promName(name);
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h->bounds_.size(); ++i) {
+            cumulative += h->counts_[i];
+            out << p << "_bucket{le=\"" << jsonNumber(h->bounds_[i])
+                << "\"} " << cumulative << '\n';
+        }
+        out << p << "_bucket{le=\"+Inf\"} " << h->total_ << '\n'
+            << p << "_sum " << jsonNumber(h->sum_) << '\n'
+            << p << "_count " << h->total_ << '\n';
+    }
+}
+
 std::vector<std::pair<std::string, double>>
 MetricsRegistry::snapshot() const
 {

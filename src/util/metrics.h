@@ -224,6 +224,16 @@ class MetricsRegistry
     void writeJson(std::ostream &out) const;
 
     /**
+     * Serialize as a Prometheus-style plain-text exposition (the
+     * service's `/metrics` snapshot): every name is sanitized to
+     * `hyqsat_<name>` with non-alphanumerics replaced by '_';
+     * counters and gauges emit one `name value` line, timers emit
+     * `_seconds`/`_count`, histograms emit cumulative
+     * `_bucket{le="..."}` lines plus `_sum`/`_count`.
+     */
+    void writeText(std::ostream &out) const;
+
+    /**
      * Flat (name, value) view for embedding in other reports:
      * counters and gauges by name, timers as `<name>_s`, histogram
      * totals as `<name>_total`. Sorted by name.

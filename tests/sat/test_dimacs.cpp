@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string_view>
+
 #include "sat/dimacs.h"
 #include "tests/sat/helpers.h"
 
@@ -112,6 +115,75 @@ TEST(Dimacs, NameEmittedAsComment)
     cnf.addClause(mkLit(0));
     const auto text = toDimacsString(cnf);
     EXPECT_NE(text.find("c instance-7"), std::string::npos);
+}
+
+TEST(Dimacs, ViewStreamAndFileOverloadsAgree)
+{
+    // All entry points delegate to the string_view core, so the same
+    // bytes must produce the same formula through every one of them.
+    Rng rng(13);
+    const Cnf original = testing::randomCnf(8, 20, 3, rng);
+    const std::string text = toDimacsString(original);
+
+    const auto from_view = parseDimacs(std::string_view(text));
+    const auto from_string = parseDimacsString(text);
+    std::istringstream stream(text);
+    const auto from_stream = parseDimacs(stream);
+    const std::string path = ::testing::TempDir() + "/overloads.cnf";
+    writeDimacsFile(original, path);
+    const auto from_file = parseDimacsFile(path);
+
+    ASSERT_TRUE(from_view.has_value());
+    ASSERT_TRUE(from_string.has_value());
+    ASSERT_TRUE(from_stream.has_value());
+    ASSERT_TRUE(from_file.has_value());
+    for (const auto *parsed :
+         {&*from_view, &*from_string, &*from_stream, &*from_file}) {
+        ASSERT_EQ(parsed->numClauses(), original.numClauses());
+        EXPECT_EQ(parsed->numVars(), original.numVars());
+        for (int i = 0; i < original.numClauses(); ++i)
+            EXPECT_EQ(parsed->clause(i), original.clause(i));
+    }
+}
+
+TEST(Dimacs, ViewParsesWithoutTrailingNewline)
+{
+    const auto cnf =
+        parseDimacs(std::string_view("p cnf 2 1\n1 -2 0"));
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->numClauses(), 1);
+}
+
+TEST(Dimacs, PlusSignedLiteralsAccepted)
+{
+    // `istream >> int` accepts a leading '+'; the from_chars core
+    // must keep that behaviour.
+    const auto cnf =
+        parseDimacsString("p cnf 2 1\n+1 -2 0\n");
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->clause(0)[0], mkLit(0, false));
+    EXPECT_EQ(cnf->clause(0)[1], mkLit(1, true));
+}
+
+TEST(Dimacs, CarriageReturnLineEndingsTolerated)
+{
+    const auto cnf =
+        parseDimacsString("p cnf 2 2\r\n1 2 0\r\n-1 -2 0\r\n");
+    ASSERT_TRUE(cnf.has_value());
+    EXPECT_EQ(cnf->numClauses(), 2);
+}
+
+TEST(Dimacs, ViewRejectsMalformedInput)
+{
+    EXPECT_FALSE(parseDimacs(std::string_view("")).has_value());
+    EXPECT_FALSE(
+        parseDimacs(std::string_view("1 2 0\n")).has_value());
+    EXPECT_FALSE(
+        parseDimacs(std::string_view("p cnf -1 1\n1 0\n"))
+            .has_value());
+    EXPECT_FALSE(
+        parseDimacs(std::string_view("p cnf 2 1\n1 two 0\n"))
+            .has_value());
 }
 
 } // namespace

@@ -171,6 +171,47 @@ TEST(MetricsRegistryTest, WriteJsonIsValidAndNanFree)
     EXPECT_EQ(depth, 0);
 }
 
+TEST(MetricsRegistryTest, WriteTextPrometheusStyle)
+{
+    MetricsRegistry r;
+    r.counter("service.completed")->add(7);
+    r.gauge("service.queue_depth")->set(2.5);
+    r.timer("solver.search")->add(0.5, 2);
+    r.histogram("service.solve_latency", {0.1, 1.0})->record(0.05);
+    r.histogram("service.solve_latency", {0.1, 1.0})->record(0.5);
+    r.gauge("weird-name!")->set(std::nan("")); // sanitized, nan-free
+
+    std::ostringstream out;
+    r.writeText(out);
+    const std::string text = out.str();
+
+    // Dotted names flatten to the hyqsat_ prometheus namespace.
+    EXPECT_NE(text.find("hyqsat_service_completed 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hyqsat_service_queue_depth 2.5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hyqsat_solver_search_seconds 0.5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("hyqsat_solver_search_count 2\n"),
+              std::string::npos);
+    // Histogram buckets are cumulative, closed by +Inf/sum/count.
+    EXPECT_NE(
+        text.find("hyqsat_service_solve_latency_bucket{le=\"0.1\"} 1"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("hyqsat_service_solve_latency_bucket{le=\"1\"} 2"),
+        std::string::npos);
+    EXPECT_NE(text.find(
+                  "hyqsat_service_solve_latency_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("hyqsat_service_solve_latency_count 2\n"),
+              std::string::npos);
+    // Sanitization: no '-' or '!' survives; non-finite becomes 0.
+    EXPECT_NE(text.find("hyqsat_weird_name_ 0\n"), std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find('-'), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, MergeAccumulates)
 {
     MetricsRegistry a, b;
