@@ -6,9 +6,15 @@
  *
  *   ./build/examples/batch_solver [files...] [--dir D] [--manifest F|-]
  *       [--workers N] [--jobs N] [--timeout-s X] [--conflicts N]
- *       [--memory-mb M] [--sampler NAME] [--depth N] [--noisy]
- *       [--no-share] [--json FILE] [--csv FILE] [--metrics FILE]
- *       [--trace FILE] [--strict] [--quiet]
+ *       [--memory-mb M] [--sampler NAME] [--depth N]
+ *       [--simplify LEVEL] [--noisy] [--no-share] [--json FILE]
+ *       [--csv FILE] [--metrics FILE] [--trace FILE] [--strict]
+ *       [--quiet]
+ *
+ * --simplify off|light|full sets the inprocessing strength of every
+ * worker's base config (echoed per instance in the JSON/CSV
+ * reports; the portfolio's diversification still varies it across
+ * slots when the slate is auto-built).
  *
  * Instances come from positional paths, every *.cnf/*.dimacs under
  * --dir, and/or a manifest (one path per line; "-" = stdin). Exit
@@ -34,6 +40,7 @@
 
 #include "portfolio/batch_runner.h"
 #include "service/signals.h"
+#include "simplify/pipeline.h"
 #include "util/metrics.h"
 
 using namespace hyqsat;
@@ -89,6 +96,15 @@ main(int argc, char **argv)
         } else if (arg("--depth")) {
             opts.portfolio.base.pipeline_depth =
                 std::max(1, std::atoi(argv[++i]));
+        } else if (arg("--simplify")) {
+            if (!simplify::parseStrength(
+                    argv[++i], opts.portfolio.base.simplify_strength)) {
+                std::fprintf(stderr,
+                             "bad --simplify level: %s (expected "
+                             "off, light or full)\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (arg("--json")) {
             json_path = argv[++i];
         } else if (arg("--csv")) {
@@ -120,8 +136,9 @@ main(int argc, char **argv)
         std::printf(
             "usage: %s [files...] [--dir D] [--manifest F|-] "
             "[--workers N] [--jobs N] [--timeout-s X] [--conflicts N] "
-            "[--memory-mb M] [--sampler NAME] [--depth N] [--noisy] "
-            "[--no-share] [--json FILE] [--csv FILE] "
+            "[--memory-mb M] [--sampler NAME] [--depth N] "
+            "[--simplify off|light|full] [--noisy] [--no-share] "
+            "[--json FILE] [--csv FILE] "
             "[--metrics FILE] [--trace FILE] [--strict] [--quiet]\n",
             argv[0]);
         return 2;

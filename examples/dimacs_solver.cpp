@@ -8,8 +8,18 @@
  *   ./build/examples/dimacs_solver problem.cnf [--classic]
  *       [--noisy] [--warmup N] [--sampler=NAME] [--depth N]
  *       [--num-reads N] [--timeout-s X] [--conflicts N]
- *       [--metrics FILE] [--trace FILE] [--no-frontend-cache]
+ *       [--simplify[=<off|light|full>]] [--metrics FILE]
+ *       [--trace FILE] [--no-frontend-cache]
  *       [--incremental-tracking]
+ *
+ * --simplify selects the inprocessing strength (bare --simplify =
+ * light): light runs the equivalence-preserving passes (units, SCC
+ * equivalent literals, subsumption), full adds failed-literal
+ * probing, vivification and bounded variable elimination; models
+ * are reconstructed back to the input variables either way. The
+ * hybrid path inprocesses inside HybridSolver (so the annealer
+ * frontend sees the reduced formula); --classic preprocesses here
+ * and extends the model afterwards.
  *
  * --sampler selects the annealing backend by name (sync, qa,
  * logical, sa, batch, async, async:<backend>); --depth >= 2 enables
@@ -43,7 +53,7 @@
 
 #include "core/hybrid_solver.h"
 #include "sat/dimacs.h"
-#include "sat/simplify.h"
+#include "simplify/pipeline.h"
 #include "util/cancel.h"
 #include "util/metrics.h"
 
@@ -59,13 +69,15 @@ main(int argc, char **argv)
         std::printf("usage: %s problem.cnf [--classic] [--noisy] "
                     "[--warmup N] [--sampler=%s] [--depth N] "
                     "[--num-reads N] [--timeout-s X] [--conflicts N] "
+                    "[--simplify[=off|light|full]] "
                     "[--metrics FILE] [--trace FILE] "
                     "[--no-frontend-cache] [--incremental-tracking]\n",
                     argv[0], names.c_str());
         return 2;
     }
     const std::string path = argv[1];
-    bool classic = false, noisy = false, preprocess = false;
+    bool classic = false, noisy = false;
+    simplify::Strength strength = simplify::Strength::Off;
     std::int64_t warmup = -1;
     std::string sampler = "sync";
     int depth = 1;
@@ -80,7 +92,15 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--noisy"))
             noisy = true;
         else if (!std::strcmp(argv[i], "--simplify"))
-            preprocess = true;
+            strength = simplify::Strength::Light;
+        else if (!std::strncmp(argv[i], "--simplify=", 11)) {
+            if (!simplify::parseStrength(argv[i] + 11, strength)) {
+                std::printf("c bad --simplify level: %s (expected "
+                            "off, light or full)\n",
+                            argv[i] + 11);
+                return 2;
+            }
+        }
         else if (!std::strcmp(argv[i], "--warmup") && i + 1 < argc)
             warmup = std::atoll(argv[++i]);
         else if (!std::strncmp(argv[i], "--sampler=", 10))
@@ -141,13 +161,23 @@ main(int argc, char **argv)
     std::printf("c parsed %d variables, %d clauses\n", cnf.numVars(),
                 cnf.numClauses());
     const int original_vars = cnf.numVars();
-    sat::SimplifyResult pre;
+    // The classic path preprocesses here (and extends the model
+    // below); the hybrid path hands the strength to HybridSolver so
+    // the annealer frontend works on the reduced formula.
+    simplify::Result pre;
+    const bool preprocess =
+        classic && strength != simplify::Strength::Off;
     if (preprocess) {
-        pre = sat::simplifyCnf(cnf);
-        std::printf("c simplify: %d units, %d subsumed, %d "
-                    "strengthened -> %d clauses\n",
-                    pre.units_propagated, pre.subsumed,
-                    pre.strengthened, pre.cnf.numClauses());
+        pre = simplify::Pipeline(simplify::Options::preset(strength),
+                                 &registry)
+                  .run(cnf);
+        std::printf("c simplify=%s: %d units, %d subsumed, %d "
+                    "strengthened, %d equivalences, %d eliminated "
+                    "-> %d clauses\n",
+                    simplify::strengthName(strength), pre.stats.units,
+                    pre.stats.subsumed, pre.stats.strengthened,
+                    pre.stats.equivalences, pre.stats.eliminated,
+                    pre.cnf.numClauses());
         if (!pre.satisfiable_possible) {
             write_metrics();
             std::printf("s UNSATISFIABLE\n");
@@ -210,14 +240,15 @@ main(int argc, char **argv)
             config.annealer.attempts = 2;
         }
         config.warmup_override = warmup;
+        config.simplify_strength = strength;
         config.sampler = sampler;
         config.pipeline_depth = std::max(depth, 1);
         config.num_reads = std::max(num_reads, 1);
         core::HybridSolver solver(config);
         result = solver.solve(cnf);
-        std::printf("c sampler=%s depth=%d num_reads=%d\n",
+        std::printf("c sampler=%s depth=%d num_reads=%d simplify=%s\n",
                     config.sampler.c_str(), config.pipeline_depth,
-                    config.num_reads);
+                    config.num_reads, simplify::strengthName(strength));
         std::printf("c %d QA samples applied over %d warm-up "
                     "iterations (%d submitted, %d stale, %d stalls)\n",
                     result.qa_samples, result.warmup_iterations,

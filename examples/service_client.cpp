@@ -6,8 +6,13 @@
  * each result, and prints the familiar batch table.
  *
  *   ./build/examples/service_client --connect unix:/tmp/hyqsat.sock
- *       [files...] [--tenant NAME] [--priority N] [--metrics]
+ *       [files...] [--tenant NAME] [--priority N]
+ *       [--simplify off|light|full] [--metrics]
  *       [--shutdown [finish|cancel]] [--strict] [--quiet]
+ *
+ * --simplify attaches the optional simplify=<level> token to every
+ * SUBMIT, overriding the daemon's default inprocessing strength for
+ * these jobs.
  *
  * --connect takes unix:PATH or tcp:PORT (loopback). --metrics
  * fetches and prints the daemon's /metrics-style text snapshot
@@ -145,6 +150,7 @@ int
 main(int argc, char **argv)
 {
     std::string connect_spec, tenant = "default";
+    std::string simplify_level;
     std::vector<std::string> paths;
     int priority = 0;
     bool want_metrics = false, want_shutdown = false;
@@ -162,6 +168,17 @@ main(int argc, char **argv)
             tenant = argv[++i];
         } else if (arg("--priority")) {
             priority = std::atoi(argv[++i]);
+        } else if (arg("--simplify")) {
+            simplify_level = argv[++i];
+            if (simplify_level != "off" &&
+                simplify_level != "light" &&
+                simplify_level != "full") {
+                std::fprintf(stderr,
+                             "bad --simplify level: %s (expected "
+                             "off, light or full)\n",
+                             simplify_level.c_str());
+                return 2;
+            }
         } else if (!std::strcmp(argv[i], "--metrics")) {
             want_metrics = true;
         } else if (!std::strcmp(argv[i], "--shutdown")) {
@@ -189,7 +206,8 @@ main(int argc, char **argv)
         (paths.empty() && !want_metrics && !want_shutdown)) {
         std::printf(
             "usage: %s --connect unix:PATH|tcp:PORT [files...] "
-            "[--tenant NAME] [--priority N] [--metrics] "
+            "[--tenant NAME] [--priority N] "
+            "[--simplify off|light|full] [--metrics] "
             "[--shutdown [finish|cancel]] [--strict] [--quiet]\n",
             argv[0]);
         return 2;
@@ -217,7 +235,10 @@ main(int argc, char **argv)
         body << in.rdbuf();
         std::string request = "SUBMIT " + tenant + " " +
                               std::to_string(priority) + " " +
-                              baseName(paths[i]) + "\n";
+                              baseName(paths[i]);
+        if (!simplify_level.empty())
+            request += " simplify=" + simplify_level;
+        request += "\n";
         request += body.str();
         if (request.empty() || request.back() != '\n')
             request += '\n';

@@ -8,9 +8,14 @@
  *   ./build/examples/solver_daemon --socket /tmp/hyqsat.sock
  *       [--port N] [--jobs N] [--workers N] [--queue-depth N]
  *       [--tenant-depth N] [--timeout-s X] [--conflicts N]
- *       [--memory-mb M] [--sampler NAME] [--depth N] [--noisy]
+ *       [--memory-mb M] [--sampler NAME] [--depth N]
+ *       [--simplify off|light|full] [--noisy]
  *       [--drain finish|cancel] [--metrics FILE] [--trace FILE]
  *       [--quiet]
+ *
+ * --simplify sets the default inprocessing strength applied to every
+ * job; a client's SUBMIT may override it per job with the optional
+ * simplify=<level> token.
  *
  * Clients speak the line protocol of service/protocol.h (SUBMIT /
  * WAIT / STATUS / METRICS / SHUTDOWN); the bundled service_client
@@ -38,6 +43,7 @@
 #include "service/scheduler.h"
 #include "service/server.h"
 #include "service/signals.h"
+#include "simplify/pipeline.h"
 #include "util/metrics.h"
 
 using namespace hyqsat;
@@ -86,6 +92,16 @@ main(int argc, char **argv)
         } else if (arg("--depth")) {
             sopts.portfolio.base.pipeline_depth =
                 std::max(1, std::atoi(argv[++i]));
+        } else if (arg("--simplify")) {
+            if (!simplify::parseStrength(
+                    argv[++i],
+                    sopts.portfolio.base.simplify_strength)) {
+                std::fprintf(stderr,
+                             "bad --simplify level: %s (expected "
+                             "off, light or full)\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (arg("--drain")) {
             const std::string policy = argv[++i];
             if (policy == "cancel") {
@@ -117,7 +133,8 @@ main(int argc, char **argv)
             "usage: %s --socket PATH | --port N [--jobs N] "
             "[--workers N] [--queue-depth N] [--tenant-depth N] "
             "[--timeout-s X] [--conflicts N] [--memory-mb M] "
-            "[--sampler NAME] [--depth N] [--noisy] "
+            "[--sampler NAME] [--depth N] "
+            "[--simplify off|light|full] [--noisy] "
             "[--drain finish|cancel] [--metrics FILE] "
             "[--trace FILE] [--quiet]\n",
             argv[0]);

@@ -73,6 +73,30 @@ HybridSolver::solve(const sat::Cnf &formula)
     if (config_.metrics)
         metrics.setTrace(config_.metrics->trace());
 
+    // Inprocess first: the whole loop below — CDCL, clause queue,
+    // embedding, backend feedback — runs on the simplified formula,
+    // so fewer/shorter clauses reach the annealer per iteration.
+    // Only the final model check is against the original input.
+    simplify::Result simp;
+    const bool simplified =
+        config_.simplify_strength != simplify::Strength::Off;
+    if (simplified) {
+        simp = simplify::Pipeline(
+                   simplify::Options::preset(
+                       config_.simplify_strength),
+                   &metrics)
+                   .run(formula);
+        if (!simp.satisfiable_possible) {
+            result.status = sat::l_False;
+            result.time.cdcl_s = total_timer.seconds();
+            metrics.timer("hybrid.total")->add(result.time.cdcl_s);
+            if (config_.metrics)
+                config_.metrics->merge(metrics);
+            return result;
+        }
+    }
+    const sat::Cnf &work = simplified ? simp.cnf : formula;
+
     Frontend frontend(graph_, config_.frontend, &metrics);
     Backend backend(config_.backend, &metrics);
     // A fresh sampler per solve keeps repeated solves reproducible
@@ -91,7 +115,7 @@ HybridSolver::solve(const sat::Cnf &formula)
         solver.setLearntExportHook(config_.learnt_export);
     if (config_.root_hook)
         solver.setRootHook(config_.root_hook);
-    if (!solver.loadCnf(formula)) {
+    if (!solver.loadCnf(work)) {
         result.status = sat::l_False;
         result.stats = solver.stats();
         result.time.cdcl_s = total_timer.seconds();
@@ -105,7 +129,7 @@ HybridSolver::solve(const sat::Cnf &formula)
     if (warmup < 0) {
         warmup = static_cast<std::int64_t>(std::llround(std::sqrt(
             static_cast<double>(estimateIterations(
-                formula.numVars(), formula.numClauses())))));
+                work.numVars(), work.numClauses())))));
     }
     warmup = std::min(warmup, config_.max_warmup);
 
@@ -146,7 +170,7 @@ HybridSolver::solve(const sat::Cnf &formula)
 
         for (ReadySample &rs : ready) {
             const BackendOutcome outcome =
-                backend.apply(s, *rs.frontend, rs.sample, formula);
+                backend.apply(s, *rs.frontend, rs.sample, work);
             if (outcome.solved) {
                 qa_solved = true;
                 qa_model = outcome.model;
@@ -196,14 +220,18 @@ HybridSolver::solve(const sat::Cnf &formula)
 
     if (qa_solved) {
         result.status = sat::l_True;
-        result.model = std::move(qa_model);
+        result.model = simplified
+                           ? simp.extendModel(std::move(qa_model))
+                           : std::move(qa_model);
         result.solved_by_qa = true;
         if (!formula.eval(result.model))
             panic("strategy-1 model failed verification");
     } else {
         result.status = status;
         if (status.isTrue()) {
-            result.model = solver.boolModel();
+            result.model = simplified
+                               ? simp.extendModel(solver.boolModel())
+                               : solver.boolModel();
             if (!formula.eval(result.model))
                 panic("CDCL model failed verification");
         }

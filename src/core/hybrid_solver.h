@@ -25,6 +25,7 @@
 #include "core/frontend.h"
 #include "sat/cnf.h"
 #include "sat/solver.h"
+#include "simplify/pipeline.h"
 #include "util/cancel.h"
 #include "util/metrics.h"
 
@@ -89,6 +90,17 @@ struct HybridConfig
     double rtt_us = 0.0;
 
     std::uint64_t seed = 0x47a9be57;
+
+    /**
+     * Inprocessing strength applied to the formula before the
+     * hybrid loop. Off (the default) keeps existing runs bit
+     * identical; Light runs the equivalence-preserving passes;
+     * Full adds probing, vivification and bounded variable
+     * elimination (resolvents capped at 3 literals, so 3-SAT input
+     * stays 3-SAT). Models are mapped back to the original
+     * variables and verified against the original formula.
+     */
+    simplify::Strength simplify_strength = simplify::Strength::Off;
 
     // ------------------------------------------------------------------
     // Portfolio integration (all optional; defaults = standalone run)

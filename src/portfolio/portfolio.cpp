@@ -41,7 +41,7 @@ PortfolioSolver::diversify(const core::HybridConfig &base, int n)
     for (int i = 0; i < n; ++i) {
         WorkerConfig w;
         w.hybrid = base;
-        switch (i % 8) {
+        switch (i % 9) {
         case 0:
             // Slot 0 IS the base config: a 1-worker portfolio must
             // reproduce the single solver bit for bit.
@@ -71,9 +71,11 @@ PortfolioSolver::diversify(const core::HybridConfig &base, int n)
             w.hybrid.sampler = "batch";
             break;
         case 5:
-            // CHB branching / faster restarts on the CDCL side.
+            // CHB branching / faster restarts on the CDCL side,
+            // over a lightly preprocessed formula.
             w.label = "kissat";
             w.hybrid.solver = sat::SolverOptions::kissatStyle();
+            w.hybrid.simplify_strength = simplify::Strength::Light;
             break;
         case 6:
             // Ideal all-to-all device: no embedding losses.
@@ -88,6 +90,14 @@ PortfolioSolver::diversify(const core::HybridConfig &base, int n)
             w.label = "greedy-queue";
             w.hybrid.frontend.queue.top_k = 1;
             break;
+        case 8:
+            // Full inprocessing (BVE, equivalence substitution,
+            // probing, vivification) before the hybrid loop: this
+            // worker searches a smaller formula and more of its
+            // clause queue embeds per iteration.
+            w.label = "presolve";
+            w.hybrid.simplify_strength = simplify::Strength::Full;
+            break;
         }
         if (i > 0) {
             // Decorrelate every RNG stream so identical variants in
@@ -98,8 +108,8 @@ PortfolioSolver::diversify(const core::HybridConfig &base, int n)
             w.hybrid.annealer.seed =
                 mixSeed(base.annealer.seed, salt);
         }
-        if (i >= 8)
-            w.label += "#" + std::to_string(i / 8);
+        if (i >= 9)
+            w.label += "#" + std::to_string(i / 9);
         slate.push_back(std::move(w));
     }
     return slate;

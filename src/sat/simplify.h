@@ -10,6 +10,12 @@
  * variable set, so a model of the simplified formula (together with
  * the fixed units) is a model of the original - no reconstruction
  * stack is needed.
+ *
+ * Implemented as a fixed configuration of the staged pipeline in
+ * src/simplify/ (library hyqsat_simplify); use simplify::Pipeline
+ * directly for the stronger, reconstruction-based passes (variable
+ * elimination, equivalent-literal substitution, probing,
+ * vivification).
  */
 
 #ifndef HYQSAT_SAT_SIMPLIFY_H

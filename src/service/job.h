@@ -46,6 +46,13 @@ struct JobSpec
 
     /** Per-job wall-clock budget (s); 0 = scheduler default. */
     double timeout_s = 0.0;
+
+    /**
+     * Inprocessing strength override ("off", "light", "full"); ""
+     * keeps the scheduler's configured portfolio defaults. Applied
+     * to every worker's base config before diversification.
+     */
+    std::string simplify;
 };
 
 /** Admission-control verdict for one submit. */

@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "simplify/pipeline.h"
 #include "util/metrics.h"
 
 namespace hyqsat::service {
@@ -60,14 +61,31 @@ parseRequest(std::string_view line)
     }
     const std::string_view verb = tokens[0];
     if (verb == "SUBMIT") {
-        // SUBMIT <tenant> <priority> <name> — all single tokens.
-        if (tokens.size() != 4) {
-            req.error = "usage: SUBMIT <tenant> <priority> <name>";
+        // SUBMIT <tenant> <priority> <name> [simplify=<level>] —
+        // all single tokens; the only optional extra is the
+        // key=value simplify override (anything else stays Invalid).
+        if (tokens.size() != 4 && tokens.size() != 5) {
+            req.error = "usage: SUBMIT <tenant> <priority> <name> "
+                        "[simplify=<off|light|full>]";
             return req;
         }
         if (!parseInt(tokens[2], req.priority)) {
             req.error = "bad priority";
             return req;
+        }
+        if (tokens.size() == 5) {
+            constexpr std::string_view kKey = "simplify=";
+            const std::string_view opt = tokens[4];
+            simplify::Strength strength;
+            if (opt.rfind(kKey, 0) != 0 ||
+                !simplify::parseStrength(
+                    std::string(opt.substr(kKey.size())), strength)) {
+                req.error = "bad option (expected "
+                            "simplify=<off|light|full>): " +
+                            std::string(opt);
+                return req;
+            }
+            req.simplify = std::string(opt.substr(kKey.size()));
         }
         req.verb = Verb::Submit;
         req.tenant = std::string(tokens[1]);

@@ -6,7 +6,8 @@
  * daemon without a serialization library.
  *
  * Client -> server:
- *   SUBMIT <tenant> <priority> <name>   then DIMACS lines, then END
+ *   SUBMIT <tenant> <priority> <name> [simplify=<off|light|full>]
+ *                    then DIMACS lines, then END
  *   WAIT <id>        block until the job finishes
  *   STATUS <id>      non-blocking state probe
  *   METRICS          /metrics-style text snapshot
@@ -65,6 +66,7 @@ struct Request
     std::string tenant;
     int priority = 0;
     std::string name;
+    std::string simplify; ///< "" = daemon default strength
 
     // WAIT / STATUS field.
     JobId id = 0;

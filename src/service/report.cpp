@@ -101,6 +101,7 @@ writeJsonReport(const BatchReport &report, std::ostream &out)
             << "\", \"path\": \"" << jsonEscape(r.path)
             << "\", \"status\": \"" << jsonEscape(r.status)
             << "\", \"winner\": \"" << jsonEscape(r.winner)
+            << "\", \"simplify\": \"" << jsonEscape(r.simplify)
             << "\", \"wall_s\": " << jsonNumber(r.wall_s)
             << ", \"vars\": " << r.vars
             << ", \"clauses\": " << r.clauses
@@ -129,12 +130,13 @@ writeJsonReport(const BatchReport &report, std::ostream &out)
 void
 writeCsvReport(const BatchReport &report, std::ostream &out)
 {
-    out << "name,path,status,winner,wall_s,vars,clauses,iterations,"
-           "conflicts,restarts,propagations,qa_samples,frontend_s,"
-           "qa_device_s,qa_blocking_s,backend_s,cdcl_s\n";
+    out << "name,path,status,winner,simplify,wall_s,vars,clauses,"
+           "iterations,conflicts,restarts,propagations,qa_samples,"
+           "frontend_s,qa_device_s,qa_blocking_s,backend_s,cdcl_s\n";
     for (const InstanceRecord &r : report.records) {
         out << r.name << ',' << r.path << ',' << r.status << ','
-            << r.winner << ',' << jsonNumber(r.wall_s) << ','
+            << r.winner << ',' << r.simplify << ','
+            << jsonNumber(r.wall_s) << ','
             << r.vars << ',' << r.clauses << ',' << r.iterations
             << ',' << r.conflicts << ',' << r.restarts << ','
             << r.propagations << ',' << r.qa_samples << ','

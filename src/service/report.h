@@ -38,6 +38,14 @@ struct InstanceRecord
     std::string status;
 
     std::string winner; ///< winning worker label ("" if none)
+
+    /**
+     * Effective inprocessing strength of the run's base config
+     * ("off", "light", "full"); individual portfolio slots may still
+     * diversify around it.
+     */
+    std::string simplify;
+
     double wall_s = 0.0;
     int vars = 0;
     int clauses = 0;

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "sat/dimacs.h"
+#include "simplify/pipeline.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -361,6 +362,19 @@ JobScheduler::runJob(const std::shared_ptr<Job> &job)
         popts.timeout_s = timeout;
     popts.external_stop = &job->stop;
     popts.metrics = &inst_metrics;
+
+    // Per-job inprocessing override: retarget the base config (and
+    // any explicit worker slate) before diversification. An invalid
+    // spelling was already rejected at the protocol layer; here it
+    // just falls back to the configured default.
+    simplify::Strength strength = popts.base.simplify_strength;
+    if (!spec.simplify.empty() &&
+        simplify::parseStrength(spec.simplify, strength)) {
+        popts.base.simplify_strength = strength;
+        for (portfolio::WorkerConfig &w : popts.workers)
+            w.hybrid.simplify_strength = strength;
+    }
+    rec.simplify = simplify::strengthName(strength);
 
     const int workers = popts.workers.empty()
                             ? popts.num_workers

@@ -261,6 +261,7 @@ Server::serveConnection(int fd)
             spec.tenant = req.tenant;
             spec.priority = req.priority;
             spec.name = req.name;
+            spec.simplify = req.simplify;
             spec.dimacs = std::move(dimacs);
             const Submission sub = scheduler_.submit(std::move(spec));
             if (!sendLine(fd, formatSubmission(sub)))

@@ -1,0 +1,216 @@
+#include "simplify/clause_db.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hyqsat::simplify {
+
+namespace {
+
+std::uint64_t
+signature(const sat::LitVec &clause)
+{
+    std::uint64_t sig = 0;
+    for (sat::Lit p : clause)
+        sig |= 1ull << (p.var() & 63);
+    return sig;
+}
+
+} // namespace
+
+ClauseDb::ClauseDb(const sat::Cnf &cnf)
+    : num_vars_(cnf.numVars()),
+      occurs_(static_cast<std::size_t>(2 * cnf.numVars())),
+      occ_count_(static_cast<std::size_t>(2 * cnf.numVars()), 0),
+      value_(static_cast<std::size_t>(cnf.numVars()), sat::l_Undef),
+      removed_(static_cast<std::size_t>(cnf.numVars()), 0),
+      touched_flag_(static_cast<std::size_t>(cnf.numVars()), 0)
+{
+    clauses_.reserve(cnf.clauses().size());
+    for (const auto &raw : cnf.clauses()) {
+        if (addClause(raw) < 0)
+            ++tautologies_at_load_;
+        if (contradiction_)
+            return;
+    }
+}
+
+int
+ClauseDb::addClause(sat::LitVec lits)
+{
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+        if (lits[i] == ~lits[i + 1])
+            return -1; // tautology
+    }
+    if (lits.empty()) {
+        contradiction_ = true;
+        return -1;
+    }
+    const int idx = static_cast<int>(clauses_.size());
+    for (sat::Lit p : lits) {
+        occurs_[static_cast<std::size_t>(p.x)].push_back(idx);
+        ++occ_count_[static_cast<std::size_t>(p.x)];
+        touchVar(p.var());
+    }
+    if (lits.size() == 1)
+        unit_queue_.push_back(lits[0]);
+    Clause c;
+    c.sig = signature(lits);
+    c.lits = std::move(lits);
+    clauses_.push_back(std::move(c));
+    return idx;
+}
+
+void
+ClauseDb::killClause(int ci)
+{
+    Clause &c = clauses_[static_cast<std::size_t>(ci)];
+    if (c.dead)
+        return;
+    c.dead = true;
+    for (sat::Lit p : c.lits) {
+        --occ_count_[static_cast<std::size_t>(p.x)];
+        touchVar(p.var());
+    }
+}
+
+void
+ClauseDb::removeLiteral(int ci, sat::Lit p)
+{
+    Clause &c = clauses_[static_cast<std::size_t>(ci)];
+    const auto it = std::find(c.lits.begin(), c.lits.end(), p);
+    if (it == c.lits.end())
+        panic("removeLiteral: literal not in clause");
+    c.lits.erase(it);
+    c.sig = signature(c.lits);
+    --occ_count_[static_cast<std::size_t>(p.x)];
+    touchVar(p.var());
+    if (c.lits.empty()) {
+        contradiction_ = true;
+        return;
+    }
+    if (c.lits.size() == 1)
+        unit_queue_.push_back(c.lits[0]);
+}
+
+void
+ClauseDb::compactOccurs(sat::Lit p)
+{
+    auto &list = occurs_[static_cast<std::size_t>(p.x)];
+    std::size_t out = 0;
+    for (int ci : list) {
+        const Clause &c = clauses_[static_cast<std::size_t>(ci)];
+        if (c.dead)
+            continue;
+        if (!std::binary_search(c.lits.begin(), c.lits.end(), p))
+            continue;
+        list[out++] = ci;
+    }
+    list.resize(out);
+}
+
+std::vector<sat::Var>
+ClauseDb::takeTouched()
+{
+    std::vector<sat::Var> out;
+    out.swap(touched_list_);
+    for (sat::Var v : out)
+        touched_flag_[static_cast<std::size_t>(v)] = 0;
+    return out;
+}
+
+sat::Cnf
+ClauseDb::emit() const
+{
+    sat::Cnf out(num_vars_);
+    if (contradiction_) {
+        out.addClause(sat::LitVec{});
+        return out;
+    }
+    for (const Clause &c : clauses_) {
+        if (c.dead)
+            continue;
+        // Units are root-fixed and live in the reconstruction /
+        // fixed list, not the emitted formula.
+        if (c.lits.size() == 1 &&
+            !value(c.lits[0].var()).isUndef())
+            continue;
+        out.addClause(c.lits);
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Propagator
+// ----------------------------------------------------------------------
+
+Propagator::Propagator(const ClauseDb &db)
+    : assign_(static_cast<std::size_t>(db.numVars()), sat::l_Undef)
+{
+}
+
+sat::lbool
+Propagator::assume(const ClauseDb &db, sat::Lit p,
+                   std::int64_t &budget, int skip_clause)
+{
+    {
+        const sat::lbool v = valueOf(p);
+        if (v.isFalse())
+            return sat::l_False;
+        if (v.isTrue())
+            return sat::l_True;
+    }
+    assign_[static_cast<std::size_t>(p.var())] =
+        sat::lbool(!p.sign());
+    trail_.push_back(p);
+
+    while (qhead_ < trail_.size()) {
+        const sat::Lit l = trail_[qhead_++];
+        for (int ci : db.occurs(~l)) {
+            if (ci == skip_clause || !db.live(ci))
+                continue;
+            const auto &lits = db.clause(ci).lits;
+            budget -= static_cast<std::int64_t>(lits.size());
+            sat::Lit unassigned = sat::lit_Undef;
+            bool satisfied = false;
+            int undef = 0;
+            for (sat::Lit q : lits) {
+                const sat::lbool v = valueOf(q);
+                if (v.isTrue()) {
+                    satisfied = true;
+                    break;
+                }
+                if (v.isUndef()) {
+                    ++undef;
+                    unassigned = q;
+                }
+            }
+            if (satisfied)
+                continue;
+            if (undef == 0)
+                return sat::l_False; // conflict
+            if (undef == 1) {
+                assign_[static_cast<std::size_t>(
+                    unassigned.var())] = sat::lbool(!unassigned.sign());
+                trail_.push_back(unassigned);
+            }
+        }
+        if (budget <= 0)
+            return sat::l_Undef;
+    }
+    return sat::l_True;
+}
+
+void
+Propagator::reset()
+{
+    for (sat::Lit p : trail_)
+        assign_[static_cast<std::size_t>(p.var())] = sat::l_Undef;
+    trail_.clear();
+    qhead_ = 0;
+}
+
+} // namespace hyqsat::simplify

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Shared working state of the simplification pipeline: the clause
+ * set under rewrite with literal-indexed occurrence lists, exact
+ * live-occurrence counts, a root-level assignment, a unit queue and
+ * a touched-variable queue. Every pass (subsumption, SCC
+ * substitution, probing, vivification, elimination) operates on one
+ * ClauseDb; the pipeline loads it from a Cnf and emits the
+ * surviving clauses at the end.
+ *
+ * Occurrence lists may hold stale entries (dead clauses, removed
+ * literals); traversals filter through the liveness flags and the
+ * clause content, while occCount() is kept exact for the cheap
+ * bound checks (BVE candidate selection, rare-variable picks).
+ */
+
+#ifndef HYQSAT_SIMPLIFY_CLAUSE_DB_H
+#define HYQSAT_SIMPLIFY_CLAUSE_DB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.h"
+#include "sat/types.h"
+
+namespace hyqsat::simplify {
+
+/** The pipeline's working clause set. */
+class ClauseDb
+{
+  public:
+    struct Clause
+    {
+        sat::LitVec lits;       ///< sorted, duplicate-free
+        std::uint64_t sig = 0;  ///< bit per (var % 64)
+        bool dead = false;
+    };
+
+    /**
+     * Load @p cnf with cleanup: literals sorted and deduplicated,
+     * tautologies dropped (counted in tautologiesAtLoad()), units
+     * queued, an empty clause marks the contradiction.
+     */
+    explicit ClauseDb(const sat::Cnf &cnf);
+
+    int numVars() const { return num_vars_; }
+
+    /** True once any rewrite derived the empty clause. */
+    bool contradiction() const { return contradiction_; }
+    void setContradiction() { contradiction_ = true; }
+
+    int tautologiesAtLoad() const { return tautologies_at_load_; }
+
+    // ------------------------------------------------------------------
+    // Clause storage
+    // ------------------------------------------------------------------
+
+    const std::vector<Clause> &clauses() const { return clauses_; }
+    int numClauses() const { return static_cast<int>(clauses_.size()); }
+    const Clause &clause(int ci) const
+    {
+        return clauses_[static_cast<std::size_t>(ci)];
+    }
+    bool live(int ci) const
+    {
+        return !clauses_[static_cast<std::size_t>(ci)].dead;
+    }
+
+    /**
+     * Normalize (sort, dedup) and append a clause. Tautologies are
+     * dropped (returns -1); an empty clause sets the contradiction
+     * flag; a unit is queued. Returns the new clause index or -1.
+     */
+    int addClause(sat::LitVec lits);
+
+    /** Mark a clause dead and release its occurrence counts. */
+    void killClause(int ci);
+
+    /**
+     * Remove literal @p p from clause @p ci (strengthening). Queues
+     * the remaining unit / sets the contradiction flag as the clause
+     * shrinks. @p p must occur in the clause.
+     */
+    void removeLiteral(int ci, sat::Lit p);
+
+    // ------------------------------------------------------------------
+    // Occurrences
+    // ------------------------------------------------------------------
+
+    /** Clause indices that ever contained @p p (stale-filtered). */
+    const std::vector<int> &occurs(sat::Lit p) const
+    {
+        return occurs_[static_cast<std::size_t>(p.x)];
+    }
+
+    /** Exact number of live clauses currently containing @p p. */
+    int occCount(sat::Lit p) const
+    {
+        return occ_count_[static_cast<std::size_t>(p.x)];
+    }
+
+    /**
+     * Drop stale entries from @p p's occurrence list (entries whose
+     * clause is dead or no longer contains @p p).
+     */
+    void compactOccurs(sat::Lit p);
+
+    // ------------------------------------------------------------------
+    // Root assignment + removed variables
+    // ------------------------------------------------------------------
+
+    sat::lbool value(sat::Var v) const
+    {
+        return value_[static_cast<std::size_t>(v)];
+    }
+    void fix(sat::Lit p)
+    {
+        value_[static_cast<std::size_t>(p.var())] =
+            sat::lbool(!p.sign());
+    }
+
+    /** Variable substituted or eliminated (never reappears). */
+    bool varRemoved(sat::Var v) const
+    {
+        return removed_[static_cast<std::size_t>(v)] != 0;
+    }
+    void markRemoved(sat::Var v)
+    {
+        removed_[static_cast<std::size_t>(v)] = 1;
+    }
+
+    /** True when the variable is still part of the formula. */
+    bool varActive(sat::Var v) const
+    {
+        return !varRemoved(v) && value(v).isUndef();
+    }
+
+    std::vector<sat::Lit> &unitQueue() { return unit_queue_; }
+
+    // ------------------------------------------------------------------
+    // Touched-variable queue
+    // ------------------------------------------------------------------
+
+    /** Record @p v as touched (clause added/removed/strengthened). */
+    void touchVar(sat::Var v)
+    {
+        if (!touched_flag_[static_cast<std::size_t>(v)]) {
+            touched_flag_[static_cast<std::size_t>(v)] = 1;
+            touched_list_.push_back(v);
+        }
+    }
+
+    /**
+     * Return the variables touched since the last call and clear the
+     * queue. Passes that revisit candidates across rounds (BVE) use
+     * this to skip variables whose neighbourhood did not change.
+     */
+    std::vector<sat::Var> takeTouched();
+
+    /** Emit the live clauses into a fresh Cnf (original indexing). */
+    sat::Cnf emit() const;
+
+  private:
+    int num_vars_ = 0;
+    bool contradiction_ = false;
+    int tautologies_at_load_ = 0;
+
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<int>> occurs_; ///< by Lit.x
+    std::vector<int> occ_count_;           ///< by Lit.x, exact
+    std::vector<sat::lbool> value_;        ///< by var
+    std::vector<char> removed_;            ///< by var
+    std::vector<sat::Lit> unit_queue_;
+    std::vector<char> touched_flag_;       ///< by var
+    std::vector<sat::Var> touched_list_;
+};
+
+/**
+ * Scratch propagation engine over a ClauseDb for probing and
+ * vivification: a trail-based temporary assignment independent of
+ * the root values (after root propagation no live clause mentions a
+ * fixed variable). assume() may be called repeatedly to build up an
+ * assumption sequence; reset() rewinds everything.
+ */
+class Propagator
+{
+  public:
+    explicit Propagator(const ClauseDb &db);
+
+    /**
+     * Assume @p p and propagate to fixpoint through the occurrence
+     * lists. @p budget is decremented by clause-visit cost.
+     * @p skip_clause is excluded from propagation (vivification
+     * removes the clause under test from its own derivation).
+     * @return l_False on conflict, l_True on a clean fixpoint,
+     *         l_Undef when the budget ran out (state is rewindable
+     *         but no conclusion may be drawn).
+     */
+    sat::lbool assume(const ClauseDb &db, sat::Lit p,
+                      std::int64_t &budget, int skip_clause = -1);
+
+    /** Temporary truth value of @p p (undef when unassigned). */
+    sat::lbool valueOf(sat::Lit p) const
+    {
+        const sat::lbool v =
+            assign_[static_cast<std::size_t>(p.var())];
+        return v ^ p.sign();
+    }
+
+    /** Undo every assumption and propagation. */
+    void reset();
+
+  private:
+    std::vector<sat::lbool> assign_; ///< by var
+    std::vector<sat::Lit> trail_;
+    std::size_t qhead_ = 0;
+};
+
+} // namespace hyqsat::simplify
+
+#endif // HYQSAT_SIMPLIFY_CLAUSE_DB_H

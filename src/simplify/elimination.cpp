@@ -1,0 +1,121 @@
+#include <algorithm>
+
+#include "simplify/passes.h"
+
+namespace hyqsat::simplify {
+
+namespace {
+
+/**
+ * Resolve @p a (contains @p p) with @p b (contains ~p) on p.
+ * @return false iff the resolvent is a tautology; otherwise @p out
+ * holds the sorted, deduplicated resolvent.
+ */
+bool
+resolve(const sat::LitVec &a, const sat::LitVec &b, sat::Lit p,
+        sat::LitVec &out)
+{
+    out.clear();
+    for (sat::Lit q : a) {
+        if (q != p)
+            out.push_back(q);
+    }
+    for (sat::Lit q : b) {
+        if (q != ~p)
+            out.push_back(q);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+        if (out[i] == ~out[i + 1])
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+runElimination(ClauseDb &db, ReconstructionStack &rs,
+               const Options &opts, Stats &st)
+{
+    if (db.contradiction())
+        return false;
+
+    // Candidates: variables whose neighbourhood changed since the
+    // last elimination attempt (everything on the first run — the
+    // initial load touches every variable).
+    std::vector<sat::Var> candidates = db.takeTouched();
+    std::sort(candidates.begin(), candidates.end());
+
+    sat::LitVec tmp;
+    for (sat::Var v : candidates) {
+        if (!db.varActive(v))
+            continue;
+        const sat::Lit p = sat::mkLit(v, false);
+        if (db.occCount(p) > opts.bve_occurrence_limit ||
+            db.occCount(~p) > opts.bve_occurrence_limit) {
+            continue;
+        }
+        if (db.occCount(p) == 0 && db.occCount(~p) == 0)
+            continue;
+        db.compactOccurs(p);
+        db.compactOccurs(~p);
+        const std::vector<int> pos = db.occurs(p); // copies: the
+        const std::vector<int> neg = db.occurs(~p); // lists mutate
+
+        // All non-tautological resolvents, bounded by length and by
+        // clause-count growth.
+        std::vector<sat::LitVec> resolvents;
+        const int limit = static_cast<int>(pos.size() + neg.size()) +
+                          opts.bve_clause_growth;
+        bool abort = false;
+        for (std::size_t i = 0; i < pos.size() && !abort; ++i) {
+            for (std::size_t j = 0; j < neg.size(); ++j) {
+                if (!resolve(db.clause(pos[i]).lits,
+                             db.clause(neg[j]).lits, p, tmp)) {
+                    continue;
+                }
+                if (static_cast<int>(tmp.size()) >
+                    opts.max_resolvent_len) {
+                    abort = true; // would break the 3-SAT shape
+                    break;
+                }
+                resolvents.push_back(tmp);
+                if (static_cast<int>(resolvents.size()) > limit) {
+                    abort = true;
+                    break;
+                }
+            }
+        }
+        if (abort)
+            continue;
+
+        // Keep the smaller side on the reconstruction stack
+        // (MiniSat pattern): replay defaults v to satisfy the
+        // larger, un-stored side and flips only if a stored clause
+        // ends up violated.
+        const bool keep_pos = pos.size() <= neg.size();
+        const sat::Lit kept = keep_pos ? p : ~p;
+        std::vector<sat::LitVec> kept_side;
+        kept_side.reserve(keep_pos ? pos.size() : neg.size());
+        for (int ci : keep_pos ? pos : neg)
+            kept_side.push_back(db.clause(ci).lits);
+        rs.pushElimination(kept, kept_side);
+
+        for (int ci : pos)
+            db.killClause(ci);
+        for (int ci : neg)
+            db.killClause(ci);
+        db.markRemoved(v);
+        ++st.eliminated;
+        for (auto &r : resolvents) {
+            db.addClause(std::move(r));
+            if (db.contradiction())
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace hyqsat::simplify

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The original `sat::simplifyCnf` entry point, now a thin wrapper
+ * over the staged pipeline with only the equivalence-preserving
+ * passes enabled (units, subsumption, self-subsumption). Its
+ * contract is unchanged: the simplified formula is equivalent over
+ * the original variables and `fixed` alone extends any model — no
+ * reconstruction stack needed by callers.
+ */
+
+#include "sat/simplify.h"
+
+#include <utility>
+
+#include "simplify/pipeline.h"
+
+namespace hyqsat::sat {
+
+SimplifyResult
+simplifyCnf(const Cnf &cnf, const SimplifyOptions &opts)
+{
+    simplify::Options po;
+    po.unit_propagation = opts.unit_propagation;
+    po.subsumption = opts.subsumption;
+    po.self_subsumption = opts.self_subsumption;
+    po.equivalent_literals = false;
+    po.probing = false;
+    po.vivification = false;
+    po.elimination = false;
+    po.max_rounds = opts.max_rounds;
+
+    simplify::Result r = simplify::Pipeline(po).run(cnf);
+
+    SimplifyResult out;
+    out.cnf = std::move(r.cnf);
+    out.satisfiable_possible = r.satisfiable_possible;
+    out.fixed = std::move(r.fixed);
+    out.units_propagated = r.stats.units;
+    out.subsumed = r.stats.subsumed;
+    out.strengthened = r.stats.strengthened;
+    out.tautologies = r.stats.tautologies;
+    return out;
+}
+
+} // namespace hyqsat::sat

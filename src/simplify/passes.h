@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The individual pipeline passes, each a free function over the
+ * shared ClauseDb / ReconstructionStack / Stats triple. Every pass
+ * returns false iff it derived a root-level contradiction (the
+ * pipeline then stops and reports UNSAT). Exposed as a header so the
+ * tests can drive passes in isolation and in randomized orders.
+ */
+
+#ifndef HYQSAT_SIMPLIFY_PASSES_H
+#define HYQSAT_SIMPLIFY_PASSES_H
+
+#include "simplify/clause_db.h"
+#include "simplify/pipeline.h"
+#include "simplify/reconstruction.h"
+
+namespace hyqsat::simplify {
+
+/**
+ * Drain the unit queue: fix each literal, kill satisfied clauses,
+ * strengthen clauses containing the negation. Every other pass
+ * assumes this has run (no live clause mentions a fixed variable).
+ */
+bool propagateUnits(ClauseDb &db, ReconstructionStack &rs, Stats &st);
+
+/**
+ * Forward subsumption and (optionally) self-subsuming resolution
+ * with the per-clause signature filter, seeded from each clause's
+ * least-occurring literal.
+ */
+bool runSubsumption(ClauseDb &db, const Options &opts, Stats &st);
+
+/**
+ * Tarjan SCC over the binary implication graph; every non-singleton
+ * SCC collapses onto its minimum literal, substituting the other
+ * variables away (reconstruction entries keep them recoverable). An
+ * SCC containing a literal and its negation is a contradiction.
+ */
+bool runEquivalentLiterals(ClauseDb &db, ReconstructionStack &rs,
+                           Stats &st);
+
+/**
+ * Failed-literal probing: assume each polarity of each active
+ * variable in turn; a conflict queues the opposite unit, both
+ * polarities failing is a contradiction. Budgeted by
+ * opts.probe_budget literal visits.
+ */
+bool runProbing(ClauseDb &db, const Options &opts, Stats &st);
+
+/**
+ * Clause vivification: re-derive each clause literal by literal
+ * under the negation of its prefix; implied or falsified literals
+ * shorten the clause in place. Budgeted by opts.vivify_budget.
+ */
+bool runVivification(ClauseDb &db, const Options &opts, Stats &st);
+
+/**
+ * Bounded variable elimination (SatELite): resolve out variables
+ * whose resolvent set is no larger than the clauses it replaces,
+ * respecting opts.max_resolvent_len and opts.bve_occurrence_limit.
+ * Eliminated variables push their kept side onto @p rs.
+ */
+bool runElimination(ClauseDb &db, ReconstructionStack &rs,
+                    const Options &opts, Stats &st);
+
+} // namespace hyqsat::simplify
+
+#endif // HYQSAT_SIMPLIFY_PASSES_H

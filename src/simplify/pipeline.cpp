@@ -1,0 +1,206 @@
+#include "simplify/pipeline.h"
+
+#include <utility>
+
+#include "simplify/passes.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+
+namespace hyqsat::simplify {
+
+const char *
+strengthName(Strength s)
+{
+    switch (s) {
+      case Strength::Off:
+        return "off";
+      case Strength::Light:
+        return "light";
+      case Strength::Full:
+        return "full";
+    }
+    return "off";
+}
+
+bool
+parseStrength(const std::string &text, Strength &out)
+{
+    if (text == "off") {
+        out = Strength::Off;
+        return true;
+    }
+    if (text == "light") {
+        out = Strength::Light;
+        return true;
+    }
+    if (text == "full") {
+        out = Strength::Full;
+        return true;
+    }
+    return false;
+}
+
+Options
+Options::preset(Strength s)
+{
+    Options o;
+    switch (s) {
+      case Strength::Off:
+        o.unit_propagation = false;
+        o.subsumption = false;
+        o.self_subsumption = false;
+        o.equivalent_literals = false;
+        o.max_rounds = 0;
+        break;
+      case Strength::Light:
+        break; // the defaults
+      case Strength::Full:
+        o.probing = true;
+        o.vivification = true;
+        o.elimination = true;
+        break;
+    }
+    return o;
+}
+
+bool
+propagateUnits(ClauseDb &db, ReconstructionStack &rs, Stats &st)
+{
+    auto &queue = db.unitQueue();
+    while (!queue.empty() && !db.contradiction()) {
+        const sat::Lit p = queue.back();
+        queue.pop_back();
+        const sat::lbool v = db.value(p.var()) ^ p.sign();
+        if (v.isTrue())
+            continue;
+        if (v.isFalse()) {
+            db.setContradiction();
+            break;
+        }
+        db.fix(p);
+        rs.pushUnit(p);
+        ++st.units;
+
+        db.compactOccurs(p);
+        for (int ci : db.occurs(p))
+            db.killClause(ci); // satisfied
+
+        db.compactOccurs(~p);
+        for (int ci : db.occurs(~p)) {
+            db.removeLiteral(ci, ~p); // falsified literal drops out
+            if (db.contradiction())
+                break;
+        }
+    }
+    queue.clear();
+    return !db.contradiction();
+}
+
+std::vector<bool>
+Result::extendModel(std::vector<bool> model) const
+{
+    if (static_cast<int>(model.size()) < cnf.numVars())
+        model.resize(static_cast<std::size_t>(cnf.numVars()), false);
+    reconstruction.extend(model);
+    return model;
+}
+
+Result
+Pipeline::run(const sat::Cnf &cnf) const
+{
+    Timer timer;
+    Result res;
+    Stats &st = res.stats;
+    st.clauses_in = cnf.numClauses();
+    st.vars_in = cnf.numVars();
+
+    const Options &o = opts_;
+    const bool any_pass = o.unit_propagation || o.subsumption ||
+                          o.self_subsumption ||
+                          o.equivalent_literals || o.probing ||
+                          o.vivification || o.elimination;
+    if (o.max_rounds <= 0 || !any_pass) {
+        res.cnf = cnf;
+        st.clauses_out = cnf.numClauses();
+        st.vars_out = cnf.numVars();
+        return res;
+    }
+
+    ClauseDb db(cnf);
+    st.tautologies = db.tautologiesAtLoad();
+    ReconstructionStack &rs = res.reconstruction;
+
+    bool ok = !db.contradiction();
+    const auto up = [&] {
+        if (ok && o.unit_propagation)
+            ok = propagateUnits(db, rs, st);
+    };
+    for (int round = 0; ok && round < o.max_rounds; ++round) {
+        const std::int64_t before = st.work();
+        ++st.rounds;
+        up();
+        if (ok && o.equivalent_literals) {
+            ok = runEquivalentLiterals(db, rs, st);
+            up();
+        }
+        if (ok && (o.subsumption || o.self_subsumption)) {
+            ok = runSubsumption(db, o, st);
+            up();
+        }
+        if (ok && o.probing) {
+            ok = runProbing(db, o, st);
+            up();
+        }
+        if (ok && o.vivification) {
+            ok = runVivification(db, o, st);
+            up();
+        }
+        if (ok && o.elimination) {
+            ok = runElimination(db, rs, o, st);
+            up();
+        }
+        if (st.work() == before)
+            break;
+    }
+
+    res.satisfiable_possible = ok && !db.contradiction();
+    if (!res.satisfiable_possible) {
+        res.cnf = sat::Cnf(cnf.numVars());
+        res.cnf.addClause(sat::LitVec{});
+    } else {
+        res.cnf = db.emit();
+        res.cnf.setName(cnf.name());
+        for (sat::Var v = 0; v < db.numVars(); ++v) {
+            if (!db.value(v).isUndef())
+                res.fixed.push_back(
+                    sat::mkLit(v, db.value(v).isFalse()));
+            if (db.varActive(v))
+                ++st.vars_out;
+        }
+    }
+    st.clauses_out = res.cnf.numClauses();
+
+    if (metrics_) {
+        const auto inc = [&](const char *name, int n) {
+            if (n > 0)
+                metrics_->counter(name)->add(
+                    static_cast<std::uint64_t>(n));
+        };
+        metrics_->counter("simplify.runs")->add(1);
+        inc("simplify.rounds", st.rounds);
+        inc("simplify.units", st.units);
+        inc("simplify.tautologies", st.tautologies);
+        inc("simplify.subsumed", st.subsumed);
+        inc("simplify.strengthened", st.strengthened);
+        inc("simplify.equivalences", st.equivalences);
+        inc("simplify.failed_literals", st.failed_literals);
+        inc("simplify.vivified", st.vivified);
+        inc("simplify.eliminated", st.eliminated);
+        inc("simplify.clauses_removed",
+            st.clauses_in - st.clauses_out);
+        metrics_->timer("simplify.time")->add(timer.seconds());
+    }
+    return res;
+}
+
+} // namespace hyqsat::simplify

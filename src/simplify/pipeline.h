@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The staged inprocessing pipeline (tentpole of the simplify
+ * subsystem). A Pipeline owns a pass configuration and turns a Cnf
+ * into a simplified Cnf plus a ReconstructionStack that maps models
+ * of the simplified formula back to the original variables.
+ *
+ * Pass ordering per round: unit propagation -> equivalent-literal
+ * substitution (binary-implication-graph SCCs) -> subsumption /
+ * self-subsuming resolution -> failed-literal probing -> clause
+ * vivification -> bounded variable elimination, repeated until a
+ * round changes nothing or max_rounds is reached. The three strength
+ * presets map onto this: Off runs nothing, Light runs the
+ * equivalence-preserving prefix (units, SCC, subsumption), Full runs
+ * everything.
+ *
+ * BVE caps resolvent length at 3 by default so a 3-SAT input stays
+ * 3-SAT — the hybrid frontend requires that shape.
+ */
+
+#ifndef HYQSAT_SIMPLIFY_PIPELINE_H
+#define HYQSAT_SIMPLIFY_PIPELINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/cnf.h"
+#include "sat/types.h"
+#include "simplify/reconstruction.h"
+
+namespace hyqsat {
+class MetricsRegistry;
+} // namespace hyqsat
+
+namespace hyqsat::simplify {
+
+/** Preset strength levels exposed on every user surface. */
+enum class Strength { Off, Light, Full };
+
+/** @return the canonical lowercase name ("off", "light", "full"). */
+const char *strengthName(Strength s);
+
+/**
+ * Parse a strength name (case-sensitive, canonical spelling).
+ * @return true and set @p out on success.
+ */
+bool parseStrength(const std::string &text, Strength &out);
+
+/** Pass switches and budgets. Default-constructed == Light preset. */
+struct Options
+{
+    bool unit_propagation = true;
+    bool subsumption = true;
+    bool self_subsumption = true;
+    bool equivalent_literals = true;
+    bool probing = false;
+    bool vivification = false;
+    bool elimination = false;
+
+    /** Repeat the pass sequence until fixpoint, at most this often. */
+    int max_rounds = 8;
+
+    /** BVE: skip variables with more occurrences per polarity. */
+    int bve_occurrence_limit = 10;
+
+    /** BVE: abort a candidate whose resolvent would exceed this. */
+    int max_resolvent_len = 3;
+
+    /** BVE: allowed clause-count growth (0 = never grow). */
+    int bve_clause_growth = 0;
+
+    /** Propagation budget (literal visits) for probing per run. */
+    std::int64_t probe_budget = 2000000;
+
+    /** Propagation budget for vivification per run. */
+    std::int64_t vivify_budget = 2000000;
+
+    /** @return the switch set for a strength preset. */
+    static Options preset(Strength s);
+};
+
+/** Aggregate pass statistics for one run(). */
+struct Stats
+{
+    int rounds = 0;
+    int units = 0;         ///< root-level literals fixed
+    int tautologies = 0;   ///< clauses dropped at load
+    int subsumed = 0;      ///< clauses removed by subsumption
+    int strengthened = 0;  ///< literals removed by self-subsumption
+    int equivalences = 0;  ///< variables substituted via SCC
+    int failed_literals = 0;
+    int vivified = 0;      ///< literals removed by vivification
+    int eliminated = 0;    ///< variables removed by BVE
+    int clauses_in = 0;
+    int clauses_out = 0;
+    int vars_in = 0;
+    int vars_out = 0;      ///< variables still free afterwards
+
+    /** Sum of the rewrite counters (fixpoint detection). */
+    std::int64_t
+    work() const
+    {
+        return static_cast<std::int64_t>(units) + tautologies +
+               subsumed + strengthened + equivalences +
+               failed_literals + vivified + eliminated;
+    }
+};
+
+/** Result of one pipeline run. */
+struct Result
+{
+    /** Simplified formula over the original variable indexing. */
+    sat::Cnf cnf;
+
+    /** False iff a root-level contradiction was derived. */
+    bool satisfiable_possible = true;
+
+    /** Root-fixed literals (subset of what reconstruction replays). */
+    sat::LitVec fixed;
+
+    /** Witness stack mapping simplified models to original ones. */
+    ReconstructionStack reconstruction;
+
+    Stats stats;
+
+    /**
+     * Map a model of the simplified formula to a model of the
+     * original formula (resizes to the original variable count).
+     */
+    std::vector<bool> extendModel(std::vector<bool> model) const;
+};
+
+/** The staged simplifier. Stateless across run() calls. */
+class Pipeline
+{
+  public:
+    explicit Pipeline(Options opts = {},
+                      MetricsRegistry *metrics = nullptr)
+        : opts_(opts), metrics_(metrics)
+    {
+    }
+
+    const Options &options() const { return opts_; }
+
+    /** Simplify @p cnf; publishes simplify.* metrics if attached. */
+    Result run(const sat::Cnf &cnf) const;
+
+  private:
+    Options opts_;
+    MetricsRegistry *metrics_;
+};
+
+} // namespace hyqsat::simplify
+
+#endif // HYQSAT_SIMPLIFY_PIPELINE_H

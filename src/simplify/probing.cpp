@@ -1,0 +1,42 @@
+#include "simplify/passes.h"
+
+namespace hyqsat::simplify {
+
+bool
+runProbing(ClauseDb &db, const Options &opts, Stats &st)
+{
+    if (db.contradiction())
+        return false;
+
+    Propagator prop(db);
+    std::int64_t budget = opts.probe_budget;
+    for (sat::Var v = 0; v < db.numVars() && budget > 0; ++v) {
+        if (!db.varActive(v))
+            continue;
+        const sat::Lit p = sat::mkLit(v, false);
+        if (db.occCount(p) == 0 && db.occCount(~p) == 0)
+            continue;
+
+        prop.reset();
+        const sat::lbool rp = prop.assume(db, p, budget);
+        prop.reset();
+        const sat::lbool rn = prop.assume(db, ~p, budget);
+        prop.reset();
+
+        // A budget-exhausted probe (l_Undef) proves nothing.
+        if (rp.isFalse() && rn.isFalse()) {
+            db.setContradiction();
+            return false;
+        }
+        if (rp.isFalse()) {
+            db.unitQueue().push_back(~p);
+            ++st.failed_literals;
+        } else if (rn.isFalse()) {
+            db.unitQueue().push_back(p);
+            ++st.failed_literals;
+        }
+    }
+    return true;
+}
+
+} // namespace hyqsat::simplify

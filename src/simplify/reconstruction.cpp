@@ -1,0 +1,64 @@
+#include "simplify/reconstruction.h"
+
+#include "util/logging.h"
+
+namespace hyqsat::simplify {
+
+void
+ReconstructionStack::push(sat::Lit witness, const sat::LitVec &clause)
+{
+    const int begin = static_cast<int>(lits_.size());
+    lits_.push_back(witness);
+    bool found = false;
+    for (sat::Lit p : clause) {
+        if (p == witness) {
+            found = true;
+            continue;
+        }
+        lits_.push_back(p);
+    }
+    if (!found)
+        panic("reconstruction witness missing from its clause");
+    entries_.push_back({begin, static_cast<int>(lits_.size())});
+}
+
+void
+ReconstructionStack::pushElimination(
+    sat::Lit kept, const std::vector<sat::LitVec> &kept_side)
+{
+    for (const sat::LitVec &clause : kept_side)
+        push(kept, clause);
+    pushUnit(~kept);
+}
+
+void
+ReconstructionStack::pushEquivalence(sat::Lit p, sat::Lit q)
+{
+    push(p, sat::LitVec{p, ~q});
+    push(~p, sat::LitVec{~p, q});
+}
+
+void
+ReconstructionStack::extend(std::vector<bool> &model) const
+{
+    const auto holds = [&](sat::Lit p) {
+        const auto v = static_cast<std::size_t>(p.var());
+        if (v >= model.size())
+            return p.sign(); // absent variables read as false
+        return model[v] != p.sign();
+    };
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        bool satisfied = false;
+        for (int i = it->begin; i < it->end && !satisfied; ++i)
+            satisfied = holds(lits_[i]);
+        if (satisfied)
+            continue;
+        const sat::Lit witness = lits_[static_cast<std::size_t>(it->begin)];
+        const auto v = static_cast<std::size_t>(witness.var());
+        if (v >= model.size())
+            model.resize(v + 1, false);
+        model[v] = !witness.sign();
+    }
+}
+
+} // namespace hyqsat::simplify

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Model reconstruction for non-equivalence-preserving rewrites
+ * (MiniSat/SatELite style). Passes that remove a variable from the
+ * formula — bounded variable elimination, equivalent-literal
+ * substitution, root-level unit fixing — push witness-labelled
+ * clauses here; extend() replays them in reverse push order over a
+ * model of the simplified formula to produce a model of the
+ * original.
+ *
+ * Invariant each push must respect: at push time the entry's clause
+ * is implied by (or being removed from) the current formula, and the
+ * witness variable never reappears in the formula afterwards.
+ * Reverse replay then assigns every removed variable before any
+ * earlier entry that mentions it is evaluated.
+ */
+
+#ifndef HYQSAT_SIMPLIFY_RECONSTRUCTION_H
+#define HYQSAT_SIMPLIFY_RECONSTRUCTION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace hyqsat::simplify {
+
+/** The reconstruction stack (flat storage, witness-first clauses). */
+class ReconstructionStack
+{
+  public:
+    /**
+     * Push one entry: @p clause with @p witness as the literal to
+     * satisfy when replay finds the clause violated. @p witness must
+     * occur in @p clause.
+     */
+    void push(sat::Lit witness, const sat::LitVec &clause);
+
+    /** Push a unit entry {p} (root-fixed literal). */
+    void pushUnit(sat::Lit p) { push(p, sat::LitVec{p}); }
+
+    /**
+     * Variable-elimination helper, the MiniSat SimpSolver pattern:
+     * push every clause of @p kept_side (each contains @p kept, the
+     * eliminated variable's literal on the side with fewer clauses),
+     * then a unit of the opposite literal as the default. Reverse
+     * replay first applies the default, then flips the variable if
+     * any kept clause is left violated.
+     */
+    void pushElimination(sat::Lit kept,
+                         const std::vector<sat::LitVec> &kept_side);
+
+    /**
+     * Equivalent-literal helper for the substitution var(p) := q
+     * under p == q: pushes (p v ~q) witness p and (~p v q) witness
+     * ~p, so replay copies q's value onto p's variable whatever the
+     * replay order within the pair.
+     */
+    void pushEquivalence(sat::Lit p, sat::Lit q);
+
+    /**
+     * Replay the stack in reverse over @p model (original variable
+     * indexing; callers resize to the original variable count
+     * first). Every entry whose clause is violated gets its witness
+     * satisfied.
+     */
+    void extend(std::vector<bool> &model) const;
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+  private:
+    struct Entry
+    {
+        int begin; ///< into lits_, witness first
+        int end;
+    };
+
+    std::vector<Entry> entries_;
+    sat::LitVec lits_;
+};
+
+} // namespace hyqsat::simplify
+
+#endif // HYQSAT_SIMPLIFY_RECONSTRUCTION_H

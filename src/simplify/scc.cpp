@@ -1,0 +1,164 @@
+#include <algorithm>
+
+#include "simplify/passes.h"
+
+namespace hyqsat::simplify {
+
+bool
+runEquivalentLiterals(ClauseDb &db, ReconstructionStack &rs,
+                      Stats &st)
+{
+    if (db.contradiction())
+        return false;
+
+    const int num_lits = 2 * db.numVars();
+
+    // Binary implication graph: clause {a, b} gives ~a -> b and
+    // ~b -> a. The graph is skew-symmetric, so the SCC containing ~p
+    // is the literal-wise negation of the SCC containing p — which
+    // makes min-literal representatives automatically consistent
+    // across polarities.
+    std::vector<std::vector<int>> adj(
+        static_cast<std::size_t>(num_lits));
+    bool any_binary = false;
+    for (int ci = 0; ci < db.numClauses(); ++ci) {
+        if (!db.live(ci))
+            continue;
+        const auto &lits = db.clause(ci).lits;
+        if (lits.size() != 2)
+            continue;
+        adj[static_cast<std::size_t>((~lits[0]).x)].push_back(
+            lits[1].x);
+        adj[static_cast<std::size_t>((~lits[1]).x)].push_back(
+            lits[0].x);
+        any_binary = true;
+    }
+    if (!any_binary)
+        return true;
+
+    // Iterative Tarjan over the literal nodes.
+    constexpr int kUndef = -1;
+    std::vector<int> index(static_cast<std::size_t>(num_lits),
+                           kUndef);
+    std::vector<int> low(static_cast<std::size_t>(num_lits), 0);
+    std::vector<int> rep(static_cast<std::size_t>(num_lits));
+    for (int l = 0; l < num_lits; ++l)
+        rep[static_cast<std::size_t>(l)] = l;
+    std::vector<char> onstack(static_cast<std::size_t>(num_lits), 0);
+    std::vector<int> stack;
+    std::vector<int> scc;
+    int next_index = 0;
+
+    struct Frame
+    {
+        int node;
+        std::size_t child;
+    };
+    std::vector<Frame> frames;
+
+    for (int root = 0; root < num_lits; ++root) {
+        if (index[static_cast<std::size_t>(root)] != kUndef)
+            continue;
+        frames.push_back({root, 0});
+        index[static_cast<std::size_t>(root)] =
+            low[static_cast<std::size_t>(root)] = next_index++;
+        stack.push_back(root);
+        onstack[static_cast<std::size_t>(root)] = 1;
+
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const auto &edges = adj[static_cast<std::size_t>(f.node)];
+            if (f.child < edges.size()) {
+                const int w = edges[f.child++];
+                if (index[static_cast<std::size_t>(w)] == kUndef) {
+                    index[static_cast<std::size_t>(w)] =
+                        low[static_cast<std::size_t>(w)] =
+                            next_index++;
+                    stack.push_back(w);
+                    onstack[static_cast<std::size_t>(w)] = 1;
+                    frames.push_back({w, 0});
+                } else if (onstack[static_cast<std::size_t>(w)]) {
+                    low[static_cast<std::size_t>(f.node)] = std::min(
+                        low[static_cast<std::size_t>(f.node)],
+                        index[static_cast<std::size_t>(w)]);
+                }
+                continue;
+            }
+            const int v = f.node;
+            frames.pop_back();
+            if (!frames.empty()) {
+                const int parent = frames.back().node;
+                low[static_cast<std::size_t>(parent)] = std::min(
+                    low[static_cast<std::size_t>(parent)],
+                    low[static_cast<std::size_t>(v)]);
+            }
+            if (low[static_cast<std::size_t>(v)] !=
+                index[static_cast<std::size_t>(v)]) {
+                continue;
+            }
+            // v is an SCC root: pop its members.
+            scc.clear();
+            int w;
+            do {
+                w = stack.back();
+                stack.pop_back();
+                onstack[static_cast<std::size_t>(w)] = 0;
+                scc.push_back(w);
+            } while (w != v);
+            if (scc.size() < 2)
+                continue;
+            std::sort(scc.begin(), scc.end());
+            for (std::size_t i = 0; i + 1 < scc.size(); ++i) {
+                if ((scc[i] >> 1) == (scc[i + 1] >> 1)) {
+                    // p and ~p equivalent: the formula is UNSAT.
+                    db.setContradiction();
+                    return false;
+                }
+            }
+            for (int m : scc)
+                rep[static_cast<std::size_t>(m)] = scc[0];
+        }
+    }
+
+    // Substitute every non-representative variable away.
+    bool any_sub = false;
+    for (sat::Var v = 0; v < db.numVars(); ++v) {
+        const int px = 2 * v;
+        if (rep[static_cast<std::size_t>(px)] == px)
+            continue;
+        if (!db.varActive(v))
+            continue;
+        sat::Lit p = sat::mkLit(v, false);
+        sat::Lit q;
+        q.x = rep[static_cast<std::size_t>(px)];
+        rs.pushEquivalence(p, q);
+        db.markRemoved(v);
+        ++st.equivalences;
+        any_sub = true;
+    }
+    if (!any_sub)
+        return true;
+
+    const int n = db.numClauses(); // rewrites append fresh clauses
+    for (int ci = 0; ci < n && !db.contradiction(); ++ci) {
+        if (!db.live(ci))
+            continue;
+        bool mapped = false;
+        for (sat::Lit l : db.clause(ci).lits) {
+            if (rep[static_cast<std::size_t>(l.x)] != l.x) {
+                mapped = true;
+                break;
+            }
+        }
+        if (!mapped)
+            continue;
+        sat::LitVec out = db.clause(ci).lits; // copy before realloc
+        for (sat::Lit &l : out)
+            l.x = rep[static_cast<std::size_t>(l.x)];
+        db.killClause(ci);
+        db.addClause(std::move(out));
+    }
+    return !db.contradiction();
+}
+
+} // namespace hyqsat::simplify

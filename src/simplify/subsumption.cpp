@@ -1,0 +1,103 @@
+#include <algorithm>
+
+#include "simplify/passes.h"
+
+namespace hyqsat::simplify {
+
+namespace {
+
+/** Is @p small a subset of @p big (both sorted)? */
+bool
+subset(const sat::LitVec &small, const sat::LitVec &big)
+{
+    std::size_t j = 0;
+    for (sat::Lit p : small) {
+        while (j < big.size() && big[j] < p)
+            ++j;
+        if (j == big.size() || !(big[j] == p))
+            return false;
+        ++j;
+    }
+    return true;
+}
+
+/**
+ * Self-subsumption test: does @p c with literal @p l flipped subsume
+ * @p d? I.e. ~l in d and every other literal of c in d.
+ */
+bool
+subsetFlipped(const sat::LitVec &c, const sat::LitVec &d, sat::Lit l)
+{
+    if (!std::binary_search(d.begin(), d.end(), ~l))
+        return false;
+    for (sat::Lit p : c) {
+        if (p == l)
+            continue;
+        if (!std::binary_search(d.begin(), d.end(), p))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+runSubsumption(ClauseDb &db, const Options &opts, Stats &st)
+{
+    if (db.contradiction())
+        return false;
+
+    const int n = db.numClauses(); // no clauses are added below
+    for (int ci = 0; ci < n && !db.contradiction(); ++ci) {
+        if (!db.live(ci))
+            continue;
+        const ClauseDb::Clause &c = db.clause(ci);
+
+        // Candidates come from the occurrence lists (both
+        // polarities) of the clause's rarest variable; any clause c
+        // subsumes or strengthens must contain that variable.
+        sat::Var rare = c.lits[0].var();
+        int best = -1;
+        for (sat::Lit p : c.lits) {
+            const int occ = db.occCount(p) + db.occCount(~p);
+            if (best < 0 || occ < best) {
+                best = occ;
+                rare = p.var();
+            }
+        }
+        for (int pol = 0; pol < 2 && !db.contradiction(); ++pol) {
+            const sat::Lit rl = sat::mkLit(rare, pol != 0);
+            for (int di : db.occurs(rl)) {
+                if (di == ci || !db.live(di))
+                    continue;
+                const ClauseDb::Clause &d = db.clause(di);
+                if (d.lits.size() < c.lits.size())
+                    continue;
+                if ((c.sig & ~d.sig) != 0)
+                    continue; // signature filter
+
+                if (opts.subsumption && subset(c.lits, d.lits)) {
+                    db.killClause(di);
+                    ++st.subsumed;
+                    continue;
+                }
+                if (!opts.self_subsumption)
+                    continue;
+                // c with one literal flipped subsumes d: resolve,
+                // i.e. drop the flipped literal from d.
+                for (sat::Lit p : c.lits) {
+                    if (!subsetFlipped(c.lits, d.lits, p))
+                        continue;
+                    db.removeLiteral(di, ~p);
+                    ++st.strengthened;
+                    break;
+                }
+                if (db.contradiction())
+                    break;
+            }
+        }
+    }
+    return !db.contradiction();
+}
+
+} // namespace hyqsat::simplify

@@ -1,0 +1,61 @@
+#include "simplify/passes.h"
+
+namespace hyqsat::simplify {
+
+bool
+runVivification(ClauseDb &db, const Options &opts, Stats &st)
+{
+    if (db.contradiction())
+        return false;
+
+    Propagator prop(db);
+    std::int64_t budget = opts.vivify_budget;
+    const int n = db.numClauses();
+    for (int ci = 0; ci < n && budget > 0; ++ci) {
+        if (!db.live(ci))
+            continue;
+        if (db.clause(ci).lits.size() < 3)
+            continue;
+        const sat::LitVec lits = db.clause(ci).lits; // snapshot
+        prop.reset();
+        for (std::size_t i = 0; i < lits.size(); ++i) {
+            const sat::Lit l = lits[i];
+            const sat::lbool v = prop.valueOf(l);
+            if (v.isTrue()) {
+                // The negated prefix implies l: the prefix plus l
+                // subsumes the clause, so the tail is redundant.
+                for (std::size_t j = i + 1; j < lits.size(); ++j) {
+                    db.removeLiteral(ci, lits[j]);
+                    ++st.vivified;
+                }
+                break;
+            }
+            if (v.isFalse()) {
+                // The negated prefix falsifies l: l itself is
+                // redundant (the clause minus l is still implied).
+                db.removeLiteral(ci, l);
+                ++st.vivified;
+                continue;
+            }
+            if (i + 1 == lits.size())
+                break; // conflict on the last literal removes nothing
+            const sat::lbool r = prop.assume(db, ~l, budget, ci);
+            if (r.isFalse()) {
+                // Conflict: the negated prefix (including ~l) is
+                // contradictory, so the prefix clause is implied.
+                for (std::size_t j = i + 1; j < lits.size(); ++j) {
+                    db.removeLiteral(ci, lits[j]);
+                    ++st.vivified;
+                }
+                break;
+            }
+            if (r.isUndef())
+                break; // budget exhausted: no conclusion
+        }
+        if (db.contradiction())
+            return false;
+    }
+    return true;
+}
+
+} // namespace hyqsat::simplify

@@ -39,6 +39,29 @@ TEST(ServiceProtocol, SubmitArityErrors)
     EXPECT_FALSE(parseRequest("SUBMIT acme 3").error.empty());
 }
 
+TEST(ServiceProtocol, SubmitSimplifyOption)
+{
+    // The only accepted fifth token is a valid simplify=<level>.
+    const Request req =
+        parseRequest("SUBMIT acme 3 job-1 simplify=full");
+    EXPECT_EQ(req.verb, Verb::Submit);
+    EXPECT_EQ(req.name, "job-1");
+    EXPECT_EQ(req.simplify, "full");
+    EXPECT_EQ(parseRequest("SUBMIT acme 3 j simplify=off").simplify,
+              "off");
+    EXPECT_EQ(parseRequest("SUBMIT acme 3 j simplify=light").simplify,
+              "light");
+    // A plain SUBMIT leaves the override empty (daemon default).
+    EXPECT_TRUE(parseRequest("SUBMIT acme 3 job-1").simplify.empty());
+    // Misspelled levels and foreign key=value tokens stay Invalid.
+    EXPECT_EQ(parseRequest("SUBMIT acme 3 j simplify=max").verb,
+              Verb::Invalid);
+    EXPECT_EQ(parseRequest("SUBMIT acme 3 j simplify=").verb,
+              Verb::Invalid);
+    EXPECT_EQ(parseRequest("SUBMIT acme 3 j depth=2").verb,
+              Verb::Invalid);
+}
+
 TEST(ServiceProtocol, ParsesWaitAndStatus)
 {
     const Request wait = parseRequest("WAIT 42");

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/hybrid_solver.h"
+#include "portfolio/portfolio.h"
+#include "tests/sat/helpers.h"
+#include "util/metrics.h"
+
+namespace hyqsat::simplify {
+namespace {
+
+using sat::Cnf;
+
+core::HybridConfig
+noiseFreeConfig(std::uint64_t seed)
+{
+    core::HybridConfig cfg;
+    cfg.annealer.noise = anneal::NoiseModel::noiseFree();
+    cfg.annealer.greedy_finish = true;
+    cfg.annealer.attempts = 2;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/**
+ * The acceptance A/B: on golden seeds, the hybrid solver with full
+ * inprocessing reaches the same verdict as with it off, and every
+ * SAT model — already reconstructed by HybridSolver — satisfies the
+ * ORIGINAL formula clause by clause.
+ */
+TEST(HybridSimplifyAB, FullMatchesOffOnGoldenSeeds)
+{
+    const std::uint64_t golden[] = {0x1001, 0x2002, 0x3003,
+                                    0x4004, 0x5005};
+    int solved = 0;
+    for (const std::uint64_t seed : golden) {
+        Rng gen(seed);
+        const Cnf cnf = sat::testing::randomCnf(30, 120, 3, gen);
+
+        core::HybridConfig off = noiseFreeConfig(seed);
+        off.simplify_strength = Strength::Off;
+        core::HybridConfig full = noiseFreeConfig(seed);
+        full.simplify_strength = Strength::Full;
+
+        const auto r_off = core::HybridSolver(off).solve(cnf);
+        const auto r_full = core::HybridSolver(full).solve(cnf);
+        ASSERT_FALSE(r_off.status.isUndef()) << "seed " << seed;
+        ASSERT_FALSE(r_full.status.isUndef()) << "seed " << seed;
+        EXPECT_EQ(r_full.status.isTrue(), r_off.status.isTrue())
+            << "seed " << seed;
+
+        if (r_full.status.isTrue()) {
+            ++solved;
+            ASSERT_GE(static_cast<int>(r_full.model.size()),
+                      cnf.numVars())
+                << "seed " << seed;
+            for (int ci = 0; ci < cnf.numClauses(); ++ci) {
+                bool satisfied = false;
+                for (const sat::Lit p : cnf.clause(ci))
+                    satisfied |=
+                        (r_full.model[static_cast<std::size_t>(
+                             p.var())] != p.sign());
+                EXPECT_TRUE(satisfied)
+                    << "seed " << seed << " clause " << ci;
+            }
+        }
+    }
+    // The band is below the phase transition: most seeds are SAT,
+    // so the clause-by-clause check above actually ran.
+    EXPECT_GE(solved, 1);
+}
+
+TEST(HybridSimplifyAB, SimplifyMetricsReachTheRegistry)
+{
+    Rng gen(0xab);
+    const Cnf cnf = sat::testing::randomCnf(24, 100, 3, gen);
+    MetricsRegistry registry;
+    core::HybridConfig cfg = noiseFreeConfig(7);
+    cfg.simplify_strength = Strength::Full;
+    cfg.metrics = &registry;
+    core::HybridSolver(cfg).solve(cnf);
+    EXPECT_EQ(registry.counter("simplify.runs")->value(), 1u);
+    EXPECT_GT(registry.timer("simplify.time")->count(), 0u);
+}
+
+TEST(HybridSimplifyAB, OffKeepsRunsBitIdentical)
+{
+    // simplify_strength = Off must not perturb an existing config's
+    // behaviour: same verdict, same iteration count, same model.
+    Rng gen(0xcd);
+    const Cnf cnf = sat::testing::randomCnf(26, 108, 3, gen);
+    core::HybridConfig base = noiseFreeConfig(11);
+    core::HybridConfig off = base;
+    off.simplify_strength = Strength::Off; // the default, explicit
+    const auto a = core::HybridSolver(base).solve(cnf);
+    const auto b = core::HybridSolver(off).solve(cnf);
+    EXPECT_TRUE(a.status == b.status);
+    EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+    EXPECT_EQ(a.model, b.model);
+}
+
+TEST(HybridSimplifyAB, PortfolioDiversifyKeepsBaseSlotUnchanged)
+{
+    const core::HybridConfig base = noiseFreeConfig(3);
+    const auto slate =
+        portfolio::PortfolioSolver::diversify(base, 10);
+    ASSERT_EQ(slate.size(), 10u);
+    EXPECT_EQ(slate[0].hybrid.simplify_strength,
+              base.simplify_strength);
+    // The slate contains at least one inprocessing worker.
+    bool has_presolve = false;
+    for (const auto &w : slate)
+        has_presolve |=
+            (w.hybrid.simplify_strength == Strength::Full);
+    EXPECT_TRUE(has_presolve);
+}
+
+} // namespace
+} // namespace hyqsat::simplify

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "sat/brute_force.h"
+#include "sat/solver.h"
+#include "simplify/clause_db.h"
+#include "simplify/passes.h"
+#include "simplify/pipeline.h"
+#include "tests/sat/helpers.h"
+#include "util/rng.h"
+
+namespace hyqsat::simplify {
+namespace {
+
+using sat::Cnf;
+
+/**
+ * Solve the (already simplified) formula exactly and check the
+ * reconstructed model against the original, clause by clause.
+ */
+void
+checkAgainstOriginal(const Cnf &original, const Result &r,
+                     const char *what, int round)
+{
+    const bool expected = sat::bruteForceSolve(original).satisfiable;
+    if (!r.satisfiable_possible) {
+        EXPECT_FALSE(expected) << what << " round " << round;
+        return;
+    }
+    sat::Solver s;
+    if (!s.loadCnf(r.cnf)) {
+        EXPECT_FALSE(expected) << what << " round " << round;
+        return;
+    }
+    const sat::lbool status = s.solve();
+    ASSERT_FALSE(status.isUndef()) << what << " round " << round;
+    EXPECT_EQ(status.isTrue(), expected) << what << " round " << round;
+    if (!status.isTrue())
+        return;
+    const auto model = r.extendModel(s.boolModel());
+    ASSERT_GE(static_cast<int>(model.size()), original.numVars())
+        << what << " round " << round;
+    for (int ci = 0; ci < original.numClauses(); ++ci) {
+        bool satisfied = false;
+        for (const sat::Lit p : original.clause(ci))
+            satisfied |= (model[static_cast<std::size_t>(p.var())] !=
+                          p.sign());
+        EXPECT_TRUE(satisfied) << what << " round " << round
+                               << " clause " << ci;
+    }
+}
+
+/** Random pass configuration: every switch tossed independently. */
+Options
+randomOptions(Rng &rng)
+{
+    Options o;
+    o.unit_propagation = rng.chance(0.8);
+    o.subsumption = rng.chance(0.5);
+    o.self_subsumption = rng.chance(0.5);
+    o.equivalent_literals = rng.chance(0.5);
+    o.probing = rng.chance(0.5);
+    o.vivification = rng.chance(0.5);
+    o.elimination = rng.chance(0.5);
+    o.max_rounds = 1 + static_cast<int>(rng.below(8));
+    o.bve_occurrence_limit = 4 + static_cast<int>(rng.below(12));
+    o.max_resolvent_len = 3 + static_cast<int>(rng.below(3));
+    return o;
+}
+
+TEST(PipelineFuzz, RandomizedOptionSetsPreserveModels)
+{
+    Rng rng(0x5117a);
+    for (int round = 0; round < 60; ++round) {
+        const int vars = 6 + static_cast<int>(rng.below(8));
+        const int clauses =
+            vars * (3 + static_cast<int>(rng.below(3)));
+        const Cnf cnf =
+            sat::testing::randomCnf(vars, clauses, 3, rng);
+        const Result r = Pipeline(randomOptions(rng)).run(cnf);
+        checkAgainstOriginal(cnf, r, "options", round);
+    }
+}
+
+TEST(PipelineFuzz, PresetsPreserveModelsNearPhaseTransition)
+{
+    Rng rng(0xbeef);
+    for (int round = 0; round < 30; ++round) {
+        // m/n ~ 4.3: the hard band where every pass sees real work.
+        const Cnf cnf = sat::testing::randomCnf(12, 52, 3, rng);
+        for (const Strength s : {Strength::Light, Strength::Full}) {
+            const Result r =
+                Pipeline(Options::preset(s)).run(cnf);
+            checkAgainstOriginal(cnf, r, strengthName(s), round);
+        }
+    }
+}
+
+TEST(PipelineFuzz, RandomizedPassOrderPreservesModels)
+{
+    // Drive the passes directly through passes.h in a random order,
+    // with unit propagation interleaved (the invariant every pass
+    // assumes: no live clause mentions a root-fixed variable).
+    Rng rng(0xcafe);
+    Options o = Options::preset(Strength::Full);
+    for (int round = 0; round < 40; ++round) {
+        const Cnf cnf = sat::testing::randomCnf(10, 43, 3, rng);
+
+        ClauseDb db(cnf);
+        ReconstructionStack rs;
+        Stats st;
+        bool ok = !db.contradiction();
+        ok = ok && propagateUnits(db, rs, st);
+        const int steps = 4 + static_cast<int>(rng.below(8));
+        for (int step = 0; ok && step < steps; ++step) {
+            switch (rng.below(5)) {
+            case 0: ok = runSubsumption(db, o, st); break;
+            case 1: ok = runEquivalentLiterals(db, rs, st); break;
+            case 2: ok = runProbing(db, o, st); break;
+            case 3: ok = runVivification(db, o, st); break;
+            case 4: ok = runElimination(db, rs, o, st); break;
+            }
+            ok = ok && propagateUnits(db, rs, st);
+        }
+
+        Result r;
+        r.satisfiable_possible = ok;
+        r.stats = st;
+        r.reconstruction = rs;
+        if (ok) {
+            r.cnf = db.emit();
+            for (sat::Var v = 0; v < db.numVars(); ++v)
+                if (!db.value(v).isUndef())
+                    r.fixed.push_back(
+                        sat::mkLit(v, db.value(v).isFalse()));
+        } else {
+            r.cnf = Cnf(cnf.numVars());
+        }
+        checkAgainstOriginal(cnf, r, "order", round);
+    }
+}
+
+TEST(PipelineFuzz, FullPipelineIsIdempotent)
+{
+    Rng rng(0xfeed);
+    for (int round = 0; round < 20; ++round) {
+        const Cnf cnf = sat::testing::randomCnf(14, 58, 3, rng);
+        const Pipeline pipe(Options::preset(Strength::Full));
+        const Result once = pipe.run(cnf);
+        if (!once.satisfiable_possible)
+            continue;
+        const Result twice = pipe.run(once.cnf);
+        EXPECT_TRUE(twice.satisfiable_possible) << "round " << round;
+        EXPECT_EQ(twice.stats.work(), 0) << "round " << round;
+        EXPECT_EQ(twice.cnf.numClauses(), once.cnf.numClauses())
+            << "round " << round;
+    }
+}
+
+TEST(PipelineFuzz, RepeatedRunsAreDeterministic)
+{
+    Rng rng(0xd0d0);
+    const Cnf cnf = sat::testing::randomCnf(16, 68, 3, rng);
+    const Pipeline pipe(Options::preset(Strength::Full));
+    const Result a = pipe.run(cnf);
+    const Result b = pipe.run(cnf);
+    ASSERT_EQ(a.satisfiable_possible, b.satisfiable_possible);
+    ASSERT_EQ(a.cnf.numClauses(), b.cnf.numClauses());
+    for (int ci = 0; ci < a.cnf.numClauses(); ++ci) {
+        const auto &ca = a.cnf.clause(ci);
+        const auto &cb = b.cnf.clause(ci);
+        ASSERT_EQ(ca.size(), cb.size()) << "clause " << ci;
+        for (std::size_t k = 0; k < ca.size(); ++k)
+            EXPECT_EQ(ca[k].x, cb[k].x) << "clause " << ci;
+    }
+}
+
+} // namespace
+} // namespace hyqsat::simplify

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "simplify/reconstruction.h"
+
+namespace hyqsat::simplify {
+namespace {
+
+using sat::Lit;
+using sat::LitVec;
+using sat::mkLit;
+
+TEST(Reconstruction, EmptyStackLeavesModelAlone)
+{
+    ReconstructionStack rs;
+    std::vector<bool> model{true, false, true};
+    rs.extend(model);
+    EXPECT_EQ(model, (std::vector<bool>{true, false, true}));
+}
+
+TEST(Reconstruction, UnitForcesWitness)
+{
+    ReconstructionStack rs;
+    rs.pushUnit(mkLit(1, true)); // ~x1 fixed
+    std::vector<bool> model{false, true, false};
+    rs.extend(model);
+    EXPECT_FALSE(model[1]);
+    EXPECT_FALSE(model[0]);
+    EXPECT_FALSE(model[2]);
+}
+
+TEST(Reconstruction, EquivalenceCopiesRepresentativeValue)
+{
+    // x0 := x1 substitution; whatever x1 ends up as, x0 follows.
+    ReconstructionStack rs;
+    rs.pushEquivalence(mkLit(0), mkLit(1));
+    for (const bool rep_value : {false, true}) {
+        std::vector<bool> model{!rep_value, rep_value};
+        rs.extend(model);
+        EXPECT_EQ(model[0], rep_value) << "rep=" << rep_value;
+    }
+}
+
+TEST(Reconstruction, EquivalenceWithNegatedRepresentative)
+{
+    // x0 := ~x1 (p == q with q a negative literal).
+    ReconstructionStack rs;
+    rs.pushEquivalence(mkLit(0), mkLit(1, true));
+    for (const bool rep_value : {false, true}) {
+        std::vector<bool> model{rep_value, rep_value};
+        rs.extend(model);
+        EXPECT_EQ(model[0], !rep_value) << "rep=" << rep_value;
+    }
+}
+
+TEST(Reconstruction, EliminationDefaultsToOppositeLiteral)
+{
+    // Eliminate x0, kept side {x0 v x1}: when the kept clause is
+    // already satisfied by x1, the default ~x0 applies.
+    ReconstructionStack rs;
+    rs.pushElimination(mkLit(0), {LitVec{mkLit(0), mkLit(1)}});
+    std::vector<bool> model{true, true};
+    rs.extend(model);
+    EXPECT_FALSE(model[0]);
+    EXPECT_TRUE(model[1]);
+}
+
+TEST(Reconstruction, EliminationFlipsWhenKeptClauseViolated)
+{
+    // Same elimination, but x1 false: the kept clause forces x0.
+    ReconstructionStack rs;
+    rs.pushElimination(mkLit(0), {LitVec{mkLit(0), mkLit(1)}});
+    std::vector<bool> model{false, false};
+    rs.extend(model);
+    EXPECT_TRUE(model[0]);
+    EXPECT_FALSE(model[1]);
+}
+
+TEST(Reconstruction, ReverseReplayHandlesChainedRemovals)
+{
+    // First x0 is eliminated with kept side {x0 v ~x1}, then x1 is
+    // substituted by x2 (x1 == x2). Reverse replay must assign x1
+    // (the later entry) before evaluating the x0 clauses.
+    ReconstructionStack rs;
+    rs.pushElimination(mkLit(0), {LitVec{mkLit(0), mkLit(1, true)}});
+    rs.pushEquivalence(mkLit(1), mkLit(2));
+    for (const bool x2 : {false, true}) {
+        std::vector<bool> model{false, !x2, x2};
+        rs.extend(model);
+        EXPECT_EQ(model[1], x2) << "x2=" << x2;
+        // x0 v ~x1 must hold after replay.
+        EXPECT_TRUE(model[0] || !model[1]) << "x2=" << x2;
+    }
+}
+
+TEST(Reconstruction, SizeTracksPushes)
+{
+    ReconstructionStack rs;
+    EXPECT_TRUE(rs.empty());
+    rs.pushUnit(mkLit(0));
+    rs.pushEquivalence(mkLit(1), mkLit(2));
+    rs.pushElimination(mkLit(3), {LitVec{mkLit(3), mkLit(4)},
+                                  LitVec{mkLit(3), mkLit(5)}});
+    // 1 unit + 2 equivalence halves + 2 kept clauses + 1 default.
+    EXPECT_EQ(rs.size(), 6u);
+}
+
+} // namespace
+} // namespace hyqsat::simplify
