@@ -8,11 +8,20 @@
  *   ./build/examples/service_client --connect unix:/tmp/hyqsat.sock
  *       [files...] [--tenant NAME] [--priority N]
  *       [--simplify off|light|full] [--metrics]
+ *       [--session] [--assume "LITS"]...
  *       [--shutdown [finish|cancel]] [--strict] [--quiet]
  *
  * --simplify attaches the optional simplify=<level> token to every
  * SUBMIT, overriding the daemon's default inprocessing strength for
  * these jobs.
+ *
+ * --session switches to the incremental verbs: one session is
+ * OPENed, every file is ADDed into it, then each --assume "1 -2 3"
+ * (DIMACS ints; repeatable, in order) stages assumptions and SOLVEs
+ * under them — UNSAT answers are followed by a CORE fetch naming the
+ * failed assumptions. Without --assume there is a single free SOLVE.
+ * The session keeps learnt clauses and embedding caches warm between
+ * calls, so a series of related SOLVEs beats a series of SUBMITs.
  *
  * --connect takes unix:PATH or tcp:PORT (loopback). --metrics
  * fetches and prints the daemon's /metrics-style text snapshot
@@ -152,8 +161,10 @@ main(int argc, char **argv)
     std::string connect_spec, tenant = "default";
     std::string simplify_level;
     std::vector<std::string> paths;
+    std::vector<std::string> assume_sets;
     int priority = 0;
     bool want_metrics = false, want_shutdown = false;
+    bool use_session = false;
     bool strict = false, quiet = false;
     service::DrainPolicy shutdown_policy =
         service::DrainPolicy::FinishQueued;
@@ -181,6 +192,10 @@ main(int argc, char **argv)
             }
         } else if (!std::strcmp(argv[i], "--metrics")) {
             want_metrics = true;
+        } else if (!std::strcmp(argv[i], "--session")) {
+            use_session = true;
+        } else if (arg("--assume")) {
+            assume_sets.push_back(argv[++i]);
         } else if (!std::strcmp(argv[i], "--shutdown")) {
             want_shutdown = true;
             if (i + 1 < argc && (!std::strcmp(argv[i + 1], "finish") ||
@@ -208,6 +223,7 @@ main(int argc, char **argv)
             "usage: %s --connect unix:PATH|tcp:PORT [files...] "
             "[--tenant NAME] [--priority N] "
             "[--simplify off|light|full] [--metrics] "
+            "[--session] [--assume \"LITS\"]... "
             "[--shutdown [finish|cancel]] [--strict] [--quiet]\n",
             argv[0]);
         return 2;
@@ -218,11 +234,107 @@ main(int argc, char **argv)
         return 2;
     LineReader reader(fd);
     std::string line;
+    bool all_decided = true;
+
+    if (use_session) {
+        // Incremental mode: one OPEN, every file ADDed into the same
+        // warm session, one SOLVE per assumption set, CORE on UNSAT.
+        std::string open_req = "OPEN " + tenant;
+        if (!simplify_level.empty())
+            open_req += " simplify=" + simplify_level;
+        if (!sendAll(fd, open_req + "\n") || !reader.readLine(line) ||
+            line.rfind("OK ", 0) != 0) {
+            std::fprintf(stderr, "open failed: %s\n", line.c_str());
+            ::close(fd);
+            return 2;
+        }
+        const std::string sid = line.substr(3);
+
+        for (const std::string &path : paths) {
+            std::ifstream in(path, std::ios::binary);
+            if (!in) {
+                std::fprintf(stderr, "cannot open %s\n", path.c_str());
+                ::close(fd);
+                return 2;
+            }
+            std::ostringstream body;
+            body << in.rdbuf();
+            std::string request = "ADD " + sid + "\n" + body.str();
+            if (request.empty() || request.back() != '\n')
+                request += '\n';
+            request += std::string(service::kEndMarker) + "\n";
+            if (!sendAll(fd, request) || !reader.readLine(line) ||
+                line.rfind("OK ", 0) != 0) {
+                std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                             line.c_str());
+                ::close(fd);
+                return 2;
+            }
+        }
+
+        // No --assume still means one (free) solve.
+        if (assume_sets.empty())
+            assume_sets.emplace_back();
+        if (!quiet)
+            std::printf("%-24s %-10s %9s %10s  %s\n", "solve",
+                        "status", "wall_s", "conflicts",
+                        "assumptions / core");
+        for (std::size_t i = 0; i < assume_sets.size(); ++i) {
+            const std::string &assume = assume_sets[i];
+            if (!sendAll(fd, "ASSUME " + sid +
+                                 (assume.empty() ? "" : " " + assume) +
+                                 "\n") ||
+                !reader.readLine(line) || line.rfind("OK ", 0) != 0) {
+                std::fprintf(stderr, "assume failed: %s\n",
+                             line.c_str());
+                all_decided = false;
+                continue;
+            }
+            if (!sendAll(fd, "SOLVE " + sid + "\n") ||
+                !reader.readLine(line)) {
+                std::fprintf(stderr, "connection lost during solve\n");
+                ::close(fd);
+                return 2;
+            }
+            const auto result = service::parseResult(line);
+            if (!result) {
+                std::fprintf(stderr, "bad RESULT line: %s\n",
+                             line.c_str());
+                all_decided = false;
+                continue;
+            }
+            const service::InstanceRecord &rec = result->second;
+            std::string detail =
+                assume.empty() ? "(none)" : assume;
+            if (rec.status == "UNSAT" &&
+                sendAll(fd, "CORE " + sid + "\n") &&
+                reader.readLine(line)) {
+                if (const auto core = service::parseCore(line)) {
+                    detail += "  core:";
+                    if (core->second.empty())
+                        detail += " (formula UNSAT)";
+                    for (const int lit : core->second)
+                        detail += " " + std::to_string(lit);
+                }
+            }
+            if (!quiet)
+                std::printf("%-24s %-10s %9.3f %10llu  %s\n",
+                            ("#" + std::to_string(i + 1)).c_str(),
+                            rec.status.c_str(), rec.wall_s,
+                            static_cast<unsigned long long>(
+                                rec.conflicts),
+                            detail.c_str());
+            if (rec.status != "SAT" && rec.status != "UNSAT")
+                all_decided = false;
+        }
+        if (sendAll(fd, "CLOSE " + sid + "\n"))
+            reader.readLine(line);
+        paths.clear(); // the batch path below has nothing to do
+    }
 
     // Submit everything up front (the daemon schedules), then wait
     // in input order so the table matches batch_solver's.
     std::vector<service::JobId> ids(paths.size(), 0);
-    bool all_decided = true;
     for (std::size_t i = 0; i < paths.size(); ++i) {
         std::ifstream in(paths[i], std::ios::binary);
         if (!in) {

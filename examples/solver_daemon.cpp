@@ -23,6 +23,12 @@
  * jobs, --workers the solver threads raced per job; --queue-depth /
  * --tenant-depth arm admission control (0 = unbounded).
  *
+ * The incremental-session verbs (OPEN / ADD / ASSUME / SOLVE / CORE
+ * / CLOSE) are served by a SessionManager sharing the same solver
+ * configuration: a session keeps its learnt clauses, heuristics and
+ * embedding caches warm across SOLVE calls. --sessions /
+ * --tenant-sessions cap how many may be open at once (0 = unbounded).
+ *
  * Shutdown — via SIGINT/SIGTERM or a client's SHUTDOWN command —
  * drains gracefully: the scheduler stops accepting (submits answer
  * `REJECTED draining`), queued work is finished or cancelled per
@@ -42,6 +48,7 @@
 
 #include "service/scheduler.h"
 #include "service/server.h"
+#include "service/session_manager.h"
 #include "service/signals.h"
 #include "simplify/pipeline.h"
 #include "util/metrics.h"
@@ -57,6 +64,7 @@ main(int argc, char **argv)
     sopts.portfolio.base.annealer.greedy_finish = true;
     sopts.portfolio.base.annealer.attempts = 2;
     service::ServerOptions server_opts;
+    service::SessionManagerOptions session_opts;
     service::DrainPolicy signal_policy =
         service::DrainPolicy::FinishQueued;
     std::string metrics_path, trace_path;
@@ -86,6 +94,12 @@ main(int argc, char **argv)
             sopts.portfolio.conflict_budget = std::atoll(argv[++i]);
         } else if (arg("--memory-mb")) {
             sopts.memory_budget_mb =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg("--sessions")) {
+            session_opts.max_sessions =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg("--tenant-sessions")) {
+            session_opts.max_per_tenant =
                 static_cast<std::size_t>(std::atoll(argv[++i]));
         } else if (arg("--sampler")) {
             sopts.portfolio.base.sampler = argv[++i];
@@ -133,6 +147,7 @@ main(int argc, char **argv)
             "usage: %s --socket PATH | --port N [--jobs N] "
             "[--workers N] [--queue-depth N] [--tenant-depth N] "
             "[--timeout-s X] [--conflicts N] [--memory-mb M] "
+            "[--sessions N] [--tenant-sessions N] "
             "[--sampler NAME] [--depth N] "
             "[--simplify off|light|full] [--noisy] "
             "[--drain finish|cancel] [--metrics FILE] "
@@ -166,7 +181,14 @@ main(int argc, char **argv)
     sopts.external_stop_policy = signal_policy;
 
     service::JobScheduler scheduler(sopts);
+    // Sessions reuse the portfolio's base solver configuration (so
+    // --sampler/--depth/--simplify/--noisy shape them too) and the
+    // daemon registry for the service-level session.* counters.
+    session_opts.hybrid = sopts.portfolio.base;
+    session_opts.metrics = &registry;
+    service::SessionManager sessions(session_opts);
     service::Server server(server_opts, scheduler, &registry);
+    server.attachSessions(&sessions);
     server.onShutdown([&](service::DrainPolicy p) {
         // Runs on a connection thread: record the policy and trip
         // the token; the main loop below does the actual teardown

@@ -7,7 +7,8 @@
 #   ./run_benches.sh           full run, writes BENCH_<name>.json
 #   ./run_benches.sh --smoke   tiny inputs (HYQSAT_BENCH_TINY=1),
 #                              portfolio_scaling + micro_frontend +
-#                              micro_anneal + micro_simplify only,
+#                              micro_anneal + micro_simplify +
+#                              micro_incremental only,
 #                              writes BENCH_<name>_smoke.json
 #
 # Any bench that prints machine-readable "BENCH {json}" lines gets
@@ -78,6 +79,7 @@ if [ "$SMOKE" = 1 ]; then
     run_bench build/bench/micro_frontend || exit 1
     run_bench build/bench/micro_anneal || exit 1
     run_bench build/bench/micro_simplify || exit 1
+    run_bench build/bench/micro_incremental || exit 1
     print_summary
     echo "ALL_BENCHES_DONE"
     exit 0

@@ -16,28 +16,34 @@ HybridSolver::HybridSolver(const HybridConfig &config)
 }
 
 anneal::SamplerSpec
-HybridSolver::samplerSpec() const
+hybridSamplerSpec(const HybridConfig &config)
 {
     anneal::SamplerSpec spec;
-    spec.name = config_.sampler;
-    spec.annealer = config_.annealer;
+    spec.name = config.sampler;
+    spec.annealer = config.annealer;
     // The top-level knob and a directly-configured annealer option
     // compose as "whoever asks for more reads wins".
     spec.annealer.num_reads =
-        std::max({config_.num_reads, config_.annealer.num_reads, 1});
-    spec.batch_samples = config_.batch_samples;
-    spec.pipeline_depth = std::max(config_.pipeline_depth, 2);
-    spec.rtt_us = config_.rtt_us;
-    spec.stop = config_.stop;
+        std::max({config.num_reads, config.annealer.num_reads, 1});
+    spec.batch_samples = config.batch_samples;
+    spec.pipeline_depth = std::max(config.pipeline_depth, 2);
+    spec.rtt_us = config.rtt_us;
+    spec.stop = config.stop;
     // A depth >= 2 turns any named synchronous backend into an async
     // pipeline; spelling "async" works too and defaults to depth 2.
-    if (config_.pipeline_depth >= 2 &&
+    if (config.pipeline_depth >= 2 &&
         spec.name.rfind("async", 0) != 0) {
         spec.name = spec.name.empty() || spec.name == "sync"
                         ? "async"
                         : "async:" + spec.name;
     }
     return spec;
+}
+
+anneal::SamplerSpec
+HybridSolver::samplerSpec() const
+{
+    return hybridSamplerSpec(config_);
 }
 
 std::uint64_t

@@ -205,6 +205,8 @@ struct HybridResult
     bool solved_by_qa = false;
 };
 
+class Session;
+
 /** The hybrid solver. */
 class HybridSolver
 {
@@ -219,6 +221,15 @@ class HybridSolver
      * state leaks across calls (regression-tested).
      */
     HybridResult solve(const sat::Cnf &formula);
+
+    /**
+     * Open an incremental session sharing this solver's
+     * configuration: IPASIR-style solve(assumptions) calls with
+     * clause addition between them, retaining CDCL and sampling
+     * state across calls (see core/session.h). The session copies
+     * the config and is independent of this HybridSolver.
+     */
+    std::unique_ptr<Session> openSession() const;
 
     /**
      * The paper's iteration estimate K for the sqrt(K) warm-up
@@ -242,6 +253,14 @@ class HybridSolver
     // made bench loops pay the construction on every call.
     chimera::ChimeraGraph graph_;
 };
+
+/**
+ * Sampler backend spec derived from a hybrid configuration (the
+ * depth>=2 async wrapping, num_reads composition and stop-token
+ * plumbing). Shared by HybridSolver and Session so both layers
+ * construct bit-identical samplers from the same config.
+ */
+anneal::SamplerSpec hybridSamplerSpec(const HybridConfig &config);
 
 /**
  * Convenience: run plain CDCL through the same reporting types.

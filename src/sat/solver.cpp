@@ -72,6 +72,12 @@ Solver::insertVarOrder(Var v)
 bool
 Solver::addClause(LitVec lits, int original_index)
 {
+    // Root-level only: the value()-based simplification below and
+    // the tracked sat-counts are sound against a level-0 trail, not
+    // against in-search assignments (incremental callers add clauses
+    // between solves, where cancelUntil(0) has already run).
+    if (decisionLevel() != 0)
+        panic("addClause outside the root level");
     if (original_index >= 0 && opts_.instrument_clauses) {
         const auto need = static_cast<std::size_t>(original_index) + 1;
         if (source_.size() < need) {
@@ -984,6 +990,9 @@ Solver::solve()
 lbool
 Solver::solveWithAssumptions(const LitVec &assumptions)
 {
+    for (const Lit p : assumptions)
+        while (p.var() >= numVars())
+            newVar();
     assumptions_ = assumptions;
     const lbool result = solveInternal();
     assumptions_.clear();
@@ -993,11 +1002,15 @@ Solver::solveWithAssumptions(const LitVec &assumptions)
 lbool
 Solver::solveInternal()
 {
+    // Clear the per-call outputs BEFORE the ok_ short-circuit: a
+    // repeat call on a permanently-unsat solver must return the
+    // empty core ("UNSAT regardless of assumptions"), not whatever
+    // finalConflict() the previous call left behind.
+    model_.clear();
+    final_conflict_.clear();
     if (!ok_)
         return l_False;
     stop_requested_ = false;
-    model_.clear();
-    final_conflict_.clear();
 
     max_learnts_ = std::max(
         static_cast<double>(originals_.size()) *

@@ -58,7 +58,11 @@ class Solver
     /**
      * Add a clause (top-level). Performs the standard root-level
      * simplifications (drop duplicate/false literals, detect
-     * tautologies, enqueue units).
+     * tautologies, enqueue units). May be called between solve
+     * calls (IPASIR-style incremental use): learnt clauses, VSIDS
+     * activity and saved polarities are retained, and the new clause
+     * is simplified against the level-0 trail only. Calling it with
+     * open decision levels is a programming error (panics).
      *
      * @param lits the clause literals
      * @param original_index index of this clause in the source Cnf
@@ -85,7 +89,10 @@ class Solver
      * Solve under assumptions: the given literals are forced as the
      * first decisions. On l_False, finalConflict() holds the subset
      * of assumptions the refutation used (negated), enabling
-     * incremental use (unsat cores over assumptions).
+     * incremental use (unsat cores over assumptions). Variables
+     * beyond numVars() are allocated on the fly. Repeated calls
+     * (with addClause between them) retain learnt clauses, VSIDS
+     * activity and saved polarity.
      */
     lbool solveWithAssumptions(const LitVec &assumptions);
 

@@ -125,6 +125,62 @@ parseRequest(std::string_view line)
         req.verb = Verb::Quit;
         return req;
     }
+    if (verb == "OPEN") {
+        // OPEN <tenant> [simplify=<level>] — same optional override
+        // key SUBMIT takes.
+        if (tokens.size() != 2 && tokens.size() != 3) {
+            req.error =
+                "usage: OPEN <tenant> [simplify=<off|light|full>]";
+            return req;
+        }
+        if (tokens.size() == 3) {
+            constexpr std::string_view kKey = "simplify=";
+            const std::string_view opt = tokens[2];
+            simplify::Strength strength;
+            if (opt.rfind(kKey, 0) != 0 ||
+                !simplify::parseStrength(
+                    std::string(opt.substr(kKey.size())), strength)) {
+                req.error = "bad option (expected "
+                            "simplify=<off|light|full>): " +
+                            std::string(opt);
+                return req;
+            }
+            req.simplify = std::string(opt.substr(kKey.size()));
+        }
+        req.verb = Verb::Open;
+        req.tenant = std::string(tokens[1]);
+        return req;
+    }
+    if (verb == "ADD" || verb == "SOLVE" || verb == "CORE" ||
+        verb == "CLOSE") {
+        if (tokens.size() != 2 || !parseUint(tokens[1], req.id)) {
+            req.error = "usage: " + std::string(verb) + " <sid>";
+            return req;
+        }
+        req.verb = verb == "ADD"     ? Verb::Add
+                   : verb == "SOLVE" ? Verb::Solve
+                   : verb == "CORE"  ? Verb::Core
+                                     : Verb::Close;
+        return req;
+    }
+    if (verb == "ASSUME") {
+        if (tokens.size() < 2 || !parseUint(tokens[1], req.id)) {
+            req.error = "usage: ASSUME <sid> <lit...>";
+            return req;
+        }
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+            int lit = 0;
+            if (!parseInt(tokens[i], lit) || lit == 0) {
+                req.error =
+                    "bad literal (nonzero DIMACS int expected): " +
+                    std::string(tokens[i]);
+                return req;
+            }
+            req.lits.push_back(lit);
+        }
+        req.verb = Verb::Assume;
+        return req;
+    }
     req.error = "unknown verb: " + std::string(verb);
     return req;
 }
@@ -186,6 +242,34 @@ parseResult(std::string_view line)
     if (tokens[7] != "-")
         rec.winner = std::string(tokens[7]);
     return std::make_pair(id, rec);
+}
+
+std::string
+formatCore(JobId sid, const std::vector<int> &lits)
+{
+    std::string out = "CORE " + std::to_string(sid);
+    for (const int lit : lits)
+        out += ' ' + std::to_string(lit);
+    return out;
+}
+
+std::optional<std::pair<JobId, std::vector<int>>>
+parseCore(std::string_view line)
+{
+    const auto tokens = splitTokens(line);
+    if (tokens.size() < 2 || tokens[0] != "CORE")
+        return std::nullopt;
+    JobId sid = 0;
+    if (!parseUint(tokens[1], sid))
+        return std::nullopt;
+    std::vector<int> lits;
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+        int lit = 0;
+        if (!parseInt(tokens[i], lit) || lit == 0)
+            return std::nullopt;
+        lits.push_back(lit);
+    }
+    return std::make_pair(sid, lits);
 }
 
 } // namespace hyqsat::service

@@ -15,11 +15,20 @@
  *   SHUTDOWN [finish|cancel]   drain the daemon (default finish)
  *   QUIT             close this connection
  *
+ * Incremental sessions (IPASIR-style, core::Session behind each id):
+ *   OPEN <tenant> [simplify=<off|light|full>]   open a session
+ *   ADD <sid>        then DIMACS clause lines, then END
+ *   ASSUME <sid> <lit...>   assumptions (DIMACS ints) for next SOLVE
+ *   SOLVE <sid>      solve under the pending assumptions (inline)
+ *   CORE <sid>       failed assumptions of the last UNSAT solve
+ *   CLOSE <sid>      release the session
+ *
  * Server -> client:
- *   OK <id>                        submit accepted
+ *   OK <id>                        submit accepted / session verb ok
  *   REJECTED <reason>              admission control said no
  *   RESULT <id> <status> <wall_s> <vars> <clauses> <conflicts> <winner>
  *   STATE <id> QUEUED|RUNNING|DONE [<status>]
+ *   CORE <sid> [<lit...>]          DIMACS ints (empty = formula UNSAT)
  *   METRICS                        then `name value` lines, then END
  *   PONG / BYE / ERR <message>
  *
@@ -53,6 +62,12 @@ enum class Verb {
     Ping,
     Shutdown,
     Quit,
+    Open,
+    Add,
+    Assume,
+    Solve,
+    Core,
+    Close,
     Invalid,
 };
 
@@ -62,14 +77,18 @@ struct Request
     Verb verb = Verb::Invalid;
     std::string error; ///< parse diagnostic when verb == Invalid
 
-    // SUBMIT fields (the DIMACS body follows on later lines).
+    // SUBMIT / OPEN fields (a SUBMIT DIMACS body follows on later
+    // lines).
     std::string tenant;
     int priority = 0;
     std::string name;
     std::string simplify; ///< "" = daemon default strength
 
-    // WAIT / STATUS field.
+    // WAIT / STATUS / session-verb id field.
     JobId id = 0;
+
+    // ASSUME literals (DIMACS ints, never 0).
+    std::vector<int> lits;
 
     // SHUTDOWN field.
     DrainPolicy drain_policy = DrainPolicy::FinishQueued;
@@ -97,6 +116,13 @@ std::string formatState(JobId id, JobState state,
  */
 std::optional<std::pair<JobId, InstanceRecord>>
 parseResult(std::string_view line);
+
+/** `CORE <sid> [<lit...>]` over DIMACS ints. */
+std::string formatCore(JobId sid, const std::vector<int> &lits);
+
+/** Parse a CORE line back into (sid, lits) — the client half. */
+std::optional<std::pair<JobId, std::vector<int>>>
+parseCore(std::string_view line);
 
 } // namespace hyqsat::service
 

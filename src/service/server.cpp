@@ -14,6 +14,7 @@
 
 #include "service/protocol.h"
 #include "service/scheduler.h"
+#include "service/session_manager.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -299,12 +300,120 @@ Server::serveConnection(int fd)
             break;
         case Verb::Shutdown:
             sendLine(fd, "OK shutdown");
+            if (sessions_)
+                sessions_->drain();
             if (on_shutdown_)
                 on_shutdown_(req.drain_policy);
             break;
         case Verb::Quit:
             sendLine(fd, "BYE");
             return;
+        case Verb::Open: {
+            if (!sessions_) {
+                if (!sendLine(fd, "ERR sessions disabled"))
+                    return;
+                break;
+            }
+            const OpenResult res =
+                sessions_->open(req.tenant, req.simplify);
+            const std::string reply =
+                res.accepted ? "OK " + std::to_string(res.id)
+                             : "REJECTED " + res.reject_reason;
+            if (!sendLine(fd, reply))
+                return;
+            break;
+        }
+        case Verb::Add: {
+            // Body: clause lines off the socket until END, exactly
+            // like a SUBMIT body. Read it even when sessions are
+            // disabled so the connection stays line-synchronized.
+            std::string dimacs;
+            bool eof = false;
+            for (;;) {
+                std::string body_line;
+                if (!reader.next(body_line)) {
+                    eof = true;
+                    break;
+                }
+                if (body_line == kEndMarker)
+                    break;
+                dimacs += body_line;
+                dimacs += '\n';
+            }
+            if (eof)
+                return;
+            if (!sessions_) {
+                if (!sendLine(fd, "ERR sessions disabled"))
+                    return;
+                break;
+            }
+            const std::string err = sessions_->add(req.id, dimacs);
+            const std::string reply =
+                err.empty() ? "OK " + std::to_string(req.id)
+                            : "ERR " + err;
+            if (!sendLine(fd, reply))
+                return;
+            break;
+        }
+        case Verb::Assume: {
+            if (!sessions_) {
+                if (!sendLine(fd, "ERR sessions disabled"))
+                    return;
+                break;
+            }
+            const std::string err =
+                sessions_->assume(req.id, req.lits);
+            const std::string reply =
+                err.empty() ? "OK " + std::to_string(req.id)
+                            : "ERR " + err;
+            if (!sendLine(fd, reply))
+                return;
+            break;
+        }
+        case Verb::Solve: {
+            if (!sessions_) {
+                if (!sendLine(fd, "ERR sessions disabled"))
+                    return;
+                break;
+            }
+            const std::optional<InstanceRecord> rec =
+                sessions_->solve(req.id);
+            const std::string reply =
+                rec ? formatResult(req.id, *rec)
+                    : "ERR unknown session";
+            if (!sendLine(fd, reply))
+                return;
+            break;
+        }
+        case Verb::Core: {
+            if (!sessions_) {
+                if (!sendLine(fd, "ERR sessions disabled"))
+                    return;
+                break;
+            }
+            const std::optional<std::vector<int>> lits =
+                sessions_->core(req.id);
+            const std::string reply = lits
+                                          ? formatCore(req.id, *lits)
+                                          : "ERR unknown session";
+            if (!sendLine(fd, reply))
+                return;
+            break;
+        }
+        case Verb::Close: {
+            if (!sessions_) {
+                if (!sendLine(fd, "ERR sessions disabled"))
+                    return;
+                break;
+            }
+            const std::string reply =
+                sessions_->close(req.id)
+                    ? "OK " + std::to_string(req.id)
+                    : "ERR unknown session";
+            if (!sendLine(fd, reply))
+                return;
+            break;
+        }
         case Verb::Invalid:
             if (!sendLine(fd, "ERR " + req.error))
                 return;

@@ -31,6 +31,7 @@ class MetricsRegistry;
 namespace hyqsat::service {
 
 class JobScheduler;
+class SessionManager;
 
 /** Where to listen. Exactly one of the two should be set. */
 struct ServerOptions
@@ -90,6 +91,17 @@ class Server
         on_shutdown_ = std::move(fn);
     }
 
+    /**
+     * Enable the incremental-session verbs (OPEN/ADD/ASSUME/SOLVE/
+     * CORE/CLOSE) against @p sessions, which must outlive the
+     * server. Without this the verbs answer `ERR sessions disabled`.
+     * A client SHUTDOWN also drains the manager (no new opens).
+     */
+    void attachSessions(SessionManager *sessions)
+    {
+        sessions_ = sessions;
+    }
+
   private:
     void acceptLoop();
     void serveConnection(int fd);
@@ -98,6 +110,7 @@ class Server
     ServerOptions opts_;
     JobScheduler &scheduler_;
     MetricsRegistry *metrics_;
+    SessionManager *sessions_ = nullptr;
     std::function<void(DrainPolicy)> on_shutdown_;
 
     int listen_fd_ = -1;

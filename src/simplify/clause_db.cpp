@@ -25,6 +25,9 @@ ClauseDb::ClauseDb(const sat::Cnf &cnf)
       occ_count_(static_cast<std::size_t>(2 * cnf.numVars()), 0),
       value_(static_cast<std::size_t>(cnf.numVars()), sat::l_Undef),
       removed_(static_cast<std::size_t>(cnf.numVars()), 0),
+      frozen_(static_cast<std::size_t>(cnf.numVars()), 0),
+      substitution_(static_cast<std::size_t>(cnf.numVars()),
+                    sat::lit_Undef),
       touched_flag_(static_cast<std::size_t>(cnf.numVars()), 0)
 {
     clauses_.reserve(cnf.clauses().size());

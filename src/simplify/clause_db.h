@@ -129,6 +129,37 @@ class ClauseDb
         removed_[static_cast<std::size_t>(v)] = 1;
     }
 
+    /**
+     * Frozen variables are externally visible (assumptions, session
+     * interfaces): substitution and elimination must keep them in the
+     * formula. Root fixing and probing may still assign them — those
+     * rewrites are formula-implied, so callers can map an assumption
+     * on a fixed variable soundly.
+     */
+    bool isFrozen(sat::Var v) const
+    {
+        return frozen_[static_cast<std::size_t>(v)] != 0;
+    }
+    void setFrozen(sat::Var v)
+    {
+        frozen_[static_cast<std::size_t>(v)] = 1;
+    }
+
+    /**
+     * SCC substitution record: the literal q with mkLit(v, false)
+     * == q at substitution time (lit_Undef when v was never
+     * substituted). Distinguishes equivalence-removed variables
+     * (mappable) from BVE-eliminated ones (not mappable).
+     */
+    sat::Lit substitution(sat::Var v) const
+    {
+        return substitution_[static_cast<std::size_t>(v)];
+    }
+    void noteSubstitution(sat::Var v, sat::Lit q)
+    {
+        substitution_[static_cast<std::size_t>(v)] = q;
+    }
+
     /** True when the variable is still part of the formula. */
     bool varActive(sat::Var v) const
     {
@@ -170,6 +201,8 @@ class ClauseDb
     std::vector<int> occ_count_;           ///< by Lit.x, exact
     std::vector<sat::lbool> value_;        ///< by var
     std::vector<char> removed_;            ///< by var
+    std::vector<char> frozen_;             ///< by var
+    std::vector<sat::Lit> substitution_;   ///< by var, lit_Undef=none
     std::vector<sat::Lit> unit_queue_;
     std::vector<char> touched_flag_;       ///< by var
     std::vector<sat::Var> touched_list_;

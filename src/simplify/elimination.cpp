@@ -52,6 +52,8 @@ runElimination(ClauseDb &db, ReconstructionStack &rs,
     for (sat::Var v : candidates) {
         if (!db.varActive(v))
             continue;
+        if (db.isFrozen(v))
+            continue; // externally visible: must stay in the formula
         const sat::Lit p = sat::mkLit(v, false);
         if (db.occCount(p) > opts.bve_occurrence_limit ||
             db.occCount(~p) > opts.bve_occurrence_limit) {

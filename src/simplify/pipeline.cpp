@@ -96,6 +96,42 @@ propagateUnits(ClauseDb &db, ReconstructionStack &rs, Stats &st)
     return !db.contradiction();
 }
 
+MappedLit
+Result::mapLiteral(sat::Lit p) const
+{
+    MappedLit out;
+    const int nv = static_cast<int>(values.size());
+    // Follow the substitution chain. Each hop's variable was
+    // permanently removed when the target was recorded, so the chain
+    // is acyclic and at most vars_in hops long.
+    while (p.var() < nv) {
+        const sat::Lit q =
+            substituted[static_cast<std::size_t>(p.var())];
+        if (q == sat::lit_Undef)
+            break;
+        p = p.sign() ? ~q : q;
+    }
+    if (p.var() < nv) {
+        if (eliminated[static_cast<std::size_t>(p.var())]) {
+            out.kind = MappedLit::Kind::Eliminated;
+            return out;
+        }
+        const sat::lbool v =
+            values[static_cast<std::size_t>(p.var())] ^ p.sign();
+        if (v.isTrue()) {
+            out.kind = MappedLit::Kind::True;
+            return out;
+        }
+        if (v.isFalse()) {
+            out.kind = MappedLit::Kind::False;
+            return out;
+        }
+    }
+    out.kind = MappedLit::Kind::Free;
+    out.lit = p;
+    return out;
+}
+
 std::vector<bool>
 Result::extendModel(std::vector<bool> model) const
 {
@@ -127,6 +163,9 @@ Pipeline::run(const sat::Cnf &cnf) const
     }
 
     ClauseDb db(cnf);
+    for (const sat::Var v : o.frozen)
+        if (v >= 0 && v < db.numVars())
+            db.setFrozen(v);
     st.tautologies = db.tautologiesAtLoad();
     ReconstructionStack &rs = res.reconstruction;
 
@@ -170,7 +209,23 @@ Pipeline::run(const sat::Cnf &cnf) const
     } else {
         res.cnf = db.emit();
         res.cnf.setName(cnf.name());
+        const auto nv = static_cast<std::size_t>(db.numVars());
+        res.values.assign(nv, sat::l_Undef);
+        res.substituted.assign(nv, sat::lit_Undef);
+        res.eliminated.assign(nv, 0);
         for (sat::Var v = 0; v < db.numVars(); ++v) {
+            const auto i = static_cast<std::size_t>(v);
+            res.values[i] = db.value(v);
+            res.substituted[i] = db.substitution(v);
+            // Removed without a substitution target or a root value:
+            // bounded variable elimination took it (only
+            // satisfiability-preserving — unmappable for callers).
+            res.eliminated[i] =
+                db.varRemoved(v) &&
+                        db.substitution(v) == sat::lit_Undef &&
+                        db.value(v).isUndef()
+                    ? 1
+                    : 0;
             if (!db.value(v).isUndef())
                 res.fixed.push_back(
                     sat::mkLit(v, db.value(v).isFalse()));

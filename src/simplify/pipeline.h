@@ -76,6 +76,18 @@ struct Options
     /** Propagation budget for vivification per run. */
     std::int64_t vivify_budget = 2000000;
 
+    /**
+     * Externally visible variables (assumptions, session interfaces,
+     * shared-clause vocabularies). The pipeline's freeze contract:
+     * a frozen variable is never substituted away by the SCC pass
+     * and never eliminated by BVE, so it survives into Result::cnf
+     * unless the formula itself fixes it (root units, probing —
+     * formula-implied rewrites a caller can map assumptions
+     * through; see Result::mapLiteral). Out-of-range variables are
+     * ignored.
+     */
+    std::vector<sat::Var> frozen;
+
     /** @return the switch set for a strength preset. */
     static Options preset(Strength s);
 };
@@ -107,6 +119,24 @@ struct Stats
     }
 };
 
+/**
+ * Fate of one original literal under the pipeline's rewrites — what
+ * Result::mapLiteral reports so incremental callers can translate
+ * assumptions and delta clauses into the simplified variable space.
+ */
+struct MappedLit
+{
+    enum class Kind {
+        Free,       ///< lit is the (chain-followed) equivalent literal
+        True,       ///< root-fixed true: assumption trivially holds
+        False,      ///< root-fixed false: assumption alone is UNSAT
+        Eliminated, ///< BVE removed the variable: NOT mappable
+    };
+
+    Kind kind = Kind::Free;
+    sat::Lit lit = sat::lit_Undef; ///< valid when kind == Kind::Free
+};
+
 /** Result of one pipeline run. */
 struct Result
 {
@@ -123,6 +153,35 @@ struct Result
     ReconstructionStack reconstruction;
 
     Stats stats;
+
+    // ------------------------------------------------------------------
+    // Per-variable fate map (indexed by original variable; empty when
+    // the pipeline ran zero passes — mapLiteral treats that as Free).
+    // ------------------------------------------------------------------
+
+    /** Root value after simplification (l_Undef = not fixed). */
+    std::vector<sat::lbool> values;
+
+    /**
+     * SCC substitution target: the literal equal to mkLit(v, false),
+     * lit_Undef when v was not substituted. Targets may chain across
+     * rounds; mapLiteral follows the chain.
+     */
+    sat::LitVec substituted;
+
+    /** BVE-eliminated (satisfiability-preserving only: assumptions
+     *  over these variables cannot be mapped — freeze and rerun). */
+    std::vector<char> eliminated;
+
+    /**
+     * Translate an original-space literal into the simplified
+     * formula's space: follow the substitution chain, then report
+     * the root value / elimination fate of the final variable.
+     * Sound for assumptions and delta clauses because substitution
+     * and root fixing are equivalence-preserving rewrites; only
+     * Kind::Eliminated is unmappable.
+     */
+    MappedLit mapLiteral(sat::Lit p) const;
 
     /**
      * Map a model of the simplified formula to a model of the

@@ -115,8 +115,29 @@ runEquivalentLiterals(ClauseDb &db, ReconstructionStack &rs,
                     return false;
                 }
             }
-            for (int m : scc)
-                rep[static_cast<std::size_t>(m)] = scc[0];
+            // Representative: the smallest literal, preferring a
+            // frozen variable's literal so frozen members are never
+            // the ones substituted away. scc is sorted ascending, so
+            // the first frozen entry is the smallest frozen one.
+            // Skew-symmetry keeps the choice consistent with the
+            // mirror SCC: frozen-ness is a per-variable property and
+            // negation only flips the sign bit, so the mirror's scan
+            // picks exactly the negation of this representative.
+            int r = scc[0];
+            for (int m : scc) {
+                if (db.isFrozen(static_cast<sat::Var>(m >> 1))) {
+                    r = m;
+                    break;
+                }
+            }
+            for (int m : scc) {
+                const auto mv = static_cast<sat::Var>(m >> 1);
+                // Frozen non-representatives keep mapping to
+                // themselves: their binary equivalence clauses stay
+                // in the formula instead of being substituted out.
+                rep[static_cast<std::size_t>(m)] =
+                    (db.isFrozen(mv) && m != r) ? m : r;
+            }
         }
     }
 
@@ -132,6 +153,7 @@ runEquivalentLiterals(ClauseDb &db, ReconstructionStack &rs,
         sat::Lit q;
         q.x = rep[static_cast<std::size_t>(px)];
         rs.pushEquivalence(p, q);
+        db.noteSubstitution(v, q);
         db.markRemoved(v);
         ++st.equivalences;
         any_sub = true;

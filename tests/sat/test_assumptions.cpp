@@ -127,6 +127,98 @@ TEST(Assumptions, CoreIsActuallyContradictory)
     }
 }
 
+TEST(Assumptions, UnitFalsifiedAssumptionYieldsSingletonCore)
+{
+    // The conflicting assumption is falsified by a level-0 unit
+    // clause. Whether it is the first assumption (analyzeFinal at
+    // decision level 0) or preceded by others (level > 0 but the
+    // variable sits below the assumption prefix), the core must be
+    // exactly {~assumption} — never empty: the formula alone is SAT.
+    for (const bool prefix : {false, true}) {
+        Solver s;
+        const Var a = s.newVar();
+        const Var b = s.newVar();
+        const Var c = s.newVar();
+        ASSERT_TRUE(s.addClause({mkLit(a)}));
+        LitVec assumptions;
+        if (prefix) {
+            assumptions.push_back(mkLit(b));
+            assumptions.push_back(mkLit(c));
+        }
+        assumptions.push_back(mkLit(a, true));
+        ASSERT_TRUE(s.solveWithAssumptions(assumptions).isFalse());
+        ASSERT_EQ(s.finalConflict().size(), 1u)
+            << "prefix=" << prefix;
+        EXPECT_EQ(s.finalConflict()[0], mkLit(a));
+        EXPECT_TRUE(s.okay()) << "formula itself is satisfiable";
+        // And without the poisoned assumption the solver recovers.
+        EXPECT_TRUE(s.solveWithAssumptions({mkLit(b)}).isTrue());
+    }
+}
+
+TEST(Assumptions, DuplicateAssumptionsAreHarmless)
+{
+    Solver s;
+    const Var a = s.newVar();
+    const Var b = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(a), mkLit(b)}));
+    ASSERT_TRUE(s.solveWithAssumptions(
+                     {mkLit(a), mkLit(a), mkLit(a)})
+                    .isTrue());
+    EXPECT_TRUE(s.model()[a].isTrue());
+}
+
+TEST(Assumptions, ContradictoryAssumptionsNameBothPolarities)
+{
+    // [a, ~a] over an otherwise unconstrained variable: UNSAT purely
+    // because of the assumptions, so the core holds both polarities
+    // of a (the clause "~a or a" — the negations of the two failed
+    // assumptions) and okay() stays true.
+    Solver s;
+    const Var a = s.newVar();
+    const Var b = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(b)}));
+    ASSERT_TRUE(
+        s.solveWithAssumptions({mkLit(a), mkLit(a, true)}).isFalse());
+    const LitVec &core = s.finalConflict();
+    ASSERT_EQ(core.size(), 2u);
+    EXPECT_TRUE((core[0] == mkLit(a) && core[1] == mkLit(a, true)) ||
+                (core[0] == mkLit(a, true) && core[1] == mkLit(a)));
+    EXPECT_TRUE(s.okay());
+    EXPECT_TRUE(s.solve().isTrue());
+}
+
+TEST(Assumptions, RepeatCallOnPermanentlyUnsatClearsStaleCore)
+{
+    // Regression: solveInternal used to early-return on !ok_ BEFORE
+    // clearing final_conflict_, so a second call on a permanently
+    // unsat solver surfaced the previous call's core instead of the
+    // empty one that means "UNSAT regardless of assumptions".
+    Solver s;
+    const Var a = s.newVar();
+    const Var b = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(a)}));
+    ASSERT_TRUE(s.solveWithAssumptions({mkLit(a, true)}).isFalse());
+    ASSERT_FALSE(s.finalConflict().empty()); // blames the assumption
+    EXPECT_FALSE(s.addClause({mkLit(a, true)})); // now truly unsat
+    EXPECT_FALSE(s.okay());
+    EXPECT_TRUE(s.solveWithAssumptions({mkLit(b)}).isFalse());
+    EXPECT_TRUE(s.finalConflict().empty())
+        << "stale core leaked from the previous call";
+    EXPECT_TRUE(s.model().empty());
+}
+
+TEST(Assumptions, AssumptionOnFreshVariableGrowsSolver)
+{
+    Solver s;
+    const Var a = s.newVar();
+    ASSERT_TRUE(s.addClause({mkLit(a)}));
+    const Lit fresh = mkLit(4, true); // vars 1..4 never mentioned
+    ASSERT_TRUE(s.solveWithAssumptions({fresh}).isTrue());
+    ASSERT_GE(s.numVars(), 5);
+    EXPECT_TRUE(s.model()[4].isFalse());
+}
+
 TEST(Assumptions, EmptyAssumptionsEqualsPlainSolve)
 {
     Rng rng(11);

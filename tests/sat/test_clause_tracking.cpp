@@ -132,6 +132,93 @@ TEST(ClauseTracking, SparseSetSurvivesExplicitBacktracking)
     }
 }
 
+TEST(ClauseTracking, AssumeSolveAddCyclesMatchScan)
+{
+    // The incremental-session usage pattern: alternating
+    // solveWithAssumptions calls (which retract their assumption
+    // levels through cancelUntil on the way out) and root-level
+    // addClause calls against a non-empty level-0 trail. The
+    // counters and the sparse unsat set must agree with the literal
+    // scan after every step, and the solve answers must match a
+    // fresh un-tracked solver over the accumulated formula.
+    Rng gen(21);
+    constexpr int kVars = 25;
+    Cnf accumulated(kVars);
+    Solver solver(trackingOptions());
+    // Seed formula below the unsat threshold so later ADDs matter.
+    const auto seed_cnf = testing::randomCnf(kVars, 60, 3, gen);
+    for (int i = 0; i < seed_cnf.numClauses(); ++i)
+        accumulated.addClause(seed_cnf.clause(i));
+    ASSERT_TRUE(solver.loadCnf(seed_cnf));
+
+    Rng pick(23);
+    bool alive = true;
+    for (int step = 0; step < 40 && alive; ++step) {
+        const double dice = pick.uniform();
+        if (dice < 0.45) { // ASSUME + SOLVE
+            LitVec assumptions;
+            const int depth = 1 + static_cast<int>(pick.below(6));
+            for (int i = 0; i < depth; ++i) {
+                assumptions.push_back(
+                    mkLit(static_cast<Var>(pick.below(kVars)),
+                          pick.chance(0.5)));
+            }
+            const lbool got =
+                solver.solveWithAssumptions(assumptions);
+            Solver fresh;
+            ASSERT_TRUE(fresh.loadCnf(accumulated));
+            const lbool want =
+                fresh.solveWithAssumptions(assumptions);
+            EXPECT_EQ(got.isTrue(), want.isTrue())
+                << "step " << step;
+            EXPECT_EQ(got.isFalse(), want.isFalse())
+                << "step " << step;
+        } else if (dice < 0.7) { // plain SOLVE
+            (void)solver.solve();
+        } else { // ADD, registered under the next original index
+            LitVec clause;
+            const int len = 1 + static_cast<int>(pick.below(3));
+            for (int i = 0; i < len; ++i) {
+                clause.push_back(
+                    mkLit(static_cast<Var>(pick.below(kVars)),
+                          pick.chance(0.5)));
+            }
+            accumulated.addClause(clause);
+            alive = solver.addClause(
+                clause, solver.numOriginalClauses());
+        }
+        EXPECT_EQ(solver.unsatisfiedOriginalClauses(),
+                  unsatisfiedByScan(solver))
+            << "step " << step;
+        for (int c = 0; c < solver.numOriginalClauses(); ++c) {
+            ASSERT_EQ(solver.originalClauseSatisfiedNow(c),
+                      satisfiedByScan(solver, c))
+                << "step " << step << " clause " << c;
+        }
+    }
+}
+
+TEST(ClauseTracking, AddClauseOnNonEmptyRootTrailCountsTrail)
+{
+    // A clause registered after root units exist must count the
+    // already-true/false literals exactly like the scan does.
+    Solver solver(trackingOptions());
+    const Var a = solver.newVar();
+    const Var b = solver.newVar();
+    const Var c = solver.newVar();
+    ASSERT_TRUE(solver.addClause({mkLit(a)}, 0)); // root unit: a
+    ASSERT_TRUE(solver.value(a).isTrue());
+    // Satisfied by the trail at registration time.
+    ASSERT_TRUE(solver.addClause({mkLit(a), mkLit(b)}, 1));
+    EXPECT_TRUE(solver.originalClauseSatisfiedNow(1));
+    // Not satisfied: ~a is false, b/c unassigned.
+    ASSERT_TRUE(
+        solver.addClause({mkLit(a, true), mkLit(b), mkLit(c)}, 2));
+    EXPECT_FALSE(solver.originalClauseSatisfiedNow(2));
+    EXPECT_EQ(solver.unsatisfiedOriginalClauses(),
+              unsatisfiedByScan(solver));
+}
+
 // ---------------------------------------------------------------------
 // ClauseArena 32-bit overflow guard
 // ---------------------------------------------------------------------

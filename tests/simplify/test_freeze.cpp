@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The pipeline's freeze contract (incremental sessions): frozen
+ * variables survive SCC substitution and bounded variable
+ * elimination, the per-variable fate map distinguishes mappable
+ * rewrites (substitution, root fixing) from unmappable ones (BVE),
+ * and assumption solving through mapLiteral agrees with solving the
+ * original formula directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sat/brute_force.h"
+#include "sat/solver.h"
+#include "simplify/pipeline.h"
+#include "tests/sat/helpers.h"
+#include "util/rng.h"
+
+namespace hyqsat::simplify {
+namespace {
+
+using sat::Cnf;
+using sat::Lit;
+using sat::LitVec;
+using sat::mkLit;
+using sat::Var;
+
+Options
+fullWithFrozen(std::vector<Var> frozen)
+{
+    Options o = Options::preset(Strength::Full);
+    o.frozen = std::move(frozen);
+    return o;
+}
+
+TEST(Freeze, FrozenVarSurvivesEquivalenceSubstitution)
+{
+    // x0 == x1 via the binary clauses; with x0 frozen the SCC pass
+    // must keep x0 (substituting x1 or nothing), never remove x0.
+    Cnf cnf(3);
+    cnf.addClause(LitVec{mkLit(0, true), mkLit(1)}); // x0 -> x1
+    cnf.addClause(LitVec{mkLit(1, true), mkLit(0)}); // x1 -> x0
+    cnf.addClause(LitVec{mkLit(0), mkLit(2)});
+    const Result r =
+        Pipeline(fullWithFrozen({0})).run(cnf);
+    ASSERT_TRUE(r.satisfiable_possible);
+    EXPECT_EQ(r.mapLiteral(mkLit(0)).kind, MappedLit::Kind::Free);
+    EXPECT_FALSE(r.eliminated.empty());
+    EXPECT_EQ(r.eliminated[0], 0);
+    EXPECT_EQ(r.substituted[0], sat::lit_Undef)
+        << "frozen variable was substituted away";
+    // The unfrozen partner maps through the chain onto x0.
+    const MappedLit m1 = r.mapLiteral(mkLit(1));
+    if (m1.kind == MappedLit::Kind::Free) {
+        EXPECT_EQ(m1.lit.var(), 0);
+    }
+}
+
+TEST(Freeze, TwoFrozenEquivalentVarsBothSurvive)
+{
+    // x0 == x1, both frozen: neither may be substituted; the
+    // equivalence clauses stay in the simplified formula instead.
+    Cnf cnf(3);
+    cnf.addClause(LitVec{mkLit(0, true), mkLit(1)});
+    cnf.addClause(LitVec{mkLit(1, true), mkLit(0)});
+    cnf.addClause(LitVec{mkLit(2), mkLit(0)});
+    const Result r = Pipeline(fullWithFrozen({0, 1})).run(cnf);
+    ASSERT_TRUE(r.satisfiable_possible);
+    for (Var v : {0, 1}) {
+        EXPECT_EQ(r.substituted[static_cast<std::size_t>(v)],
+                  sat::lit_Undef)
+            << "frozen x" << v;
+        EXPECT_EQ(r.eliminated[static_cast<std::size_t>(v)], 0);
+    }
+}
+
+TEST(Freeze, FrozenVarExemptFromElimination)
+{
+    // A low-occurrence variable BVE would normally take: frozen, it
+    // must stay; unfrozen (control), it must go.
+    Cnf cnf(4);
+    cnf.addClause(LitVec{mkLit(0), mkLit(1), mkLit(2)});
+    cnf.addClause(LitVec{mkLit(0, true), mkLit(2), mkLit(3)});
+    cnf.addClause(LitVec{mkLit(1), mkLit(3)});
+
+    const Result frozen = Pipeline(fullWithFrozen({0})).run(cnf);
+    ASSERT_TRUE(frozen.satisfiable_possible);
+    EXPECT_EQ(frozen.mapLiteral(mkLit(0)).kind,
+              MappedLit::Kind::Free);
+    EXPECT_EQ(frozen.eliminated[0], 0);
+
+    const Result control =
+        Pipeline(Options::preset(Strength::Full)).run(cnf);
+    ASSERT_TRUE(control.satisfiable_possible);
+    EXPECT_EQ(control.mapLiteral(mkLit(0)).kind,
+              MappedLit::Kind::Eliminated)
+        << "control run should eliminate x0 (test premise)";
+}
+
+TEST(Freeze, RootFixedFrozenVarReportsItsValue)
+{
+    // Freezing does not block formula-implied fixing: a unit clause
+    // on a frozen variable still fixes it, and mapLiteral reports
+    // True/False so callers can resolve assumptions against it.
+    Cnf cnf(2);
+    cnf.addClause(LitVec{mkLit(0)});
+    cnf.addClause(LitVec{mkLit(0, true), mkLit(1)});
+    const Result r = Pipeline(fullWithFrozen({0})).run(cnf);
+    ASSERT_TRUE(r.satisfiable_possible);
+    EXPECT_EQ(r.mapLiteral(mkLit(0)).kind, MappedLit::Kind::True);
+    EXPECT_EQ(r.mapLiteral(mkLit(0, true)).kind,
+              MappedLit::Kind::False);
+}
+
+TEST(Freeze, MapLiteralOutOfRangeIsFree)
+{
+    Cnf cnf(2);
+    cnf.addClause(LitVec{mkLit(0), mkLit(1)});
+    const Result r = Pipeline(fullWithFrozen({0})).run(cnf);
+    const MappedLit m = r.mapLiteral(mkLit(7, true));
+    EXPECT_EQ(m.kind, MappedLit::Kind::Free);
+    EXPECT_EQ(m.lit, mkLit(7, true));
+}
+
+TEST(Freeze, AssumptionSolvingThroughMapAgreesWithDirect)
+{
+    // The contract end to end: simplify with the assumption
+    // variables frozen, map each assumption literal, solve the
+    // simplified formula under the mapped assumptions — the verdict
+    // must match brute force on original + assumption units, and a
+    // SAT model must extend to satisfy the original formula AND the
+    // assumptions.
+    Rng rng(31);
+    int solved = 0;
+    for (int round = 0; round < 60; ++round) {
+        const int vars = 14;
+        const Cnf cnf = sat::testing::randomCnf(
+            vars, 30 + static_cast<int>(rng.below(28)), 3, rng);
+        LitVec assumptions;
+        std::vector<Var> frozen;
+        const int depth = 1 + static_cast<int>(rng.below(4));
+        for (int i = 0; i < depth; ++i) {
+            const Var v = static_cast<Var>(rng.below(vars));
+            assumptions.push_back(mkLit(v, rng.chance(0.5)));
+            frozen.push_back(v);
+        }
+
+        Cnf direct = cnf;
+        for (const Lit a : assumptions)
+            direct.addClause(a);
+        const bool expected =
+            sat::bruteForceSolve(direct).satisfiable;
+
+        const Result r = Pipeline(fullWithFrozen(frozen)).run(cnf);
+        if (!r.satisfiable_possible) {
+            EXPECT_FALSE(expected) << "round " << round;
+            continue;
+        }
+        LitVec mapped;
+        bool falsified = false;
+        for (const Lit a : assumptions) {
+            const MappedLit m = r.mapLiteral(a);
+            ASSERT_NE(m.kind, MappedLit::Kind::Eliminated)
+                << "frozen assumption var eliminated, round "
+                << round;
+            if (m.kind == MappedLit::Kind::False)
+                falsified = true;
+            else if (m.kind == MappedLit::Kind::Free)
+                mapped.push_back(m.lit);
+        }
+        if (falsified) {
+            EXPECT_FALSE(expected) << "round " << round;
+            continue;
+        }
+        sat::Solver s;
+        ASSERT_TRUE(s.loadCnf(r.cnf));
+        const sat::lbool status = s.solveWithAssumptions(mapped);
+        ASSERT_FALSE(status.isUndef());
+        EXPECT_EQ(status.isTrue(), expected) << "round " << round;
+        if (status.isTrue()) {
+            const auto model = r.extendModel(s.boolModel());
+            EXPECT_TRUE(direct.eval(model)) << "round " << round;
+            ++solved;
+        }
+    }
+    EXPECT_GT(solved, 5) << "suite never exercised the SAT path";
+}
+
+} // namespace
+} // namespace hyqsat::simplify
