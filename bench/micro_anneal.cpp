@@ -16,32 +16,51 @@
  *           running energy), exp() skipped for downhill moves;
  *   reads4  the production sampler with num_reads = 4 independent
  *           chains raced on the shared WorkPool, best energy first;
+ *   seq8    num_reads = 8 on the same WorkPool path — the sequential
+ *           baseline the lockstep kernel is judged against (on one
+ *           core the pool degrades to running the reads back to
+ *           back);
+ *   batch8  num_reads = 8 through the lockstep SIMD batch kernel
+ *           (SaOptions::lockstep): all 8 reads advance through ONE
+ *           instruction stream over the SoA layout, uniforms come
+ *           from the BlockRng bulk fill and the Metropolis accept
+ *           test is a table compare, on the widest ISA the host
+ *           runs;
+ *   batch8_scalar  the same lockstep run pinned to the scalar
+ *           fallback (HYQSAT_SIMD=scalar) — by contract bit-identical
+ *           to batch8, timed to show what vector width alone buys;
  *   *_overhead  the naive/csr pair at sweeps = 1, isolating the
  *           fixed per-sample cost (model recompile + adjacency
  *           rebuild) that the rewrite hoists out of the per-call
  *           path.
  *
- * One "BENCH {json}" line is emitted per path. Before any timing the
- * bench asserts csr reproduces the reference bit for bit (same
- * spins, same RNG stream) from the same seed — a speedup over a
- * sampler we no longer match would be meaningless.
+ * One "BENCH {json}" line is emitted per path; every row carries
+ * reads_per_s (completed reads per second of wall time — the
+ * throughput currency all multi-read comparisons use) and the batch8
+ * row carries its sorted per-read energies so downstream checks can
+ * assert best-of-N monotonicity. Before any timing the bench asserts
+ * (a) csr reproduces the frozen reference bit for bit from the same
+ * seed, and (b) the lockstep kernel on the active ISA reproduces its
+ * scalar fallback bit for bit — a speedup over a sampler we no
+ * longer match would be meaningless.
  *
  * Measured reality, recorded here so the bars below make sense: at
- * production sweep counts the Metropolis loop is draw-bound — on
- * encoded 3-SAT with the default geometric schedule ~75% of
+ * production sweep counts the scalar Metropolis loop is draw-bound —
+ * on encoded 3-SAT with the default geometric schedule ~75% of
  * proposals are accepted, so the seed's O(deg) field re-scan per
  * proposal and the rewrite's O(deg) field update per ACCEPT nearly
  * cancel, and both sides share the same irreducible per-proposal
  * cost (data-dependent branches + the contractual RNG draws). The
  * full-schedule single-chain gain is therefore modest (~1.1-1.3x on
- * commodity x86) and the >= 3x structural win lives in the fixed
- * per-sample overhead, which the sweeps = 1 rung isolates; see
- * DESIGN.md "Annealer hot loop".
+ * commodity x86); the structural wins are the fixed per-sample
+ * overhead (sweeps = 1 rung) and the lockstep path, which amortizes
+ * one instruction stream over 8 reads.
  *
  * Acceptance bars (full scale only): overhead rung >= 3x; full-
  * schedule csr >= 1x (regression guard, must never be slower than
- * the seed path); reads4 best-energy throughput >= 2x the
- * single-read throughput when the host has >= 4 cores.
+ * the seed path); lockstep batch8 per-read throughput >= 3x the
+ * single-read csr path (reads_scaling, single-threaded on both
+ * sides, so the bar is core-count independent).
  *
  *   ./micro_anneal [--smoke]    (HYQSAT_BENCH_TINY=1 also works)
  */
@@ -50,14 +69,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "anneal/sa_batch.h"
 #include "anneal/sa_reference.h"
 #include "anneal/sa_sampler.h"
 #include "gen/random_sat.h"
 #include "qubo/encoder.h"
 #include "qubo/qubo.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 using namespace hyqsat;
@@ -95,7 +117,53 @@ struct PathTiming
 {
     double wall_s = 0.0;
     double per_sample_us = 0.0;
+    double reads_per_s = 0.0;
     double best_energy = 0.0;
+};
+
+/** Time @p reps calls of @p fn (each completing @p reads reads). */
+template <typename Fn>
+PathTiming
+timePath(int reps, int reads, Fn &&fn)
+{
+    PathTiming out;
+    Timer t;
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        const double e = fn(i);
+        best = i == 0 ? e : std::min(best, e);
+    }
+    out.wall_s = t.seconds();
+    out.per_sample_us = out.wall_s * 1e6 / reps;
+    out.reads_per_s =
+        static_cast<double>(reads) * reps / out.wall_s;
+    out.best_energy = best;
+    return out;
+}
+
+/** RAII override of HYQSAT_SIMD, restoring the prior value. */
+class SimdEnvOverride
+{
+  public:
+    explicit SimdEnvOverride(const char *value)
+    {
+        const char *old = std::getenv("HYQSAT_SIMD");
+        had_old_ = old != nullptr;
+        if (had_old_)
+            old_ = old;
+        ::setenv("HYQSAT_SIMD", value, 1);
+    }
+    ~SimdEnvOverride()
+    {
+        if (had_old_)
+            ::setenv("HYQSAT_SIMD", old_.c_str(), 1);
+        else
+            ::unsetenv("HYQSAT_SIMD");
+    }
+
+  private:
+    bool had_old_ = false;
+    std::string old_;
 };
 
 } // namespace
@@ -112,6 +180,7 @@ main(int argc, char **argv)
     const int vars = smoke ? 40 : 180;
     const int clauses = static_cast<int>(vars * 4.2);
     const int reps = smoke ? 20 : 200;
+    const int multi_reps = smoke ? 10 : 60;
     const int overhead_reps = smoke ? 60 : 400;
     anneal::SaOptions opts;
     opts.sweeps = smoke ? 64 : 256;
@@ -128,7 +197,7 @@ main(int argc, char **argv)
     anneal::SaReferenceSampler naive_sampler(model);
     anneal::SaSampler csr_sampler(model);
 
-    // Exactness gate: the rewrite must still BE the reference
+    // Exactness gate 1: the rewrite must still BE the reference
     // algorithm (same spins, same draw stream) before we time it.
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
         Rng a(seed), b(seed);
@@ -143,95 +212,126 @@ main(int argc, char **argv)
         }
     }
 
-    PathTiming naive, csr, reads4, naive_oh, csr_oh;
+    anneal::SaOptions multi4 = opts;
+    multi4.num_reads = 4;
+    anneal::SaOptions multi8 = opts;
+    multi8.num_reads = 8;
+    anneal::SaOptions lock8 = multi8;
+    lock8.lockstep = true;
 
-    {
-        Timer t;
-        Rng rng(0xBEBADA5Eull);
-        double best = 0.0;
-        for (int i = 0; i < reps; ++i) {
-            const auto r = naiveSampleFresh(qubo, opts, rng);
-            best = i == 0 ? r.energy : std::min(best, r.energy);
+    // Exactness gate 2: the lockstep kernel on the active ISA must
+    // match its scalar fallback bit for bit (the batched contract).
+    const simd::Isa active = simd::activeIsa();
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        Rng a(seed), b(seed);
+        const auto wide = csr_sampler.sampleAll(lock8, a);
+        std::vector<anneal::SaResult> narrow;
+        {
+            SimdEnvOverride env("scalar");
+            narrow = csr_sampler.sampleAll(lock8, b);
         }
-        naive.wall_s = t.seconds();
-        naive.per_sample_us = naive.wall_s * 1e6 / reps;
-        naive.best_energy = best;
-    }
-    {
-        Timer t;
-        Rng rng(0xBEBADA5Eull);
-        double best = 0.0;
-        for (int i = 0; i < reps; ++i) {
-            const auto r = csr_sampler.sample(opts, rng);
-            best = i == 0 ? r.energy : std::min(best, r.energy);
+        bool same = wide.size() == narrow.size();
+        for (std::size_t r = 0; same && r < wide.size(); ++r)
+            same = wide[r].spins == narrow[r].spins &&
+                   wide[r].energy == narrow[r].energy;
+        if (!same) {
+            std::printf("FAIL: lockstep %s kernel diverges from the "
+                        "scalar fallback on seed %llu\n",
+                        simd::isaName(active),
+                        static_cast<unsigned long long>(seed));
+            return 1;
         }
-        csr.wall_s = t.seconds();
-        csr.per_sample_us = csr.wall_s * 1e6 / reps;
-        csr.best_energy = best;
     }
+
+    constexpr std::uint64_t kPathSeed = 0xBEBADA5Eull;
+    Rng naive_rng(kPathSeed), csr_rng(kPathSeed), r4_rng(kPathSeed);
+    Rng s8_rng(kPathSeed), b8_rng(kPathSeed), b8s_rng(kPathSeed);
+    const PathTiming naive = timePath(reps, 1, [&](int) {
+        return naiveSampleFresh(qubo, opts, naive_rng).energy;
+    });
+    const PathTiming csr = timePath(reps, 1, [&](int) {
+        return csr_sampler.sample(opts, csr_rng).energy;
+    });
+    const PathTiming reads4 = timePath(reps, 4, [&](int) {
+        return csr_sampler.sample(multi4, r4_rng).energy;
+    });
+    const PathTiming seq8 = timePath(multi_reps, 8, [&](int) {
+        return csr_sampler.sample(multi8, s8_rng).energy;
+    });
+    const PathTiming batch8 = timePath(multi_reps, 8, [&](int) {
+        return csr_sampler.sample(lock8, b8_rng).energy;
+    });
+    PathTiming batch8_scalar;
     {
-        anneal::SaOptions multi = opts;
-        multi.num_reads = 4;
-        Timer t;
-        Rng rng(0xBEBADA5Eull);
-        double best = 0.0;
-        for (int i = 0; i < reps; ++i) {
-            const auto r = csr_sampler.sample(multi, rng);
-            best = i == 0 ? r.energy : std::min(best, r.energy);
-        }
-        reads4.wall_s = t.seconds();
-        reads4.per_sample_us = reads4.wall_s * 1e6 / reps;
-        reads4.best_energy = best;
+        SimdEnvOverride env("scalar");
+        batch8_scalar = timePath(multi_reps, 8, [&](int) {
+            return csr_sampler.sample(lock8, b8s_rng).energy;
+        });
     }
+
+    // One representative lockstep sampleAll: its sorted per-read
+    // energies go on the batch8 row so downstream checks can assert
+    // best-of-N monotonicity without rerunning the bench.
+    std::vector<double> read_energies;
+    {
+        Rng rng(kPathSeed);
+        for (const auto &r : csr_sampler.sampleAll(lock8, rng))
+            read_energies.push_back(r.energy);
+    }
+
+    PathTiming naive_oh, csr_oh;
     {
         anneal::SaOptions one = opts;
         one.sweeps = 1;
-        {
-            Timer t;
-            Rng rng(0xBEBADA5Eull);
-            double best = 0.0;
-            for (int i = 0; i < overhead_reps; ++i) {
-                const auto r = naiveSampleFresh(qubo, one, rng);
-                best = i == 0 ? r.energy : std::min(best, r.energy);
-            }
-            naive_oh.wall_s = t.seconds();
-            naive_oh.per_sample_us =
-                naive_oh.wall_s * 1e6 / overhead_reps;
-            naive_oh.best_energy = best;
-        }
-        {
-            Timer t;
-            Rng rng(0xBEBADA5Eull);
-            double best = 0.0;
-            for (int i = 0; i < overhead_reps; ++i) {
-                const auto r = csr_sampler.sample(one, rng);
-                best = i == 0 ? r.energy : std::min(best, r.energy);
-            }
-            csr_oh.wall_s = t.seconds();
-            csr_oh.per_sample_us = csr_oh.wall_s * 1e6 / overhead_reps;
-            csr_oh.best_energy = best;
-        }
+        Rng noh_rng(kPathSeed), coh_rng(kPathSeed);
+        naive_oh = timePath(overhead_reps, 1, [&](int) {
+            return naiveSampleFresh(qubo, one, noh_rng).energy;
+        });
+        csr_oh = timePath(overhead_reps, 1, [&](int) {
+            return csr_sampler.sample(one, coh_rng).energy;
+        });
     }
 
     const double csr_speedup = naive.per_sample_us / csr.per_sample_us;
     const double overhead_speedup =
         naive_oh.per_sample_us / csr_oh.per_sample_us;
-    // Best-energy throughput: chains completed per unit wall time,
-    // relative to the single-read sampler. 4.0 = perfectly linear.
-    const double reads_scaling =
-        4.0 * csr.per_sample_us / reads4.per_sample_us;
+    // reads_scaling is gated on the lockstep path: how many times the
+    // single-read csr throughput one core delivers when 8 reads share
+    // one instruction stream. Both sides are single-threaded, so the
+    // ratio is core-count independent.
+    const double reads_scaling = batch8.reads_per_s / csr.reads_per_s;
+    const double lockstep_vs_seq = batch8.reads_per_s / seq8.reads_per_s;
+    const double vector_speedup =
+        batch8.reads_per_s / batch8_scalar.reads_per_s;
     const unsigned hw = std::thread::hardware_concurrency();
 
-    std::printf("naive           %9.2f us/sample (best energy %.3f)\n",
-                naive.per_sample_us, naive.best_energy);
-    std::printf("csr             %9.2f us/sample (%.2fx vs naive, bar "
-                ">= 1x; best energy %.3f)\n",
-                csr.per_sample_us, csr_speedup, csr.best_energy);
-    std::printf("reads4          %9.2f us/sample (throughput scaling "
-                "%.2fx of 4x ideal, bar >= 2x on >= 4 cores [%u]; "
-                "best energy %.3f)\n",
-                reads4.per_sample_us, reads_scaling, hw,
+    std::printf("naive           %9.2f us/sample  %9.0f reads/s "
+                "(best energy %.3f)\n",
+                naive.per_sample_us, naive.reads_per_s,
+                naive.best_energy);
+    std::printf("csr             %9.2f us/sample  %9.0f reads/s "
+                "(%.2fx vs naive, bar >= 1x; best energy %.3f)\n",
+                csr.per_sample_us, csr.reads_per_s, csr_speedup,
+                csr.best_energy);
+    std::printf("reads4          %9.2f us/sample  %9.0f reads/s "
+                "(WorkPool, %u cores; best energy %.3f)\n",
+                reads4.per_sample_us, reads4.reads_per_s, hw,
                 reads4.best_energy);
+    std::printf("seq8            %9.2f us/sample  %9.0f reads/s "
+                "(WorkPool baseline; best energy %.3f)\n",
+                seq8.per_sample_us, seq8.reads_per_s,
+                seq8.best_energy);
+    std::printf("batch8          %9.2f us/sample  %9.0f reads/s "
+                "(lockstep %s: %.2fx csr per-read, bar >= 3x; "
+                "%.2fx vs seq8; best energy %.3f)\n",
+                batch8.per_sample_us, batch8.reads_per_s,
+                simd::isaName(active), reads_scaling, lockstep_vs_seq,
+                batch8.best_energy);
+    std::printf("batch8_scalar   %9.2f us/sample  %9.0f reads/s "
+                "(lockstep scalar fallback; vector width buys "
+                "%.2fx)\n",
+                batch8_scalar.per_sample_us, batch8_scalar.reads_per_s,
+                vector_speedup);
     std::printf("naive_overhead  %9.2f us/sample at sweeps=1\n",
                 naive_oh.per_sample_us);
     std::printf("csr_overhead    %9.2f us/sample at sweeps=1 (%.2fx "
@@ -242,29 +342,50 @@ main(int argc, char **argv)
     {
         const char *path;
         const PathTiming *t;
+        const char *isa;
         int num_reads;
         int sweeps;
         int row_reps;
         double speedup_vs_naive;
-    } rows[] = {{"naive", &naive, 1, opts.sweeps, reps, 1.0},
-                {"csr", &csr, 1, opts.sweeps, reps, csr_speedup},
-                {"reads4", &reads4, 4, opts.sweeps, reps,
+    } rows[] = {{"naive", &naive, "scalar", 1, opts.sweeps, reps, 1.0},
+                {"csr", &csr, "scalar", 1, opts.sweeps, reps,
+                 csr_speedup},
+                {"reads4", &reads4, "scalar", 4, opts.sweeps, reps,
                  naive.per_sample_us / reads4.per_sample_us},
-                {"naive_overhead", &naive_oh, 1, 1, overhead_reps, 1.0},
-                {"csr_overhead", &csr_oh, 1, 1, overhead_reps,
-                 overhead_speedup}};
+                {"seq8", &seq8, "scalar", 8, opts.sweeps, multi_reps,
+                 naive.per_sample_us / seq8.per_sample_us},
+                {"batch8", &batch8, simd::isaName(active), 8,
+                 opts.sweeps, multi_reps,
+                 naive.per_sample_us / batch8.per_sample_us},
+                {"batch8_scalar", &batch8_scalar, "scalar", 8,
+                 opts.sweeps, multi_reps,
+                 naive.per_sample_us / batch8_scalar.per_sample_us},
+                {"naive_overhead", &naive_oh, "scalar", 1, 1,
+                 overhead_reps, 1.0},
+                {"csr_overhead", &csr_oh, "scalar", 1, 1,
+                 overhead_reps, overhead_speedup}};
     for (const auto &row : rows) {
         std::printf("BENCH {\"bench\":\"micro_anneal\","
-                    "\"path\":\"%s\",\"wall_s\":%.6f,"
-                    "\"per_sample_us\":%.3f,\"speedup_vs_naive\":%.3f,"
+                    "\"path\":\"%s\",\"isa\":\"%s\",\"wall_s\":%.6f,"
+                    "\"per_sample_us\":%.3f,\"reads_per_s\":%.1f,"
+                    "\"speedup_vs_naive\":%.3f,"
                     "\"num_reads\":%d,\"reads_scaling\":%.3f,"
+                    "\"lockstep_vs_seq\":%.3f,"
                     "\"overhead_speedup\":%.3f,"
                     "\"reps\":%d,\"spins\":%d,\"sweeps\":%d,"
-                    "\"best_energy\":%.6f}\n",
-                    row.path, row.t->wall_s, row.t->per_sample_us,
+                    "\"best_energy\":%.6f",
+                    row.path, row.isa, row.t->wall_s,
+                    row.t->per_sample_us, row.t->reads_per_s,
                     row.speedup_vs_naive, row.num_reads, reads_scaling,
-                    overhead_speedup, row.row_reps, model.numSpins(),
-                    row.sweeps, row.t->best_energy);
+                    lockstep_vs_seq, overhead_speedup, row.row_reps,
+                    model.numSpins(), row.sweeps, row.t->best_energy);
+        if (!std::strcmp(row.path, "batch8")) {
+            std::printf(",\"read_energies\":[");
+            for (std::size_t k = 0; k < read_energies.size(); ++k)
+                std::printf("%s%.6f", k ? "," : "", read_energies[k]);
+            std::printf("]");
+        }
+        std::printf("}\n");
     }
 
     // Bars apply at full scale only: smoke sizes are chosen for CI
@@ -281,8 +402,9 @@ main(int argc, char **argv)
                     csr_speedup);
         return 1;
     }
-    if (!smoke && hw >= 4 && reads_scaling < 2.0) {
-        std::printf("FAIL: reads4 throughput scaling %.2fx < 2x\n",
+    if (!smoke && reads_scaling < 3.0) {
+        std::printf("FAIL: lockstep batch8 per-read throughput "
+                    "%.2fx < 3x the single-read csr path\n",
                     reads_scaling);
         return 1;
     }

@@ -7,6 +7,7 @@
  *   ./build/examples/batch_solver [files...] [--dir D] [--manifest F|-]
  *       [--workers N] [--jobs N] [--timeout-s X] [--conflicts N]
  *       [--memory-mb M] [--sampler NAME] [--depth N]
+ *       [--num-reads N] [--reads-batch] [--topology NAME]
  *       [--simplify LEVEL] [--noisy] [--no-share] [--json FILE]
  *       [--csv FILE] [--metrics FILE] [--trace FILE] [--strict]
  *       [--quiet]
@@ -14,7 +15,11 @@
  * --simplify off|light|full sets the inprocessing strength of every
  * worker's base config (echoed per instance in the JSON/CSV
  * reports; the portfolio's diversification still varies it across
- * slots when the slate is auto-built).
+ * slots when the slate is auto-built). --topology chimera|pegasus
+ * picks the hardware graph family and --num-reads/--reads-batch the
+ * per-sample read count and whether reads run through the lockstep
+ * SIMD batch kernel; all three are echoed per instance in the
+ * reports alongside simplify.
  *
  * Instances come from positional paths, every *.cnf/*.dimacs under
  * --dir, and/or a manifest (one path per line; "-" = stdin). Exit
@@ -96,6 +101,21 @@ main(int argc, char **argv)
         } else if (arg("--depth")) {
             opts.portfolio.base.pipeline_depth =
                 std::max(1, std::atoi(argv[++i]));
+        } else if (arg("--num-reads")) {
+            opts.portfolio.base.num_reads =
+                std::max(1, std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--reads-batch")) {
+            opts.portfolio.base.reads_batch = true;
+        } else if (arg("--topology")) {
+            const auto kind = topology::parseKind(argv[++i]);
+            if (!kind) {
+                std::fprintf(stderr,
+                             "bad --topology: %s (expected chimera "
+                             "or pegasus)\n",
+                             argv[i]);
+                return 2;
+            }
+            opts.portfolio.base.topology = *kind;
         } else if (arg("--simplify")) {
             if (!simplify::parseStrength(
                     argv[++i], opts.portfolio.base.simplify_strength)) {
@@ -137,6 +157,8 @@ main(int argc, char **argv)
             "usage: %s [files...] [--dir D] [--manifest F|-] "
             "[--workers N] [--jobs N] [--timeout-s X] [--conflicts N] "
             "[--memory-mb M] [--sampler NAME] [--depth N] "
+            "[--num-reads N] [--reads-batch] "
+            "[--topology chimera|pegasus] "
             "[--simplify off|light|full] [--noisy] [--no-share] "
             "[--json FILE] [--csv FILE] "
             "[--metrics FILE] [--trace FILE] [--strict] [--quiet]\n",

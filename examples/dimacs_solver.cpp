@@ -7,7 +7,8 @@
  *
  *   ./build/examples/dimacs_solver problem.cnf [--classic]
  *       [--noisy] [--warmup N] [--sampler=NAME] [--depth N]
- *       [--num-reads N] [--timeout-s X] [--conflicts N]
+ *       [--num-reads N] [--reads-batch] [--topology=NAME]
+ *       [--timeout-s X] [--conflicts N]
  *       [--simplify[=<off|light|full>]] [--metrics FILE]
  *       [--trace FILE] [--no-frontend-cache]
  *       [--incremental-tracking]
@@ -27,7 +28,13 @@
  * independent annealing chains per device call (raced across the
  * shared worker pool, best energy kept first), mirroring a real
  * QPU's num_reads knob; read 1 is always bit-identical to a
- * single-read run, so extra reads can only improve the sample. --timeout-s bounds the
+ * single-read run, so extra reads can only improve the sample.
+ * --reads-batch runs those reads through the lockstep SIMD batch
+ * kernel instead of worker threads (single-core throughput; its own
+ * determinism contract, see src/anneal/sa_batch.h). --topology picks
+ * the hardware graph family (chimera, the D-Wave 2000Q default, or
+ * the higher-degree pegasus fabric whose skip couplers shorten
+ * chains). --timeout-s bounds the
  * run by wall clock (a watchdog thread trips the cooperative stop
  * token every layer observes) and --conflicts by conflict count;
  * either prints "s UNKNOWN" when it fires. --metrics dumps the
@@ -68,7 +75,9 @@ main(int argc, char **argv)
             names += (names.empty() ? "" : "|") + n;
         std::printf("usage: %s problem.cnf [--classic] [--noisy] "
                     "[--warmup N] [--sampler=%s] [--depth N] "
-                    "[--num-reads N] [--timeout-s X] [--conflicts N] "
+                    "[--num-reads N] [--reads-batch] "
+                    "[--topology=chimera|pegasus] "
+                    "[--timeout-s X] [--conflicts N] "
                     "[--simplify[=off|light|full]] "
                     "[--metrics FILE] [--trace FILE] "
                     "[--no-frontend-cache] [--incremental-tracking]\n",
@@ -82,6 +91,8 @@ main(int argc, char **argv)
     std::string sampler = "sync";
     int depth = 1;
     int num_reads = 1;
+    bool reads_batch = false;
+    topology::Kind topo = topology::Kind::Chimera;
     double timeout_s = 0.0;
     std::int64_t conflict_budget = -1;
     bool frontend_cache = true, incremental_tracking = false;
@@ -111,6 +122,28 @@ main(int argc, char **argv)
             depth = std::atoi(argv[++i]);
         else if (!std::strcmp(argv[i], "--num-reads") && i + 1 < argc)
             num_reads = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--reads-batch"))
+            reads_batch = true;
+        else if (!std::strncmp(argv[i], "--topology=", 11)) {
+            const auto kind = topology::parseKind(argv[i] + 11);
+            if (!kind) {
+                std::printf("c bad --topology: %s (expected chimera "
+                            "or pegasus)\n",
+                            argv[i] + 11);
+                return 2;
+            }
+            topo = *kind;
+        }
+        else if (!std::strcmp(argv[i], "--topology") && i + 1 < argc) {
+            const auto kind = topology::parseKind(argv[++i]);
+            if (!kind) {
+                std::printf("c bad --topology: %s (expected chimera "
+                            "or pegasus)\n",
+                            argv[i]);
+                return 2;
+            }
+            topo = *kind;
+        }
         else if (!std::strcmp(argv[i], "--timeout-s") && i + 1 < argc)
             timeout_s = std::atof(argv[++i]);
         else if (!std::strcmp(argv[i], "--conflicts") && i + 1 < argc)
@@ -244,11 +277,16 @@ main(int argc, char **argv)
         config.sampler = sampler;
         config.pipeline_depth = std::max(depth, 1);
         config.num_reads = std::max(num_reads, 1);
+        config.reads_batch = reads_batch;
+        config.topology = topo;
         core::HybridSolver solver(config);
         result = solver.solve(cnf);
-        std::printf("c sampler=%s depth=%d num_reads=%d simplify=%s\n",
+        std::printf("c sampler=%s depth=%d num_reads=%d "
+                    "reads_batch=%d topology=%s simplify=%s\n",
                     config.sampler.c_str(), config.pipeline_depth,
-                    config.num_reads, simplify::strengthName(strength));
+                    config.num_reads, reads_batch ? 1 : 0,
+                    topology::kindName(topo),
+                    simplify::strengthName(strength));
         std::printf("c %d QA samples applied over %d warm-up "
                     "iterations (%d submitted, %d stale, %d stalls)\n",
                     result.qa_samples, result.warmup_iterations,

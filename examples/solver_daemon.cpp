@@ -9,13 +9,18 @@
  *       [--port N] [--jobs N] [--workers N] [--queue-depth N]
  *       [--tenant-depth N] [--timeout-s X] [--conflicts N]
  *       [--memory-mb M] [--sampler NAME] [--depth N]
+ *       [--num-reads N] [--reads-batch] [--topology NAME]
  *       [--simplify off|light|full] [--noisy]
  *       [--drain finish|cancel] [--metrics FILE] [--trace FILE]
  *       [--quiet]
  *
  * --simplify sets the default inprocessing strength applied to every
  * job; a client's SUBMIT may override it per job with the optional
- * simplify=<level> token.
+ * simplify=<level> token. --topology chimera|pegasus and
+ * --reads-batch set the default hardware graph family and whether
+ * multi-read anneals run the lockstep SIMD batch kernel; a SUBMIT
+ * may override both with topology=<name> / reads_batch=<0|1>
+ * tokens, and every report row echoes the effective values.
  *
  * Clients speak the line protocol of service/protocol.h (SUBMIT /
  * WAIT / STATUS / METRICS / SHUTDOWN); the bundled service_client
@@ -106,6 +111,21 @@ main(int argc, char **argv)
         } else if (arg("--depth")) {
             sopts.portfolio.base.pipeline_depth =
                 std::max(1, std::atoi(argv[++i]));
+        } else if (arg("--num-reads")) {
+            sopts.portfolio.base.num_reads =
+                std::max(1, std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--reads-batch")) {
+            sopts.portfolio.base.reads_batch = true;
+        } else if (arg("--topology")) {
+            const auto kind = topology::parseKind(argv[++i]);
+            if (!kind) {
+                std::fprintf(stderr,
+                             "bad --topology: %s (expected chimera "
+                             "or pegasus)\n",
+                             argv[i]);
+                return 2;
+            }
+            sopts.portfolio.base.topology = *kind;
         } else if (arg("--simplify")) {
             if (!simplify::parseStrength(
                     argv[++i],
@@ -149,6 +169,8 @@ main(int argc, char **argv)
             "[--timeout-s X] [--conflicts N] [--memory-mb M] "
             "[--sessions N] [--tenant-sessions N] "
             "[--sampler NAME] [--depth N] "
+            "[--num-reads N] [--reads-batch] "
+            "[--topology chimera|pegasus] "
             "[--simplify off|light|full] [--noisy] "
             "[--drain finish|cancel] [--metrics FILE] "
             "[--trace FILE] [--quiet]\n",

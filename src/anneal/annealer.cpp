@@ -303,6 +303,7 @@ QuantumAnnealer::sample(const qubo::EncodedProblem &problem,
     sa.beta_end = opts_.noise.beta_final;
     sa.greedy_finish = opts_.greedy_finish;
     sa.num_reads = opts_.num_reads;
+    sa.lockstep = opts_.reads_batch;
 
     const std::vector<int> &spin_node = cp->spin_node;
     bool have_best = false;
@@ -413,6 +414,7 @@ QuantumAnnealer::sampleLogical(const qubo::EncodedProblem &problem,
     sa.beta_end = opts_.noise.beta_final;
     sa.greedy_finish = opts_.greedy_finish;
     sa.num_reads = opts_.num_reads;
+    sa.lockstep = opts_.reads_batch;
 
     bool have_best = false;
     for (int attempt = 0; attempt < std::max(opts_.attempts, 1);

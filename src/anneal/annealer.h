@@ -105,6 +105,14 @@ class QuantumAnnealer
          */
         int num_reads = 1;
 
+        /**
+         * Run multi-read anneals through the lockstep SIMD batch
+         * kernel instead of WorkPool threads (SaOptions::lockstep):
+         * same best-of-N semantics, single-core throughput, its own
+         * determinism contract. No effect at num_reads <= 1.
+         */
+        bool reads_batch = false;
+
         std::uint64_t seed = 0x5eed0f2a;
     };
 

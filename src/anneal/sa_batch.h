@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Lockstep multi-read simulated annealing: N decorrelated reads
+ * advance through ONE instruction stream over an SoA spin/local-field
+ * layout, so num_reads pays for itself on a single core instead of
+ * relying on WorkPool threads.
+ *
+ * Layout: spin i of read r lives at [i * lanes + r] as a double
+ * (+1.0 / -1.0); the cached local fields use the same stride. Every
+ * proposal computes all lanes' dE with one vectorized pass, decides
+ * each lane with a shared per-lane rule, then applies the accepted
+ * lanes with masked updates — the rejected lanes see bitwise no-ops.
+ *
+ * Randomness: a counter-based splitmix64 generator (BlockRng) fills
+ * uniforms in cache-sized blocks instead of one draw per uphill
+ * move, and the Metropolis accept test is a table compare
+ * (precomputed exp(-x) cutoffs) with an exact exp() fallback only in
+ * the rare ambiguous band between the table's bounds.
+ *
+ * Determinism contract (the batched path's own golden, distinct from
+ * the frozen scalar sa_reference.h contract): results are a pure
+ * function of (base seed, model, groups, options) and are
+ * bit-identical across ISAs — the AVX2/AVX-512/NEON kernels mirror
+ * the scalar fallback's per-lane operation order exactly and are
+ * built without FMA contraction. Golden tables in tests/anneal pin the
+ * BlockRng stream and the sampled spins per seed.
+ */
+
+#ifndef HYQSAT_ANNEAL_SA_BATCH_H
+#define HYQSAT_ANNEAL_SA_BATCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "anneal/sa_sampler.h"
+#include "util/simd.h"
+
+namespace hyqsat::anneal {
+
+/**
+ * Counter-based splitmix64 uniform stream with block refill. Word k
+ * of seed s is splitmix64_mix(s + (k+1) * golden); the sequential
+ * take() interface serves them from a cache-sized buffer refilled in
+ * one tight (auto-vectorizable) loop. Counter addressing keeps the
+ * stream random-access for golden tests and makes the draw order
+ * independent of block boundaries.
+ */
+class BlockRng
+{
+  public:
+    static constexpr std::size_t kBlock = 1024;
+
+    explicit BlockRng(std::uint64_t seed) : seed_(seed) {}
+
+    /** Raw 64-bit word at stream position @p index. */
+    std::uint64_t
+    wordAt(std::uint64_t index) const
+    {
+        std::uint64_t z = seed_ + (index + 1) * 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, 1) at stream position @p index. */
+    double
+    uniformAt(std::uint64_t index) const
+    {
+        return static_cast<double>(wordAt(index) >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Copy the next @p count uniforms of the sequential stream into
+     * @p out, refilling the block buffer as needed. count must be
+     * <= kBlock. (Defined out of line in the portable TU so the
+     * AVX2/NEON kernel TUs never emit their own — ISA-specialized —
+     * copy of the refill loop; see sa_batch_kernels.h.)
+     */
+    void take(double *out, std::size_t count);
+
+    /** Stream position of the next sequential draw. */
+    std::uint64_t cursor() const { return base_ + pos_; }
+
+  private:
+    void refill();
+
+    std::uint64_t seed_;
+    std::uint64_t base_ = 0; ///< stream index of buf_[0]
+    std::size_t filled_ = 0;
+    std::size_t pos_ = 0;
+    double buf_[kBlock];
+};
+
+/**
+ * Run all reads of @p opts in lockstep over the compiled model and
+ * return them in read order (not sorted), each with its own per-read
+ * stats (reads=1; flips_attempted counts every proposal each lane
+ * saw). @p h / @p w are the coefficient views (never null); @p base
+ * seeds both the shared Metropolis stream and the per-lane init
+ * streams (lane r draws its initial spins from BlockRng(base +
+ * (r+1) * golden)). @p isa picks the kernel; an ISA this binary or
+ * host cannot run silently degrades to the scalar fallback, which is
+ * bit-identical by contract.
+ */
+std::vector<SaResult> sampleLockstep(const SaCompiled &compiled,
+                                     const double *h, const double *w,
+                                     const SaOptions &opts,
+                                     std::uint64_t base, simd::Isa isa);
+
+} // namespace hyqsat::anneal
+
+#endif // HYQSAT_ANNEAL_SA_BATCH_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "anneal/sa_batch.h"
 #include "anneal/schedule.h"
 #include "anneal/work_pool.h"
 
@@ -386,6 +387,29 @@ SaSampler::sampleAll(const SaOptions &opts, Rng &rng) const
     std::vector<SaResult> out(reads);
     if (reads == 1) {
         out[0] = runChain(opts, rng);
+        return out;
+    }
+
+    if (opts.lockstep) {
+        // The batched contract: one caller draw seeds the whole run
+        // (init lanes + shared Metropolis stream), results are
+        // bit-identical across ISAs. Sorting and stats aggregation
+        // mirror the WorkPool path below.
+        const std::uint64_t base = rng.next();
+        out = sampleLockstep(*compiled_, h_, w_, opts, base,
+                             simd::activeIsa());
+        SaStats total;
+        total.reads = static_cast<std::uint64_t>(reads);
+        for (const SaResult &r : out) {
+            total.sweeps += r.stats.sweeps;
+            total.flips_attempted += r.stats.flips_attempted;
+            total.flips_accepted += r.stats.flips_accepted;
+        }
+        std::stable_sort(out.begin(), out.end(),
+                         [](const SaResult &a, const SaResult &b) {
+                             return a.energy < b.energy;
+                         });
+        out.front().stats = total;
         return out;
     }
 

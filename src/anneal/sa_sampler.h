@@ -71,6 +71,18 @@ struct SaOptions
      * reproduces the single-chain sampler exactly.
      */
     int num_reads = 1;
+
+    /**
+     * Run multi-read samples through the lockstep SIMD batch kernel
+     * (src/anneal/sa_batch.h) instead of WorkPool threads: all reads
+     * advance through one instruction stream, so num_reads pays on a
+     * single core. Engages only when num_reads > 1; the num_reads=1
+     * path stays on the frozen scalar contract either way. The
+     * batched path has its OWN determinism contract (seeded from one
+     * caller draw, bit-identical across ISAs) — it does not
+     * reproduce the WorkPool reads' spins or RNG stream.
+     */
+    bool lockstep = false;
 };
 
 /** Work counters for one sample (observability; see MetricsRegistry). */

@@ -180,6 +180,7 @@ makeSampler(const SamplerSpec &spec, const chimera::ChimeraGraph &graph)
         opts.sa.beta_end = spec.annealer.noise.beta_final;
         opts.sa.greedy_finish = spec.annealer.greedy_finish;
         opts.sa.num_reads = spec.annealer.num_reads;
+        opts.sa.lockstep = spec.annealer.reads_batch;
         opts.timing = spec.annealer.timing;
         opts.seed = spec.annealer.seed;
         return std::make_unique<SaDirectSampler>(opts, spec.metrics);

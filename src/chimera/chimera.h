@@ -1,134 +1,24 @@
 /**
  * @file
- * D-Wave Chimera hardware-graph topology (e.g. 2000Q: 16x16 cells of
- * K4,4, 2048 qubits).
+ * Back-compat alias of the pluggable topology layer.
  *
- * Each unit cell holds 'shore' vertical and 'shore' horizontal
- * qubits. Intra-cell couplers form a complete bipartite K_{s,s}
- * between the two shores; inter-cell couplers chain vertical qubits
- * down a column and horizontal qubits along a row.
- *
- * The paper's fast embedder (§IV-B) views the chip as a crossbar of
- * lines: a *vertical line* (column c, track k) is the chain of
- * vertical qubits with index k through every cell of column c, and a
- * *horizontal line* (row r, track k) the analogous horizontal chain.
- * A vertical and a horizontal line cross in exactly one cell, where
- * the intra-cell coupler connects them.
+ * The Chimera graph grew a sibling (Pegasus-style) and moved to
+ * topology::Topology; see src/topology/topology.h. Existing code
+ * keeps using chimera::ChimeraGraph — the plain (rows, cols, shore)
+ * constructor still builds a Chimera graph — while topology-aware
+ * callers construct the family they want via Topology(Kind, ...).
  */
 
 #ifndef HYQSAT_CHIMERA_CHIMERA_H
 #define HYQSAT_CHIMERA_CHIMERA_H
 
-#include <cstdint>
-#include <utility>
-#include <vector>
+#include "topology/topology.h"
 
 namespace hyqsat::chimera {
 
-/** Side of a unit cell a qubit belongs to. */
-enum class Shore
-{
-    Vertical = 0,
-    Horizontal = 1,
-};
-
-/** Decoded qubit coordinate. */
-struct QubitCoord
-{
-    int row = 0;   ///< cell row
-    int col = 0;   ///< cell column
-    Shore shore = Shore::Vertical;
-    int track = 0; ///< index within the shore (0..shore_size-1)
-
-    bool
-    operator==(const QubitCoord &o) const
-    {
-        return row == o.row && col == o.col && shore == o.shore &&
-               track == o.track;
-    }
-};
-
-/** Chimera graph with explicit coupler enumeration. */
-class ChimeraGraph
-{
-  public:
-    /**
-     * @param rows number of cell rows (M)
-     * @param cols number of cell columns (N)
-     * @param shore qubits per shore (L, 4 on D-Wave 2000Q)
-     */
-    ChimeraGraph(int rows, int cols, int shore = 4);
-
-    /** The D-Wave 2000Q topology: 16x16 cells, shore 4. */
-    static ChimeraGraph dwave2000q() { return {16, 16, 4}; }
-
-    int rows() const { return rows_; }
-    int cols() const { return cols_; }
-    int shore() const { return shore_; }
-
-    /**
-     * Stable per-instance identity for memoization keys: unique
-     * across all graphs ever constructed in the process (never
-     * reused, unlike an address), and shared by copies — which have
-     * identical topology, so a memo hit through a copy is safe.
-     */
-    std::uint64_t uid() const { return uid_; }
-
-    /** @return total number of qubits (rows*cols*2*shore). */
-    int numQubits() const { return rows_ * cols_ * 2 * shore_; }
-
-    /** @return total number of couplers. */
-    int numCouplers() const { return static_cast<int>(edges_.size()); }
-
-    /** Encode a coordinate into a dense qubit id. */
-    int qubitId(int row, int col, Shore shore, int track) const;
-
-    /** Decode a qubit id. */
-    QubitCoord coord(int qubit) const;
-
-    /** @return true if @p a and @p b share a coupler. */
-    bool connected(int a, int b) const;
-
-    /** Adjacency list of @p qubit. */
-    const std::vector<int> &neighbors(int qubit) const
-    {
-        return adjacency_[qubit];
-    }
-
-    /** All couplers as (a, b) with a < b. */
-    const std::vector<std::pair<int, int>> &edges() const
-    {
-        return edges_;
-    }
-
-    // ------------------------------------------------------------------
-    // Line (crossbar) view used by the fast embedder
-    // ------------------------------------------------------------------
-
-    /** @return the number of vertical lines (cols * shore). */
-    int numVerticalLines() const { return cols_ * shore_; }
-
-    /** @return the number of horizontal lines (rows * shore). */
-    int numHorizontalLines() const { return rows_ * shore_; }
-
-    /** Qubit of vertical line @p line at cell row @p row. */
-    int verticalLineQubit(int line, int row) const;
-
-    /** Qubit of horizontal line @p line at cell column @p col. */
-    int horizontalLineQubit(int line, int col) const;
-
-    /** Cell column a vertical line runs through. */
-    int verticalLineColumn(int line) const { return line / shore_; }
-
-    /** Cell row a horizontal line runs through. */
-    int horizontalLineRow(int line) const { return line / shore_; }
-
-  private:
-    int rows_, cols_, shore_;
-    std::uint64_t uid_ = 0;
-    std::vector<std::vector<int>> adjacency_;
-    std::vector<std::pair<int, int>> edges_;
-};
+using Shore = topology::Shore;
+using QubitCoord = topology::QubitCoord;
+using ChimeraGraph = topology::Topology;
 
 } // namespace hyqsat::chimera
 

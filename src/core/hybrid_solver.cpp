@@ -10,8 +10,8 @@ namespace hyqsat::core {
 
 HybridSolver::HybridSolver(const HybridConfig &config)
     : config_(config),
-      graph_(config.chimera_rows, config.chimera_cols,
-             config.chimera_shore)
+      graph_(config.topology, config.chimera_rows,
+             config.chimera_cols, config.chimera_shore)
 {
 }
 
@@ -25,6 +25,8 @@ hybridSamplerSpec(const HybridConfig &config)
     // compose as "whoever asks for more reads wins".
     spec.annealer.num_reads =
         std::max({config.num_reads, config.annealer.num_reads, 1});
+    spec.annealer.reads_batch =
+        config.reads_batch || config.annealer.reads_batch;
     spec.batch_samples = config.batch_samples;
     spec.pipeline_depth = std::max(config.pipeline_depth, 2);
     spec.rtt_us = config.rtt_us;

@@ -39,7 +39,14 @@ struct HybridConfig
     FrontendOptions frontend;
     BackendOptions backend;
 
-    /** Chimera topology (D-Wave 2000Q by default). */
+    /**
+     * Hardware topology family: Chimera (default) or the
+     * Pegasus-style higher-degree graph (shorter chains, larger
+     * embeddable clause queues). See topology::Topology.
+     */
+    topology::Kind topology = topology::Kind::Chimera;
+
+    /** Topology cell grid (D-Wave 2000Q by default). */
     int chimera_rows = 16;
     int chimera_cols = 16;
     int chimera_shore = 4;
@@ -85,6 +92,14 @@ struct HybridConfig
      * sampler bit for bit.
      */
     int num_reads = 1;
+
+    /**
+     * Run multi-read samples through the lockstep SIMD batch kernel
+     * (one instruction stream for all reads) instead of WorkPool
+     * threads — the single-core way to make num_reads pay. No
+     * effect at num_reads <= 1.
+     */
+    bool reads_batch = false;
 
     /** Modeled network round trip per async sample (microseconds). */
     double rtt_us = 0.0;

@@ -67,8 +67,8 @@ HybridSolver::openSession() const
 
 Session::Session(const HybridConfig &config)
     : config_(config),
-      graph_(config.chimera_rows, config.chimera_cols,
-             config.chimera_shore)
+      graph_(config.topology, config.chimera_rows,
+             config.chimera_cols, config.chimera_shore)
 {
     if (config_.metrics)
         metrics_.setTrace(config_.metrics->trace());

@@ -209,8 +209,7 @@ class Builder
             }
             // Variable: vertical span + owned horizontal segments.
             const int line = var_line_.at(info.var);
-            const auto [r_min, r_max] = spanOf(info.var);
-            for (int r = r_min; r <= r_max; ++r)
+            for (int r : chainRows(info.var))
                 chain.push_back(graph_.verticalLineQubit(line, r));
             const auto segs = var_segments.find(info.var);
             if (segs != var_segments.end()) {
@@ -262,13 +261,57 @@ class Builder
     }
 
     /**
+     * Rows of a variable's vertical chain, ascending. The chain must
+     * visit every crossing row (where a horizontal segment couples
+     * to it); between crossings it only needs stepping stones every
+     * lineReach() rows, so on Pegasus the skip couplers let the
+     * chain leave interior rows free. With reach 1 the bridging
+     * degenerates to the historical contiguous [r_min, r_max] span,
+     * keeping Chimera embeddings bit-identical.
+     */
+    std::vector<int>
+    chainRows(Var v) const
+    {
+        const auto [r_min, r_max] = spanOf(v);
+        std::vector<int> crossings;
+        const auto it = rows_used_.find(v);
+        if (it != rows_used_.end() && !it->second.empty()) {
+            const auto &rows = it->second;
+            const auto begin =
+                rows.size() >= 2 ? rows.begin() + 1 : rows.begin();
+            crossings.assign(begin, rows.end());
+        } else {
+            crossings.push_back(r_min);
+        }
+        std::sort(crossings.begin(), crossings.end());
+        crossings.erase(
+            std::unique(crossings.begin(), crossings.end()),
+            crossings.end());
+
+        const int reach = graph_.lineReach();
+        std::vector<int> out;
+        for (std::size_t i = 0; i < crossings.size(); ++i) {
+            out.push_back(crossings[i]);
+            if (i + 1 < crossings.size()) {
+                for (int r = crossings[i] + reach;
+                     r < crossings[i + 1]; r += reach)
+                    out.push_back(r);
+            }
+        }
+        return out;
+    }
+
+    /**
      * Can variable @p v's span grow to include row @p r without its
-     * extended interval touching a co-resident variable's interval
-     * (one row of separation keeps the chains uncoupled)?
+     * extended interval coming within lineReach() rows of a
+     * co-resident variable's interval? Chains separated by less than
+     * the reach would share a line coupler (stride-1 on Chimera,
+     * also the stride-2 skip couplers on Pegasus).
      */
     bool
     rowFeasibleOnLine(int line, Var v, int r) const
     {
+        const int reach = graph_.lineReach();
         int lo = r, hi = r;
         const auto it = rows_used_.find(v);
         if (it != rows_used_.end() && !it->second.empty()) {
@@ -285,8 +328,8 @@ class Builder
                 continue; // mid-rollback transient
             const auto [omn, omx] = std::minmax_element(
                 oit->second.begin(), oit->second.end());
-            if (lo <= *omx + 1 && *omn <= hi + 1)
-                return false; // intervals would touch
+            if (lo <= *omx + reach && *omn <= hi + reach)
+                return false; // a line coupler would join the chains
         }
         return true;
     }
@@ -295,6 +338,7 @@ class Builder
     int
     freeHomeRow(int line) const
     {
+        const int reach = graph_.lineReach();
         for (int r = graph_.rows() - 1; r >= 0; --r) {
             bool ok = true;
             for (Var other : line_vars_[line]) {
@@ -303,7 +347,7 @@ class Builder
                     continue;
                 const auto [omn, omx] = std::minmax_element(
                     oit->second.begin(), oit->second.end());
-                if (r <= *omx + 1 && *omn <= r + 1) {
+                if (r <= *omx + reach && *omn <= r + reach) {
                     ok = false;
                     break;
                 }

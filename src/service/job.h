@@ -53,6 +53,19 @@ struct JobSpec
      * to every worker's base config before diversification.
      */
     std::string simplify;
+
+    /**
+     * Hardware-topology override ("chimera", "pegasus"); "" keeps
+     * the scheduler's configured default. Applied like simplify.
+     */
+    std::string topology;
+
+    /**
+     * Lockstep-reads override: 1 routes multi-read anneals through
+     * the SIMD batch kernel, 0 forces WorkPool threads, -1 keeps
+     * the scheduler's configured default.
+     */
+    int reads_batch = -1;
 };
 
 /** Admission-control verdict for one submit. */

@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "simplify/pipeline.h"
+#include "topology/topology.h"
 #include "util/metrics.h"
 
 namespace hyqsat::service {
@@ -26,6 +27,45 @@ parseInt(std::string_view tok, int &out)
     return res.ec == std::errc() &&
            res.ptr == tok.data() + tok.size();
 }
+
+/**
+ * Parse one trailing `key=value` override token of SUBMIT/OPEN.
+ * Values are validated here so the scheduler can apply them blindly.
+ */
+bool
+parseOption(std::string_view opt, Request &req)
+{
+    constexpr std::string_view kSimplify = "simplify=";
+    constexpr std::string_view kTopology = "topology=";
+    constexpr std::string_view kReadsBatch = "reads_batch=";
+    if (opt.rfind(kSimplify, 0) == 0) {
+        const auto value = opt.substr(kSimplify.size());
+        simplify::Strength strength;
+        if (!simplify::parseStrength(std::string(value), strength))
+            return false;
+        req.simplify = std::string(value);
+        return true;
+    }
+    if (opt.rfind(kTopology, 0) == 0) {
+        const auto value = opt.substr(kTopology.size());
+        if (!topology::parseKind(value).has_value())
+            return false;
+        req.topology = std::string(value);
+        return true;
+    }
+    if (opt.rfind(kReadsBatch, 0) == 0) {
+        const auto value = opt.substr(kReadsBatch.size());
+        if (value != "0" && value != "1")
+            return false;
+        req.reads_batch = value == "1" ? 1 : 0;
+        return true;
+    }
+    return false;
+}
+
+constexpr const char *kOptionUsage =
+    "simplify=<off|light|full>, topology=<chimera|pegasus> or "
+    "reads_batch=<0|1>";
 
 } // namespace
 
@@ -61,31 +101,27 @@ parseRequest(std::string_view line)
     }
     const std::string_view verb = tokens[0];
     if (verb == "SUBMIT") {
-        // SUBMIT <tenant> <priority> <name> [simplify=<level>] —
-        // all single tokens; the only optional extra is the
-        // key=value simplify override (anything else stays Invalid).
-        if (tokens.size() != 4 && tokens.size() != 5) {
+        // SUBMIT <tenant> <priority> <name> [key=value...] — all
+        // single tokens; the optional extras are key=value overrides
+        // in any order (anything else stays Invalid).
+        if (tokens.size() < 4 || tokens.size() > 7) {
             req.error = "usage: SUBMIT <tenant> <priority> <name> "
-                        "[simplify=<off|light|full>]";
+                        "[simplify=<off|light|full>] "
+                        "[topology=<chimera|pegasus>] "
+                        "[reads_batch=<0|1>]";
             return req;
         }
         if (!parseInt(tokens[2], req.priority)) {
             req.error = "bad priority";
             return req;
         }
-        if (tokens.size() == 5) {
-            constexpr std::string_view kKey = "simplify=";
-            const std::string_view opt = tokens[4];
-            simplify::Strength strength;
-            if (opt.rfind(kKey, 0) != 0 ||
-                !simplify::parseStrength(
-                    std::string(opt.substr(kKey.size())), strength)) {
-                req.error = "bad option (expected "
-                            "simplify=<off|light|full>): " +
-                            std::string(opt);
+        for (std::size_t i = 4; i < tokens.size(); ++i) {
+            if (!parseOption(tokens[i], req)) {
+                req.error = "bad option (expected " +
+                            std::string(kOptionUsage) +
+                            "): " + std::string(tokens[i]);
                 return req;
             }
-            req.simplify = std::string(opt.substr(kKey.size()));
         }
         req.verb = Verb::Submit;
         req.tenant = std::string(tokens[1]);
@@ -134,18 +170,14 @@ parseRequest(std::string_view line)
             return req;
         }
         if (tokens.size() == 3) {
-            constexpr std::string_view kKey = "simplify=";
             const std::string_view opt = tokens[2];
-            simplify::Strength strength;
-            if (opt.rfind(kKey, 0) != 0 ||
-                !simplify::parseStrength(
-                    std::string(opt.substr(kKey.size())), strength)) {
+            if (opt.rfind("simplify=", 0) != 0 ||
+                !parseOption(opt, req)) {
                 req.error = "bad option (expected "
                             "simplify=<off|light|full>): " +
                             std::string(opt);
                 return req;
             }
-            req.simplify = std::string(opt.substr(kKey.size()));
         }
         req.verb = Verb::Open;
         req.tenant = std::string(tokens[1]);

@@ -7,6 +7,7 @@
  *
  * Client -> server:
  *   SUBMIT <tenant> <priority> <name> [simplify=<off|light|full>]
+ *                    [topology=<chimera|pegasus>] [reads_batch=<0|1>]
  *                    then DIMACS lines, then END
  *   WAIT <id>        block until the job finishes
  *   STATUS <id>      non-blocking state probe
@@ -83,6 +84,8 @@ struct Request
     int priority = 0;
     std::string name;
     std::string simplify; ///< "" = daemon default strength
+    std::string topology; ///< "" = daemon default hardware graph
+    int reads_batch = -1; ///< -1 = daemon default, else 0/1
 
     // WAIT / STATUS / session-verb id field.
     JobId id = 0;

@@ -102,7 +102,9 @@ writeJsonReport(const BatchReport &report, std::ostream &out)
             << "\", \"status\": \"" << jsonEscape(r.status)
             << "\", \"winner\": \"" << jsonEscape(r.winner)
             << "\", \"simplify\": \"" << jsonEscape(r.simplify)
-            << "\", \"wall_s\": " << jsonNumber(r.wall_s)
+            << "\", \"topology\": \"" << jsonEscape(r.topology)
+            << "\", \"reads_batch\": " << (r.reads_batch ? 1 : 0)
+            << ", \"wall_s\": " << jsonNumber(r.wall_s)
             << ", \"vars\": " << r.vars
             << ", \"clauses\": " << r.clauses
             << ", \"iterations\": " << r.iterations
@@ -130,12 +132,14 @@ writeJsonReport(const BatchReport &report, std::ostream &out)
 void
 writeCsvReport(const BatchReport &report, std::ostream &out)
 {
-    out << "name,path,status,winner,simplify,wall_s,vars,clauses,"
+    out << "name,path,status,winner,simplify,topology,reads_batch,"
+           "wall_s,vars,clauses,"
            "iterations,conflicts,restarts,propagations,qa_samples,"
            "frontend_s,qa_device_s,qa_blocking_s,backend_s,cdcl_s\n";
     for (const InstanceRecord &r : report.records) {
         out << r.name << ',' << r.path << ',' << r.status << ','
             << r.winner << ',' << r.simplify << ','
+            << r.topology << ',' << (r.reads_batch ? 1 : 0) << ','
             << jsonNumber(r.wall_s) << ','
             << r.vars << ',' << r.clauses << ',' << r.iterations
             << ',' << r.conflicts << ',' << r.restarts << ','

@@ -46,6 +46,12 @@ struct InstanceRecord
      */
     std::string simplify;
 
+    /** Effective hardware topology ("chimera", "pegasus"). */
+    std::string topology;
+
+    /** True when multi-read anneals ran the lockstep batch kernel. */
+    bool reads_batch = false;
+
     double wall_s = 0.0;
     int vars = 0;
     int clauses = 0;

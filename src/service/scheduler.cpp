@@ -6,6 +6,7 @@
 
 #include "sat/dimacs.h"
 #include "simplify/pipeline.h"
+#include "topology/topology.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -375,6 +376,26 @@ JobScheduler::runJob(const std::shared_ptr<Job> &job)
             w.hybrid.simplify_strength = strength;
     }
     rec.simplify = simplify::strengthName(strength);
+
+    // Topology and lockstep-reads overrides, applied the same way
+    // (base config + any explicit slate; echoed in the record).
+    topology::Kind topo = popts.base.topology;
+    if (const auto kind = topology::parseKind(spec.topology)) {
+        topo = *kind;
+        popts.base.topology = topo;
+        for (portfolio::WorkerConfig &w : popts.workers)
+            w.hybrid.topology = topo;
+    }
+    rec.topology = topology::kindName(topo);
+
+    bool reads_batch = popts.base.reads_batch;
+    if (spec.reads_batch >= 0) {
+        reads_batch = spec.reads_batch != 0;
+        popts.base.reads_batch = reads_batch;
+        for (portfolio::WorkerConfig &w : popts.workers)
+            w.hybrid.reads_batch = reads_batch;
+    }
+    rec.reads_batch = reads_batch;
 
     const int workers = popts.workers.empty()
                             ? popts.num_workers

@@ -263,6 +263,8 @@ Server::serveConnection(int fd)
             spec.priority = req.priority;
             spec.name = req.name;
             spec.simplify = req.simplify;
+            spec.topology = req.topology;
+            spec.reads_batch = req.reads_batch;
             spec.dimacs = std::move(dimacs);
             const Submission sub = scheduler_.submit(std::move(spec));
             if (!sendLine(fd, formatSubmission(sub)))

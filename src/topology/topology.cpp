@@ -1,11 +1,11 @@
-#include "chimera/chimera.h"
+#include "topology/topology.h"
 
 #include <algorithm>
 #include <atomic>
 
 #include "util/logging.h"
 
-namespace hyqsat::chimera {
+namespace hyqsat::topology {
 
 namespace {
 
@@ -18,11 +18,34 @@ nextGraphUid()
 
 } // namespace
 
-ChimeraGraph::ChimeraGraph(int rows, int cols, int shore)
-    : rows_(rows), cols_(cols), shore_(shore), uid_(nextGraphUid())
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::Chimera:
+        return "chimera";
+    case Kind::Pegasus:
+        return "pegasus";
+    }
+    return "chimera";
+}
+
+std::optional<Kind>
+parseKind(std::string_view name)
+{
+    if (name == "chimera")
+        return Kind::Chimera;
+    if (name == "pegasus")
+        return Kind::Pegasus;
+    return std::nullopt;
+}
+
+Topology::Topology(Kind kind, int rows, int cols, int shore)
+    : kind_(kind), rows_(rows), cols_(cols), shore_(shore),
+      uid_(nextGraphUid())
 {
     if (rows < 1 || cols < 1 || shore < 1)
-        fatal("ChimeraGraph requires positive dimensions");
+        fatal("Topology requires positive dimensions");
 
     adjacency_.resize(numQubits());
     auto addEdge = [this](int a, int b) {
@@ -33,6 +56,10 @@ ChimeraGraph::ChimeraGraph(int rows, int cols, int shore)
         adjacency_[b].push_back(a);
     };
 
+    // Chimera skeleton, shared by both families. The emission order
+    // is frozen: edges() / edge slots feed memoized coefficient
+    // schedules, so the Pegasus extras are appended strictly after
+    // the skeleton of each cell.
     for (int r = 0; r < rows_; ++r) {
         for (int c = 0; c < cols_; ++c) {
             // Intra-cell K_{shore,shore} couplers.
@@ -56,6 +83,30 @@ ChimeraGraph::ChimeraGraph(int rows, int cols, int shore)
                             qubitId(r, c + 1, Shore::Horizontal, k));
                 }
             }
+            if (kind_ != Kind::Pegasus)
+                continue;
+            // Odd couplers: tracks (2t, 2t+1) of each shore paired
+            // inside the cell.
+            for (int t = 0; 2 * t + 1 < shore_; ++t) {
+                addEdge(qubitId(r, c, Shore::Vertical, 2 * t),
+                        qubitId(r, c, Shore::Vertical, 2 * t + 1));
+                addEdge(qubitId(r, c, Shore::Horizontal, 2 * t),
+                        qubitId(r, c, Shore::Horizontal, 2 * t + 1));
+            }
+            // Skip couplers: each line also reaches the cell two
+            // steps away, so chains may leave every other cell free.
+            if (r + 2 < rows_) {
+                for (int k = 0; k < shore_; ++k) {
+                    addEdge(qubitId(r, c, Shore::Vertical, k),
+                            qubitId(r + 2, c, Shore::Vertical, k));
+                }
+            }
+            if (c + 2 < cols_) {
+                for (int k = 0; k < shore_; ++k) {
+                    addEdge(qubitId(r, c, Shore::Horizontal, k),
+                            qubitId(r, c + 2, Shore::Horizontal, k));
+                }
+            }
         }
     }
     for (auto &adj : adjacency_)
@@ -63,14 +114,14 @@ ChimeraGraph::ChimeraGraph(int rows, int cols, int shore)
 }
 
 int
-ChimeraGraph::qubitId(int row, int col, Shore shore, int track) const
+Topology::qubitId(int row, int col, Shore shore, int track) const
 {
     return ((row * cols_ + col) * 2 + static_cast<int>(shore)) * shore_ +
            track;
 }
 
 QubitCoord
-ChimeraGraph::coord(int qubit) const
+Topology::coord(int qubit) const
 {
     QubitCoord q;
     q.track = qubit % shore_;
@@ -83,14 +134,14 @@ ChimeraGraph::coord(int qubit) const
 }
 
 bool
-ChimeraGraph::connected(int a, int b) const
+Topology::connected(int a, int b) const
 {
     const auto &adj = adjacency_[a];
     return std::binary_search(adj.begin(), adj.end(), b);
 }
 
 int
-ChimeraGraph::verticalLineQubit(int line, int row) const
+Topology::verticalLineQubit(int line, int row) const
 {
     const int col = line / shore_;
     const int track = line % shore_;
@@ -98,11 +149,11 @@ ChimeraGraph::verticalLineQubit(int line, int row) const
 }
 
 int
-ChimeraGraph::horizontalLineQubit(int line, int col) const
+Topology::horizontalLineQubit(int line, int col) const
 {
     const int row = line / shore_;
     const int track = line % shore_;
     return qubitId(row, col, Shore::Horizontal, track);
 }
 
-} // namespace hyqsat::chimera
+} // namespace hyqsat::topology

@@ -146,6 +146,37 @@ TEST(MetricsIntegration, AnnealCountersRecordSamplingWork)
               2 * registry.timer("anneal.sample")->count());
 }
 
+TEST(MetricsIntegration, AnnealCountersAreReadAwareUnderLockstep)
+{
+    // The lockstep batch kernel must keep the same accounting
+    // identities as the WorkPool reads: every chain contributes its
+    // full sweep schedule, so anneal.sweeps == anneal.reads *
+    // noise.sweeps exactly (the greedy finish adds attempts, never
+    // sweeps), and accepted work stays within attempted.
+    const sat::Cnf cnf = testFormula();
+    MetricsRegistry registry;
+    HybridConfig cfg = noiseFreeConfig();
+    cfg.metrics = &registry;
+    cfg.num_reads = 4;
+    cfg.reads_batch = true;
+    HybridSolver solver(cfg);
+    const HybridResult result = solver.solve(cnf);
+    ASSERT_FALSE(result.status.isUndef());
+    ASSERT_GT(result.qa_samples, 0);
+
+    const std::uint64_t reads =
+        registry.counter("anneal.reads")->value();
+    const std::uint64_t sweeps =
+        registry.counter("anneal.sweeps")->value();
+    EXPECT_GE(reads, 4 * registry.timer("anneal.sample")->count());
+    EXPECT_EQ(sweeps,
+              reads * static_cast<std::uint64_t>(
+                          cfg.annealer.noise.sweeps));
+    EXPECT_GT(registry.counter("anneal.flips.accepted")->value(), 0u);
+    EXPECT_LE(registry.counter("anneal.flips.accepted")->value(),
+              registry.counter("anneal.flips.attempted")->value());
+}
+
 TEST(MetricsIntegration, WriteJsonContainsExactCounterValues)
 {
     const sat::Cnf cnf = testFormula();

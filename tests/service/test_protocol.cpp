@@ -62,6 +62,37 @@ TEST(ServiceProtocol, SubmitSimplifyOption)
               Verb::Invalid);
 }
 
+TEST(ServiceProtocol, SubmitTopologyAndReadsBatchOptions)
+{
+    // topology= / reads_batch= compose with simplify= in any order.
+    const Request req = parseRequest(
+        "SUBMIT acme 3 job-1 reads_batch=1 topology=pegasus "
+        "simplify=light");
+    EXPECT_EQ(req.verb, Verb::Submit);
+    EXPECT_EQ(req.simplify, "light");
+    EXPECT_EQ(req.topology, "pegasus");
+    EXPECT_EQ(req.reads_batch, 1);
+
+    const Request chimera =
+        parseRequest("SUBMIT acme 0 j topology=chimera");
+    EXPECT_EQ(chimera.verb, Verb::Submit);
+    EXPECT_EQ(chimera.topology, "chimera");
+    EXPECT_EQ(chimera.reads_batch, -1) << "unset keeps the default";
+    EXPECT_EQ(parseRequest("SUBMIT acme 0 j reads_batch=0").reads_batch,
+              0);
+
+    // Defaults when absent; bad values stay Invalid.
+    const Request plain = parseRequest("SUBMIT acme 3 job-1");
+    EXPECT_TRUE(plain.topology.empty());
+    EXPECT_EQ(plain.reads_batch, -1);
+    EXPECT_EQ(parseRequest("SUBMIT acme 3 j topology=zephyr").verb,
+              Verb::Invalid);
+    EXPECT_EQ(parseRequest("SUBMIT acme 3 j reads_batch=yes").verb,
+              Verb::Invalid);
+    EXPECT_EQ(parseRequest("SUBMIT acme 3 j topology=").verb,
+              Verb::Invalid);
+}
+
 TEST(ServiceProtocol, ParsesWaitAndStatus)
 {
     const Request wait = parseRequest("WAIT 42");

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/hybrid_solver.h"
+#include "embed/hyqsat_embedder.h"
+#include "sat/brute_force.h"
+#include "tests/sat/helpers.h"
+#include "topology/topology.h"
+
+namespace hyqsat::topology {
+namespace {
+
+TEST(Topology, KindNamesRoundTrip)
+{
+    EXPECT_STREQ(kindName(Kind::Chimera), "chimera");
+    EXPECT_STREQ(kindName(Kind::Pegasus), "pegasus");
+    for (Kind k : {Kind::Chimera, Kind::Pegasus}) {
+        const auto parsed = parseKind(kindName(k));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, k);
+    }
+    EXPECT_FALSE(parseKind("").has_value());
+    EXPECT_FALSE(parseKind("Chimera").has_value());
+    EXPECT_FALSE(parseKind("zephyr").has_value());
+}
+
+TEST(Topology, ChimeraMatchesLegacyExpectations)
+{
+    // The back-compat constructor is the old ChimeraGraph: K_{4,4}
+    // cells chained cell by cell. Counts for a 16x16, shore-4 fabric:
+    // 16*16*8 qubits; couplers = cells*16 intra + chains.
+    const Topology g(16, 16, 4);
+    EXPECT_EQ(g.kind(), Kind::Chimera);
+    EXPECT_STREQ(g.name(), "chimera");
+    EXPECT_EQ(g.lineReach(), 1);
+    EXPECT_EQ(g.numQubits(), 2048);
+    const int intra = 16 * 16 * 16;       // K_{4,4} per cell
+    const int vert = 15 * 16 * 4;         // vertical chains
+    const int horiz = 16 * 15 * 4;        // horizontal chains
+    EXPECT_EQ(g.numCouplers(), intra + vert + horiz);
+
+    // Degree 6 interior: 4 intra-cell + 2 along the line.
+    const int q = g.qubitId(8, 8, Shore::Vertical, 2);
+    EXPECT_EQ(static_cast<int>(g.neighbors(q).size()), 6);
+    EXPECT_TRUE(g.connected(g.verticalLineQubit(2, 3),
+                            g.verticalLineQubit(2, 4)));
+    EXPECT_FALSE(g.connected(g.verticalLineQubit(2, 3),
+                             g.verticalLineQubit(2, 5)));
+}
+
+TEST(Topology, PegasusKeepsChimeraSkeleton)
+{
+    const Topology c = Topology::chimera(6, 6, 4);
+    const Topology p = Topology::pegasus(6, 6, 4);
+    EXPECT_EQ(p.numQubits(), c.numQubits());
+    EXPECT_EQ(p.lineReach(), 2);
+    // Every Chimera coupler survives in the Pegasus-style graph.
+    for (const auto &[a, b] : c.edges())
+        EXPECT_TRUE(p.connected(a, b)) << a << "-" << b;
+    EXPECT_GT(p.numCouplers(), c.numCouplers());
+}
+
+TEST(Topology, PegasusOddCouplersPairAdjacentTracks)
+{
+    const Topology p = Topology::pegasus(4, 4, 4);
+    // Tracks (0,1) and (2,3) of the same shore in the same cell.
+    for (Shore s : {Shore::Vertical, Shore::Horizontal}) {
+        EXPECT_TRUE(p.connected(p.qubitId(1, 2, s, 0),
+                                p.qubitId(1, 2, s, 1)));
+        EXPECT_TRUE(p.connected(p.qubitId(1, 2, s, 2),
+                                p.qubitId(1, 2, s, 3)));
+        // But not across pair boundaries or cells.
+        EXPECT_FALSE(p.connected(p.qubitId(1, 2, s, 1),
+                                 p.qubitId(1, 2, s, 2)));
+        EXPECT_FALSE(p.connected(p.qubitId(1, 2, s, 0),
+                                 p.qubitId(1, 3, s, 1)));
+    }
+    // Chimera has neither.
+    const Topology c = Topology::chimera(4, 4, 4);
+    EXPECT_FALSE(c.connected(c.qubitId(1, 2, Shore::Vertical, 0),
+                             c.qubitId(1, 2, Shore::Vertical, 1)));
+}
+
+TEST(Topology, PegasusSkipCouplersStrideTwoCells)
+{
+    const Topology p = Topology::pegasus(5, 5, 4);
+    // Vertical line: rows r and r+2 connected; horizontal: cols.
+    EXPECT_TRUE(p.connected(p.verticalLineQubit(7, 0),
+                            p.verticalLineQubit(7, 2)));
+    EXPECT_TRUE(p.connected(p.verticalLineQubit(7, 2),
+                            p.verticalLineQubit(7, 4)));
+    EXPECT_FALSE(p.connected(p.verticalLineQubit(7, 0),
+                             p.verticalLineQubit(7, 3)));
+    EXPECT_TRUE(p.connected(p.horizontalLineQubit(3, 1),
+                            p.horizontalLineQubit(3, 3)));
+    const Topology c = Topology::chimera(5, 5, 4);
+    EXPECT_FALSE(c.connected(c.verticalLineQubit(7, 0),
+                             c.verticalLineQubit(7, 2)));
+}
+
+TEST(Topology, EdgesAreCanonicalAndUnique)
+{
+    for (const Topology &g :
+         {Topology::chimera(3, 4, 2), Topology::pegasus(3, 4, 2)}) {
+        std::set<std::pair<int, int>> seen;
+        for (const auto &e : g.edges()) {
+            EXPECT_LT(e.first, e.second);
+            EXPECT_GE(e.first, 0);
+            EXPECT_LT(e.second, g.numQubits());
+            EXPECT_TRUE(seen.insert(e).second)
+                << "duplicate coupler " << e.first << "-" << e.second;
+        }
+        // Adjacency is the symmetric closure of the edge list.
+        std::size_t degree_sum = 0;
+        for (int q = 0; q < g.numQubits(); ++q) {
+            const auto &n = g.neighbors(q);
+            EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+            degree_sum += n.size();
+        }
+        EXPECT_EQ(degree_sum, 2 * seen.size());
+    }
+}
+
+TEST(Topology, EmbedderProducesValidPegasusEmbeddings)
+{
+    // The fast embedder must produce connected, separated chains on
+    // both families; Pegasus chains may use skip couplers.
+    Rng rng(17);
+    const auto cnf = sat::testing::randomCnf(15, 30, 3, rng);
+    const std::vector<sat::LitVec> clauses(cnf.clauses().begin(),
+                                           cnf.clauses().end());
+    for (const Topology &g :
+         {Topology::chimera(16, 16, 4), Topology::pegasus(16, 16, 4)}) {
+        embed::HyQsatEmbedder embedder(g);
+        const auto fx = embedder.embedQueue(clauses);
+        EXPECT_GT(fx.embedded_clauses, 0) << g.name();
+        for (const auto &chain : fx.embedding.chains()) {
+            ASSERT_FALSE(chain.empty());
+            // Connectivity: the chain-induced subgraph is connected
+            // (BFS from the first qubit reaches every member).
+            std::set<int> members(chain.begin(), chain.end());
+            std::set<int> seen{chain.front()};
+            std::vector<int> frontier{chain.front()};
+            while (!frontier.empty()) {
+                const int q = frontier.back();
+                frontier.pop_back();
+                for (int nb : g.neighbors(q)) {
+                    if (members.count(nb) && seen.insert(nb).second)
+                        frontier.push_back(nb);
+                }
+            }
+            EXPECT_EQ(seen.size(), members.size())
+                << g.name() << " chain starting at " << chain.front()
+                << " is disconnected";
+        }
+    }
+}
+
+TEST(Topology, HybridSolveRunsOnPegasus)
+{
+    Rng rng(23);
+    for (int round = 0; round < 3; ++round) {
+        const auto cnf = sat::testing::randomCnf(20, 70, 3, rng);
+        const auto truth = sat::bruteForceSolve(cnf);
+        core::HybridConfig cfg;
+        cfg.topology = Kind::Pegasus;
+        cfg.chimera_rows = 8;
+        cfg.chimera_cols = 8;
+        cfg.annealer.noise = anneal::NoiseModel::noiseFree();
+        cfg.annealer.greedy_finish = true;
+        cfg.warmup_override = 6;
+        cfg.seed = 0x900d + static_cast<std::uint64_t>(round);
+        core::HybridSolver solver(cfg);
+        EXPECT_EQ(solver.graph().kind(), Kind::Pegasus);
+        const auto res = solver.solve(cnf);
+        ASSERT_TRUE(res.status.isTrue() || res.status.isFalse());
+        EXPECT_EQ(res.status.isTrue(), truth.satisfiable)
+            << "round " << round;
+        if (res.status.isTrue()) {
+            EXPECT_TRUE(cnf.eval(res.model));
+        }
+    }
+}
+
+} // namespace
+} // namespace hyqsat::topology
