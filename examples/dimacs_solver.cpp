@@ -7,7 +7,8 @@
  *
  *   ./build/examples/dimacs_solver problem.cnf [--classic]
  *       [--noisy] [--warmup N] [--sampler=NAME] [--depth N]
- *       [--num-reads N] [--reads-batch] [--topology=NAME]
+ *       [--num-reads N] [--reads-batch] [--reads-groups N]
+ *       [--topology=NAME]
  *       [--timeout-s X] [--conflicts N]
  *       [--simplify[=<off|light|full>]] [--metrics FILE]
  *       [--trace FILE] [--no-frontend-cache]
@@ -30,11 +31,15 @@
  * QPU's num_reads knob; read 1 is always bit-identical to a
  * single-read run, so extra reads can only improve the sample.
  * --reads-batch runs those reads through the lockstep SIMD batch
- * kernel instead of worker threads (single-core throughput; its own
- * determinism contract, see src/anneal/sa_batch.h). --topology picks
- * the hardware graph family (chimera, the D-Wave 2000Q default, or
- * the higher-degree pegasus fabric whose skip couplers shorten
- * chains). --timeout-s bounds the
+ * kernel instead of worker threads (its own determinism contract,
+ * see src/anneal/sa_batch.h) and --reads-groups N splits the batch
+ * into N parallel lockstep groups fanned across the shared WorkPool
+ * (0 = auto: groups of up to 8 lanes), compounding the per-core
+ * vector speedup with core count without changing results.
+ * --topology picks the hardware graph family (chimera, the D-Wave
+ * 2000Q default; the higher-degree pegasus fabric whose skip
+ * couplers shorten chains; or zephyr, which adds a third coupler
+ * distance on top of pegasus's fabric). --timeout-s bounds the
  * run by wall clock (a watchdog thread trips the cooperative stop
  * token every layer observes) and --conflicts by conflict count;
  * either prints "s UNKNOWN" when it fires. --metrics dumps the
@@ -76,7 +81,8 @@ main(int argc, char **argv)
         std::printf("usage: %s problem.cnf [--classic] [--noisy] "
                     "[--warmup N] [--sampler=%s] [--depth N] "
                     "[--num-reads N] [--reads-batch] "
-                    "[--topology=chimera|pegasus] "
+                    "[--reads-groups N] "
+                    "[--topology=chimera|pegasus|zephyr] "
                     "[--timeout-s X] [--conflicts N] "
                     "[--simplify[=off|light|full]] "
                     "[--metrics FILE] [--trace FILE] "
@@ -92,6 +98,7 @@ main(int argc, char **argv)
     int depth = 1;
     int num_reads = 1;
     bool reads_batch = false;
+    int reads_groups = 0;
     topology::Kind topo = topology::Kind::Chimera;
     double timeout_s = 0.0;
     std::int64_t conflict_budget = -1;
@@ -124,11 +131,14 @@ main(int argc, char **argv)
             num_reads = std::atoi(argv[++i]);
         else if (!std::strcmp(argv[i], "--reads-batch"))
             reads_batch = true;
+        else if (!std::strcmp(argv[i], "--reads-groups") &&
+                 i + 1 < argc)
+            reads_groups = std::atoi(argv[++i]);
         else if (!std::strncmp(argv[i], "--topology=", 11)) {
             const auto kind = topology::parseKind(argv[i] + 11);
             if (!kind) {
-                std::printf("c bad --topology: %s (expected chimera "
-                            "or pegasus)\n",
+                std::printf("c bad --topology: %s (expected chimera, "
+                            "pegasus or zephyr)\n",
                             argv[i] + 11);
                 return 2;
             }
@@ -137,8 +147,8 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--topology") && i + 1 < argc) {
             const auto kind = topology::parseKind(argv[++i]);
             if (!kind) {
-                std::printf("c bad --topology: %s (expected chimera "
-                            "or pegasus)\n",
+                std::printf("c bad --topology: %s (expected chimera, "
+                            "pegasus or zephyr)\n",
                             argv[i]);
                 return 2;
             }
@@ -278,14 +288,16 @@ main(int argc, char **argv)
         config.pipeline_depth = std::max(depth, 1);
         config.num_reads = std::max(num_reads, 1);
         config.reads_batch = reads_batch;
+        config.reads_groups = std::max(reads_groups, 0);
         config.topology = topo;
         core::HybridSolver solver(config);
         result = solver.solve(cnf);
         std::printf("c sampler=%s depth=%d num_reads=%d "
-                    "reads_batch=%d topology=%s simplify=%s\n",
+                    "reads_batch=%d reads_groups=%d topology=%s "
+                    "simplify=%s\n",
                     config.sampler.c_str(), config.pipeline_depth,
                     config.num_reads, reads_batch ? 1 : 0,
-                    topology::kindName(topo),
+                    config.reads_groups, topology::kindName(topo),
                     simplify::strengthName(strength));
         std::printf("c %d QA samples applied over %d warm-up "
                     "iterations (%d submitted, %d stale, %d stalls)\n",

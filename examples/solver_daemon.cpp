@@ -9,18 +9,22 @@
  *       [--port N] [--jobs N] [--workers N] [--queue-depth N]
  *       [--tenant-depth N] [--timeout-s X] [--conflicts N]
  *       [--memory-mb M] [--sampler NAME] [--depth N]
- *       [--num-reads N] [--reads-batch] [--topology NAME]
+ *       [--num-reads N] [--reads-batch] [--reads-groups N]
+ *       [--topology NAME]
  *       [--simplify off|light|full] [--noisy]
  *       [--drain finish|cancel] [--metrics FILE] [--trace FILE]
  *       [--quiet]
  *
  * --simplify sets the default inprocessing strength applied to every
  * job; a client's SUBMIT may override it per job with the optional
- * simplify=<level> token. --topology chimera|pegasus and
+ * simplify=<level> token. --topology chimera|pegasus|zephyr and
  * --reads-batch set the default hardware graph family and whether
- * multi-read anneals run the lockstep SIMD batch kernel; a SUBMIT
- * may override both with topology=<name> / reads_batch=<0|1>
- * tokens, and every report row echoes the effective values.
+ * multi-read anneals run the lockstep SIMD batch kernel, and
+ * --reads-groups N how many parallel lockstep groups the batch
+ * fans across the WorkPool (0 = auto: groups of up to 8 lanes); a
+ * SUBMIT may override them with topology=<name> / reads_batch=<0|1>
+ * / reads_groups=<n> tokens, and every report row echoes the
+ * effective values.
  *
  * Clients speak the line protocol of service/protocol.h (SUBMIT /
  * WAIT / STATUS / METRICS / SHUTDOWN); the bundled service_client
@@ -116,12 +120,15 @@ main(int argc, char **argv)
                 std::max(1, std::atoi(argv[++i]));
         } else if (!std::strcmp(argv[i], "--reads-batch")) {
             sopts.portfolio.base.reads_batch = true;
+        } else if (arg("--reads-groups")) {
+            sopts.portfolio.base.reads_groups =
+                std::max(0, std::atoi(argv[++i]));
         } else if (arg("--topology")) {
             const auto kind = topology::parseKind(argv[++i]);
             if (!kind) {
                 std::fprintf(stderr,
-                             "bad --topology: %s (expected chimera "
-                             "or pegasus)\n",
+                             "bad --topology: %s (expected chimera, "
+                             "pegasus or zephyr)\n",
                              argv[i]);
                 return 2;
             }
@@ -169,8 +176,8 @@ main(int argc, char **argv)
             "[--timeout-s X] [--conflicts N] [--memory-mb M] "
             "[--sessions N] [--tenant-sessions N] "
             "[--sampler NAME] [--depth N] "
-            "[--num-reads N] [--reads-batch] "
-            "[--topology chimera|pegasus] "
+            "[--num-reads N] [--reads-batch] [--reads-groups N] "
+            "[--topology chimera|pegasus|zephyr] "
             "[--simplify off|light|full] [--noisy] "
             "[--drain finish|cancel] [--metrics FILE] "
             "[--trace FILE] [--quiet]\n",

@@ -80,6 +80,7 @@ addStats(SaStats &into, const SaStats &s)
     into.flips_attempted += s.flips_attempted;
     into.flips_accepted += s.flips_accepted;
     into.reads += s.reads;
+    into.read_groups += s.read_groups;
 }
 
 /** Rewrite a coupling op's endpoints to the edge's CSR twin slots. */
@@ -304,6 +305,7 @@ QuantumAnnealer::sample(const qubo::EncodedProblem &problem,
     sa.greedy_finish = opts_.greedy_finish;
     sa.num_reads = opts_.num_reads;
     sa.lockstep = opts_.reads_batch;
+    sa.reads_groups = opts_.reads_groups;
 
     const std::vector<int> &spin_node = cp->spin_node;
     bool have_best = false;
@@ -415,6 +417,7 @@ QuantumAnnealer::sampleLogical(const qubo::EncodedProblem &problem,
     sa.greedy_finish = opts_.greedy_finish;
     sa.num_reads = opts_.num_reads;
     sa.lockstep = opts_.reads_batch;
+    sa.reads_groups = opts_.reads_groups;
 
     bool have_best = false;
     for (int attempt = 0; attempt < std::max(opts_.attempts, 1);

@@ -108,10 +108,21 @@ class QuantumAnnealer
         /**
          * Run multi-read anneals through the lockstep SIMD batch
          * kernel instead of WorkPool threads (SaOptions::lockstep):
-         * same best-of-N semantics, single-core throughput, its own
-         * determinism contract. No effect at num_reads <= 1.
+         * same best-of-N semantics, its own determinism contract.
+         * No effect at num_reads <= 1.
          */
         bool reads_batch = false;
+
+        /**
+         * Parallel lockstep groups for the batched path
+         * (SaOptions::reads_groups): 0 auto-sizes groups of up to 8
+         * SIMD lanes and fans them across the shared WorkPool, so
+         * the per-core vector speedup compounds with core count; 1
+         * forces the single-group path. Results stay a pure function
+         * of (seed, model, options) for every value — the partition
+         * never depends on the machine. No effect unless reads_batch.
+         */
+        int reads_groups = 0;
 
         std::uint64_t seed = 0x5eed0f2a;
     };

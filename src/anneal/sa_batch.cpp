@@ -8,6 +8,7 @@
 
 #include "anneal/sa_batch_kernels.h"
 #include "anneal/schedule.h"
+#include "anneal/work_pool.h"
 
 namespace hyqsat::anneal {
 
@@ -184,15 +185,22 @@ runLockstepScalar(BatchCtx &ctx)
 
 } // namespace detail
 
+namespace {
+
+/**
+ * One lockstep group: @p reads reads advance together through one
+ * instruction stream, seeded from @p base. This is the whole PR 9
+ * single-group path verbatim — the parallel scheduler below only
+ * decides how reads partition into groups and where each group runs.
+ */
 std::vector<SaResult>
-sampleLockstep(const SaCompiled &compiled, const double *h,
-               const double *w, const SaOptions &opts,
-               std::uint64_t base, simd::Isa isa)
+runLockstepGroup(const SaCompiled &compiled, const double *h,
+                 const double *w, const SaOptions &opts, int reads,
+                 std::uint64_t base, simd::Isa isa)
 {
     using namespace detail;
 
     const int n = compiled.numSpins();
-    const int reads = std::max(opts.num_reads, 1);
     const int lanes =
         (reads + kLaneQuantum - 1) / kLaneQuantum * kLaneQuantum;
     const int sweeps = std::max(opts.sweeps, 1);
@@ -352,6 +360,40 @@ sampleLockstep(const SaCompiled &compiled, const double *h,
             accepted[static_cast<std::size_t>(r)]);
         res.stats.reads = 1;
     }
+    return out;
+}
+
+} // namespace
+
+std::vector<SaResult>
+sampleLockstep(const SaCompiled &compiled, const double *h,
+               const double *w, const SaOptions &opts,
+               std::uint64_t base, simd::Isa isa, WorkPool *pool)
+{
+    const int reads = std::max(opts.num_reads, 1);
+    const int num_groups = lockstepGroupCount(reads, opts.reads_groups);
+    if (num_groups <= 1)
+        return runLockstepGroup(compiled, h, w, opts, reads, base, isa);
+
+    // Balanced partition (every group non-empty, sizes within one of
+    // each other) — like the group seeds, a pure function of
+    // (reads, num_groups). Groups write disjoint [lo, hi) slices of
+    // the shared result vector, so the merge is contention-free and
+    // order-independent by construction.
+    std::vector<SaResult> out(static_cast<std::size_t>(reads));
+    WorkPool &wp = pool ? *pool : WorkPool::shared();
+    wp.runIndexed(num_groups, [&](int g) {
+        const int lo = static_cast<int>(
+            static_cast<std::int64_t>(g) * reads / num_groups);
+        const int hi = static_cast<int>(
+            static_cast<std::int64_t>(g + 1) * reads / num_groups);
+        std::vector<SaResult> part =
+            runLockstepGroup(compiled, h, w, opts, hi - lo,
+                             lockstepGroupSeed(base, g), isa);
+        for (int r = lo; r < hi; ++r)
+            out[static_cast<std::size_t>(r)] =
+                std::move(part[static_cast<std::size_t>(r - lo)]);
+    });
     return out;
 }
 

@@ -392,14 +392,20 @@ SaSampler::sampleAll(const SaOptions &opts, Rng &rng) const
 
     if (opts.lockstep) {
         // The batched contract: one caller draw seeds the whole run
-        // (init lanes + shared Metropolis stream), results are
-        // bit-identical across ISAs. Sorting and stats aggregation
-        // mirror the WorkPool path below.
+        // (per-group bases + init lanes + Metropolis streams),
+        // results are bit-identical across ISAs and thread counts.
+        // sampleLockstep fans the lockstep groups across the shared
+        // WorkPool; each group writes its own disjoint result slots,
+        // so this single-threaded aggregation is the only merge and
+        // it happens contention-free after the barrier. Sorting and
+        // stats aggregation mirror the WorkPool path below.
         const std::uint64_t base = rng.next();
         out = sampleLockstep(*compiled_, h_, w_, opts, base,
                              simd::activeIsa());
         SaStats total;
         total.reads = static_cast<std::uint64_t>(reads);
+        total.read_groups = static_cast<std::uint64_t>(
+            lockstepGroupCount(reads, opts.reads_groups));
         for (const SaResult &r : out) {
             total.sweeps += r.stats.sweeps;
             total.flips_attempted += r.stats.flips_attempted;

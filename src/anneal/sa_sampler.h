@@ -83,6 +83,20 @@ struct SaOptions
      * reproduce the WorkPool reads' spins or RNG stream.
      */
     bool lockstep = false;
+
+    /**
+     * Number of parallel lockstep groups the batched path splits
+     * num_reads into; the groups fan out across the shared WorkPool
+     * so the SIMD per-core speedup compounds with core count.
+     * 0 (the default) is auto: groups of up to 8 lanes, i.e.
+     * ceil(num_reads / 8) groups. 1 forces the PR 9 single-group
+     * behaviour for any read count. The effective partition is a
+     * pure function of (num_reads, reads_groups) — NEVER of the
+     * machine's core count, pool size or ISA — so batched results
+     * stay bit-identical across thread counts (see sa_batch.h).
+     * Ignored unless lockstep is set.
+     */
+    int reads_groups = 0;
 };
 
 /** Work counters for one sample (observability; see MetricsRegistry). */
@@ -91,7 +105,8 @@ struct SaStats
     std::uint64_t sweeps = 0;
     std::uint64_t flips_attempted = 0; ///< single-spin + group proposals
     std::uint64_t flips_accepted = 0;
-    std::uint64_t reads = 0; ///< chains run
+    std::uint64_t reads = 0;       ///< chains run
+    std::uint64_t read_groups = 0; ///< parallel lockstep groups run
 };
 
 /** One sample. */

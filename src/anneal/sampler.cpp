@@ -36,6 +36,7 @@ AnnealMetrics::resolve(MetricsRegistry *registry)
     m.flips_attempted = registry->counter("anneal.flips.attempted");
     m.flips_accepted = registry->counter("anneal.flips.accepted");
     m.reads = registry->counter("anneal.reads");
+    m.read_groups = registry->counter("anneal.read_groups");
     m.sample_timer = registry->timer("anneal.sample");
     return m;
 }
@@ -181,6 +182,7 @@ makeSampler(const SamplerSpec &spec, const chimera::ChimeraGraph &graph)
         opts.sa.greedy_finish = spec.annealer.greedy_finish;
         opts.sa.num_reads = spec.annealer.num_reads;
         opts.sa.lockstep = spec.annealer.reads_batch;
+        opts.sa.reads_groups = spec.annealer.reads_groups;
         opts.timing = spec.annealer.timing;
         opts.seed = spec.annealer.seed;
         return std::make_unique<SaDirectSampler>(opts, spec.metrics);

@@ -57,6 +57,7 @@ struct AnnealMetrics
     Counter *flips_attempted = nullptr;
     Counter *flips_accepted = nullptr;
     Counter *reads = nullptr;
+    Counter *read_groups = nullptr; ///< parallel lockstep groups
 
     /** Host seconds spent producing samples ("anneal.sample"). */
     MetricTimer *sample_timer = nullptr;
@@ -71,6 +72,7 @@ struct AnnealMetrics
         metricInc(flips_attempted, stats.flips_attempted);
         metricInc(flips_accepted, stats.flips_accepted);
         metricInc(reads, stats.reads);
+        metricInc(read_groups, stats.read_groups);
     }
 };
 

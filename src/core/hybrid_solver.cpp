@@ -27,6 +27,9 @@ hybridSamplerSpec(const HybridConfig &config)
         std::max({config.num_reads, config.annealer.num_reads, 1});
     spec.annealer.reads_batch =
         config.reads_batch || config.annealer.reads_batch;
+    spec.annealer.reads_groups =
+        config.reads_groups > 0 ? config.reads_groups
+                                : config.annealer.reads_groups;
     spec.batch_samples = config.batch_samples;
     spec.pipeline_depth = std::max(config.pipeline_depth, 2);
     spec.rtt_us = config.rtt_us;

@@ -101,6 +101,16 @@ struct HybridConfig
      */
     bool reads_batch = false;
 
+    /**
+     * Parallel lockstep groups for the batched path
+     * (anneal::SaOptions::reads_groups): 0 auto-sizes groups of up
+     * to 8 SIMD lanes fanned across the shared WorkPool, 1 forces a
+     * single group, N pins the group count. Results are a pure
+     * function of (seed, model, options) for every value. No effect
+     * unless reads_batch is set.
+     */
+    int reads_groups = 0;
+
     /** Modeled network round trip per async sample (microseconds). */
     double rtt_us = 0.0;
 

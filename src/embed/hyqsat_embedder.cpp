@@ -261,27 +261,22 @@ class Builder
     }
 
     /**
-     * Rows of a variable's vertical chain, ascending. The chain must
-     * visit every crossing row (where a horizontal segment couples
-     * to it); between crossings it only needs stepping stones every
-     * lineReach() rows, so on Pegasus the skip couplers let the
-     * chain leave interior rows free. With reach 1 the bridging
-     * degenerates to the historical contiguous [r_min, r_max] span,
-     * keeping Chimera embeddings bit-identical.
+     * Chain rows derived from a raw rows_used_ entry: the first
+     * element is the soft home row (dropped once real crossings
+     * exist); between crossings only stepping stones every
+     * lineReach() rows are needed.
      */
     std::vector<int>
-    chainRows(Var v) const
+    chainRowsFrom(const std::vector<int> &rows) const
     {
-        const auto [r_min, r_max] = spanOf(v);
         std::vector<int> crossings;
-        const auto it = rows_used_.find(v);
-        if (it != rows_used_.end() && !it->second.empty()) {
-            const auto &rows = it->second;
+        if (!rows.empty()) {
             const auto begin =
                 rows.size() >= 2 ? rows.begin() + 1 : rows.begin();
             crossings.assign(begin, rows.end());
         } else {
-            crossings.push_back(r_min);
+            // Cannot happen: a home row is reserved at allocation.
+            crossings.push_back(graph_.rows() - 1);
         }
         std::sort(crossings.begin(), crossings.end());
         crossings.erase(
@@ -299,6 +294,40 @@ class Builder
             }
         }
         return out;
+    }
+
+    /**
+     * Rows of a variable's vertical chain, ascending. The chain must
+     * visit every crossing row (where a horizontal segment couples
+     * to it); between crossings it only needs stepping stones every
+     * lineReach() rows, so on Pegasus the skip couplers let the
+     * chain leave interior rows free. With reach 1 the bridging
+     * degenerates to the historical contiguous [r_min, r_max] span,
+     * keeping Chimera embeddings bit-identical.
+     */
+    std::vector<int>
+    chainRows(Var v) const
+    {
+        const auto it = rows_used_.find(v);
+        static const std::vector<int> kEmpty;
+        return chainRowsFrom(it != rows_used_.end() ? it->second
+                                                    : kEmpty);
+    }
+
+    /**
+     * Vertical qubits @p v's chain gains if row @p r is recorded as
+     * a new crossing (0 when the chain already covers it).
+     */
+    int
+    verticalGrowth(Var v, int r) const
+    {
+        const auto it = rows_used_.find(v);
+        if (it == rows_used_.end() || it->second.empty())
+            return 0; // first crossing replaces the home row
+        std::vector<int> with = it->second;
+        with.push_back(r);
+        return static_cast<int>(chainRowsFrom(with).size()) -
+               static_cast<int>(chainRowsFrom(it->second).size());
     }
 
     /**
@@ -413,6 +442,62 @@ class Builder
     }
 
     /**
+     * Try to host a [c1, c2] segment for @p owner_var on the
+     * odd-coupled partner line of one of the owner's existing
+     * segments. A shared column's per-cell odd coupler splices the
+     * new segment into the owner's chain, and the partner runs
+     * through the same cell row, so no vertical chain gains a
+     * crossing row. Only spans that already overlap the existing
+     * segment qualify (the placement costs exactly the cells a
+     * first-fit placement would), and only rows that grow no
+     * participant's vertical chain — so taking the partner line is
+     * never worse than whatever row first-fit would have picked.
+     * Returns false on fabrics without odd couplers
+     * (horizontalLinePartner() is -1).
+     */
+    template <typename RowOk, typename MarkRows>
+    bool
+    tryOddPartner(Var owner_var, int c1, int c2,
+                  const std::vector<Var> &touching, const RowOk &rowOk,
+                  const MarkRows &markRows,
+                  std::vector<std::size_t> *new_segments)
+    {
+        for (std::size_t si = 0; si < segments_.size(); ++si) {
+            // Copy the fields: push_back below reallocates.
+            const Segment s = segments_[si];
+            if (s.owner_is_aux || s.owner_var != owner_var)
+                continue;
+            const int partner = graph_.horizontalLinePartner(s.hline);
+            if (partner < 0)
+                continue;
+            if (c2 < s.c1 || c1 > s.c2)
+                continue; // no shared column to splice through
+            const int row = graph_.horizontalLineRow(s.hline);
+            if (!rowOk(row))
+                continue;
+            bool grows = verticalGrowth(owner_var, row) > 0;
+            for (std::size_t vi = 0; vi < touching.size() && !grows;
+                 ++vi)
+                grows = verticalGrowth(touching[vi], row) > 0;
+            if (grows)
+                continue;
+            bool free = true;
+            for (int c = c1; c <= c2 && free; ++c)
+                free = !hline_used_[partner][c];
+            if (!free)
+                continue;
+            for (int c = c1; c <= c2; ++c)
+                hline_used_[partner][c] = 1;
+            segments_.push_back(
+                {false, owner_var, -1, partner, c1, c2});
+            new_segments->push_back(segments_.size() - 1);
+            markRows(graph_.horizontalLineRow(s.hline));
+            return true;
+        }
+        return false;
+    }
+
+    /**
      * Place (or extend) a horizontal segment for @p owner covering
      * every column in @p cols; record the crossing row for each
      * variable in @p touching so vertical spans cover it.
@@ -487,6 +572,22 @@ class Builder
                     new_segments->push_back(segments_.size() - 1);
                 }
                 markRows(graph_.horizontalLineRow(s.hline));
+                return true;
+            }
+
+            // Second pass: every same-line extension was blocked by
+            // occupancy. On fabrics with odd couplers, a segment on
+            // the odd-coupled partner line still crosses every target
+            // column in the same cell row, and sharing one column
+            // with the owner's existing segment splices the two into
+            // one chain through the per-cell odd coupler — so the
+            // clause is served without opening a new crossing row on
+            // any vertical chain. Only spans that already overlap the
+            // owner's segment qualify (zero extra cells versus a
+            // first-fit placement). No-op on Chimera.
+            if (opts_.odd_couplers &&
+                tryOddPartner(owner_var, c1, c2, touching, rowOk,
+                              markRows, new_segments)) {
                 return true;
             }
         }

@@ -67,6 +67,18 @@ struct HyQsatEmbedderOptions
      */
     bool reuse_segments = true;
 
+    /**
+     * On fabrics with odd couplers (Pegasus/Zephyr), when every
+     * same-line extension of the owner's segments is blocked, place
+     * the new segment on the odd-coupled partner line of an existing
+     * segment instead of opening a fresh crossing row: the partner
+     * line runs through the same cell row, and any shared column's
+     * odd coupler splices the two segments into one chain, so no
+     * vertical chain grows. Inert on Chimera (no odd couplers), so
+     * Chimera embeddings stay bit-identical.
+     */
+    bool odd_couplers = true;
+
     /** Encoder options for the embedded prefix's objective. */
     qubo::EncoderOptions encoder;
 };

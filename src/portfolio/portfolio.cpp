@@ -41,7 +41,7 @@ PortfolioSolver::diversify(const core::HybridConfig &base, int n)
     for (int i = 0; i < n; ++i) {
         WorkerConfig w;
         w.hybrid = base;
-        switch (i % 9) {
+        switch (i % 10) {
         case 0:
             // Slot 0 IS the base config: a 1-worker portfolio must
             // reproduce the single solver bit for bit.
@@ -98,6 +98,17 @@ PortfolioSolver::diversify(const core::HybridConfig &base, int n)
             w.label = "presolve";
             w.hybrid.simplify_strength = simplify::Strength::Full;
             break;
+        case 9:
+            // Parallel lockstep reads: 16 decorrelated chains per
+            // device sample through the SIMD batch kernel, fanned
+            // across the WorkPool in auto-sized groups of 8 lanes.
+            // Since PR 10 the groups no longer serialize on one
+            // core, so this slot stops fighting the other workers
+            // for its throughput and earns a default seat.
+            w.label = "reads-batch";
+            w.hybrid.num_reads = std::max(base.num_reads, 16);
+            w.hybrid.reads_batch = true;
+            break;
         }
         if (i > 0) {
             // Decorrelate every RNG stream so identical variants in
@@ -108,8 +119,8 @@ PortfolioSolver::diversify(const core::HybridConfig &base, int n)
             w.hybrid.annealer.seed =
                 mixSeed(base.annealer.seed, salt);
         }
-        if (i >= 9)
-            w.label += "#" + std::to_string(i / 9);
+        if (i >= 10)
+            w.label += "#" + std::to_string(i / 10);
         slate.push_back(std::move(w));
     }
     return slate;

@@ -149,9 +149,10 @@ class PortfolioSolver
      * The diversification table: slot 0 is the base config
      * unchanged (so a 1-worker portfolio is exactly the single
      * solver); later slots vary sampler backend, pipeline depth,
-     * branching, warm-up, clause-queue head selection and
-     * inprocessing strength, each with decorrelated seeds. Cycles
-     * with fresh seeds past the table.
+     * branching, warm-up, clause-queue head selection,
+     * inprocessing strength and parallel lockstep reads (the
+     * dedicated reads-batch slot), each with decorrelated seeds.
+     * Cycles with fresh seeds past the table.
      */
     static std::vector<WorkerConfig>
     diversify(const core::HybridConfig &base, int n);

@@ -66,6 +66,13 @@ struct JobSpec
      * the scheduler's configured default.
      */
     int reads_batch = -1;
+
+    /**
+     * Parallel lockstep-group override for the batched path: >= 0
+     * pins HybridConfig::reads_groups (0 = auto-sized groups of up
+     * to 8 lanes), -1 keeps the scheduler's configured default.
+     */
+    int reads_groups = -1;
 };
 
 /** Admission-control verdict for one submit. */

@@ -38,6 +38,7 @@ parseOption(std::string_view opt, Request &req)
     constexpr std::string_view kSimplify = "simplify=";
     constexpr std::string_view kTopology = "topology=";
     constexpr std::string_view kReadsBatch = "reads_batch=";
+    constexpr std::string_view kReadsGroups = "reads_groups=";
     if (opt.rfind(kSimplify, 0) == 0) {
         const auto value = opt.substr(kSimplify.size());
         simplify::Strength strength;
@@ -60,12 +61,20 @@ parseOption(std::string_view opt, Request &req)
         req.reads_batch = value == "1" ? 1 : 0;
         return true;
     }
+    if (opt.rfind(kReadsGroups, 0) == 0) {
+        const auto value = opt.substr(kReadsGroups.size());
+        int groups = -1;
+        if (!parseInt(value, groups) || groups < 0 || groups > 4096)
+            return false;
+        req.reads_groups = groups;
+        return true;
+    }
     return false;
 }
 
 constexpr const char *kOptionUsage =
-    "simplify=<off|light|full>, topology=<chimera|pegasus> or "
-    "reads_batch=<0|1>";
+    "simplify=<off|light|full>, topology=<chimera|pegasus|zephyr>, "
+    "reads_batch=<0|1> or reads_groups=<n>";
 
 } // namespace
 
@@ -104,11 +113,11 @@ parseRequest(std::string_view line)
         // SUBMIT <tenant> <priority> <name> [key=value...] — all
         // single tokens; the optional extras are key=value overrides
         // in any order (anything else stays Invalid).
-        if (tokens.size() < 4 || tokens.size() > 7) {
+        if (tokens.size() < 4 || tokens.size() > 8) {
             req.error = "usage: SUBMIT <tenant> <priority> <name> "
                         "[simplify=<off|light|full>] "
-                        "[topology=<chimera|pegasus>] "
-                        "[reads_batch=<0|1>]";
+                        "[topology=<chimera|pegasus|zephyr>] "
+                        "[reads_batch=<0|1>] [reads_groups=<n>]";
             return req;
         }
         if (!parseInt(tokens[2], req.priority)) {

@@ -52,6 +52,12 @@ struct InstanceRecord
     /** True when multi-read anneals ran the lockstep batch kernel. */
     bool reads_batch = false;
 
+    /**
+     * Effective parallel lockstep-group setting of the batched path
+     * (0 = auto-sized groups of up to 8 lanes).
+     */
+    int reads_groups = 0;
+
     double wall_s = 0.0;
     int vars = 0;
     int clauses = 0;

@@ -397,6 +397,15 @@ JobScheduler::runJob(const std::shared_ptr<Job> &job)
     }
     rec.reads_batch = reads_batch;
 
+    int reads_groups = popts.base.reads_groups;
+    if (spec.reads_groups >= 0) {
+        reads_groups = spec.reads_groups;
+        popts.base.reads_groups = reads_groups;
+        for (portfolio::WorkerConfig &w : popts.workers)
+            w.hybrid.reads_groups = reads_groups;
+    }
+    rec.reads_groups = reads_groups;
+
     const int workers = popts.workers.empty()
                             ? popts.num_workers
                             : static_cast<int>(popts.workers.size());

@@ -265,6 +265,7 @@ Server::serveConnection(int fd)
             spec.simplify = req.simplify;
             spec.topology = req.topology;
             spec.reads_batch = req.reads_batch;
+            spec.reads_groups = req.reads_groups;
             spec.dimacs = std::move(dimacs);
             const Submission sub = scheduler_.submit(std::move(spec));
             if (!sendLine(fd, formatSubmission(sub)))

@@ -26,6 +26,8 @@ kindName(Kind kind)
         return "chimera";
     case Kind::Pegasus:
         return "pegasus";
+    case Kind::Zephyr:
+        return "zephyr";
     }
     return "chimera";
 }
@@ -37,6 +39,8 @@ parseKind(std::string_view name)
         return Kind::Chimera;
     if (name == "pegasus")
         return Kind::Pegasus;
+    if (name == "zephyr")
+        return Kind::Zephyr;
     return std::nullopt;
 }
 
@@ -83,10 +87,10 @@ Topology::Topology(Kind kind, int rows, int cols, int shore)
                             qubitId(r, c + 1, Shore::Horizontal, k));
                 }
             }
-            if (kind_ != Kind::Pegasus)
+            if (kind_ == Kind::Chimera)
                 continue;
             // Odd couplers: tracks (2t, 2t+1) of each shore paired
-            // inside the cell.
+            // inside the cell (Pegasus and Zephyr).
             for (int t = 0; 2 * t + 1 < shore_; ++t) {
                 addEdge(qubitId(r, c, Shore::Vertical, 2 * t),
                         qubitId(r, c, Shore::Vertical, 2 * t + 1));
@@ -105,6 +109,24 @@ Topology::Topology(Kind kind, int rows, int cols, int shore)
                 for (int k = 0; k < shore_; ++k) {
                     addEdge(qubitId(r, c, Shore::Horizontal, k),
                             qubitId(r, c + 2, Shore::Horizontal, k));
+                }
+            }
+            if (kind_ != Kind::Zephyr)
+                continue;
+            // Zephyr's third coupler distance: each line also
+            // reaches the cell three steps away, appended after the
+            // Pegasus extras so the shared prefix of the emission
+            // order stays frozen.
+            if (r + 3 < rows_) {
+                for (int k = 0; k < shore_; ++k) {
+                    addEdge(qubitId(r, c, Shore::Vertical, k),
+                            qubitId(r + 3, c, Shore::Vertical, k));
+                }
+            }
+            if (c + 3 < cols_) {
+                for (int k = 0; k < shore_; ++k) {
+                    addEdge(qubitId(r, c, Shore::Horizontal, k),
+                            qubitId(r, c + 3, Shore::Horizontal, k));
                 }
             }
         }

@@ -10,7 +10,7 @@
  * horizontal chain. A vertical and a horizontal line cross in exactly
  * one cell, where an intra-cell coupler connects them.
  *
- * Two families share that skeleton:
+ * Three families share that skeleton:
  *
  *  - Chimera (D-Wave 2000Q: 16x16 cells of K4,4, 2048 qubits).
  *    Intra-cell couplers form a complete bipartite K_{s,s}; inter-cell
@@ -25,6 +25,13 @@
  *    horizontal one). Degree rises to ~9 and a chain along a line may
  *    skip every other cell (lineReach() 2), so the same clause queue
  *    embeds with shorter chains.
+ *
+ *  - Zephyr-style. Everything Pegasus has plus a third coupler
+ *    distance along each line (rows r and r+3 on a vertical line,
+ *    columns c and c+3 on a horizontal one), in the spirit of
+ *    D-Wave's Zephyr fabric's longer internal couplers. A chain may
+ *    leave two cells free between consecutive qubits (lineReach()
+ *    3), thinning chains further on large grids.
  *
  * The class is a drop-in replacement for the former
  * chimera::ChimeraGraph (that name is now an alias); the plain
@@ -70,12 +77,13 @@ enum class Kind
 {
     Chimera = 0,
     Pegasus = 1,
+    Zephyr = 2,
 };
 
 /** Canonical lowercase name of a topology kind. */
 const char *kindName(Kind kind);
 
-/** Parse "chimera"/"pegasus" (exact, lowercase). */
+/** Parse "chimera"/"pegasus"/"zephyr" (exact, lowercase). */
 std::optional<Kind> parseKind(std::string_view name);
 
 /** Hardware graph with explicit coupler enumeration. */
@@ -111,6 +119,13 @@ class Topology
     pegasus(int rows, int cols, int shore = 4)
     {
         return {Kind::Pegasus, rows, cols, shore};
+    }
+
+    /** Zephyr-style graph of the given cell grid. */
+    static Topology
+    zephyr(int rows, int cols, int shore = 4)
+    {
+        return {Kind::Zephyr, rows, cols, shore};
     }
 
     Kind kind() const { return kind_; }
@@ -180,11 +195,47 @@ class Topology
     /**
      * Maximum cell-index step between consecutive qubits of a
      * connected chain along one line: 1 on Chimera (lines are simple
-     * chains), 2 on Pegasus (skip couplers bridge one unused cell).
-     * The embedder uses this both to thin chains and to relax the
-     * separation margin between segments sharing a line.
+     * chains), 2 on Pegasus (skip couplers bridge one unused cell),
+     * 3 on Zephyr (skip-3 couplers bridge two). The embedder uses
+     * this both to thin chains and to relax the separation margin
+     * between segments sharing a line.
      */
-    int lineReach() const { return kind_ == Kind::Pegasus ? 2 : 1; }
+    int
+    lineReach() const
+    {
+        switch (kind_) {
+        case Kind::Zephyr:
+            return 3;
+        case Kind::Pegasus:
+            return 2;
+        case Kind::Chimera:
+            break;
+        }
+        return 1;
+    }
+
+    /**
+     * Whether the fabric has odd couplers pairing tracks (2t, 2t+1)
+     * of a shore inside each cell (Pegasus and Zephyr; Chimera does
+     * not). When true, every cell couples horizontalLinePartner()
+     * lines at each column they share.
+     */
+    bool hasOddCouplers() const { return kind_ != Kind::Chimera; }
+
+    /**
+     * The horizontal line odd-coupled to @p line (same cell row,
+     * partner track of the (2t, 2t+1) pair), or -1 when the track
+     * is unpaired (odd shore tail) or the family has no odd
+     * couplers.
+     */
+    int
+    horizontalLinePartner(int line) const
+    {
+        const int track = line % shore_;
+        if (!hasOddCouplers() || (track | 1) >= shore_)
+            return -1;
+        return line - track + (track ^ 1);
+    }
 
   private:
     Kind kind_;

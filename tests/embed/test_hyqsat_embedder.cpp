@@ -177,6 +177,109 @@ TEST(HyQsatEmbedder, AuxChainsLiveOnHorizontalLines)
     }
 }
 
+namespace {
+
+/** Short-clause queue over few variables: heavy segment churn, the
+ * regime where the odd-coupler partner-line path fires. */
+std::vector<LitVec>
+congestedQueue(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<LitVec> queue;
+    const int vars = 4 + static_cast<int>(rng.next() % 6);
+    const int n = 10 + static_cast<int>(rng.next() % 30);
+    for (int i = 0; i < n; ++i) {
+        const int k = 2 + static_cast<int>(rng.next() % 2);
+        LitVec c;
+        for (int j = 0; j < k; ++j)
+            c.push_back(mkLit(static_cast<int>(rng.next() % vars),
+                              rng.next() & 1));
+        queue.push_back(c);
+    }
+    return queue;
+}
+
+} // namespace
+
+TEST(HyQsatEmbedder, OddCouplersNeverWorseOnPegasus)
+{
+    // A/B over congested queues on odd-coupler fabrics: with the
+    // partner-line path enabled the embedding must stay valid, embed
+    // at least as many clauses, and never lengthen the longest
+    // chain. Seed 2202 is a known firing instance (kept first so the
+    // path is exercised, not just vacuously equal).
+    HyQsatEmbedderOptions on;
+    on.odd_couplers = true;
+    HyQsatEmbedderOptions off;
+    off.odd_couplers = false;
+    int fired = 0;
+    for (const std::uint64_t seed :
+         {2202ull, 138ull, 2306ull, 2167ull, 7ull, 77ull, 777ull}) {
+        const auto queue = congestedQueue(seed);
+        for (const ChimeraGraph &g :
+             {ChimeraGraph::pegasus(3, 3, 2),
+              ChimeraGraph::pegasus(4, 4, 2),
+              ChimeraGraph::pegasus(6, 6, 4),
+              ChimeraGraph::zephyr(4, 4, 2)}) {
+            const auto r_on = HyQsatEmbedder(g, on).embedQueue(queue);
+            const auto r_off = HyQsatEmbedder(g, off).embedQueue(queue);
+            std::string why;
+            ASSERT_TRUE(
+                r_on.embedding.isValid(g, r_on.problem.edges(), &why))
+                << g.name() << " seed " << seed << ": " << why;
+            EXPECT_GE(r_on.embedded_clauses, r_off.embedded_clauses)
+                << g.name() << " seed " << seed;
+            EXPECT_LE(r_on.embedding.maxChainLength(),
+                      r_off.embedding.maxChainLength())
+                << g.name() << " seed " << seed;
+            if (r_on.embedding.chains() != r_off.embedding.chains())
+                ++fired;
+        }
+    }
+    EXPECT_GT(fired, 0)
+        << "the odd-coupler path never fired; the A/B is vacuous";
+}
+
+TEST(HyQsatEmbedder, OddCouplerPathShortensKnownCongestedChains)
+{
+    // The frozen win instance: extension blocked on the owner's own
+    // line, partner line free in the same cell row — the odd coupler
+    // splices the segment in without a new crossing row, shortening
+    // the longest chain.
+    const auto queue = congestedQueue(2202);
+    HyQsatEmbedderOptions on;
+    on.odd_couplers = true;
+    HyQsatEmbedderOptions off;
+    off.odd_couplers = false;
+    const ChimeraGraph g = ChimeraGraph::pegasus(3, 3, 2);
+    const auto r_on = HyQsatEmbedder(g, on).embedQueue(queue);
+    const auto r_off = HyQsatEmbedder(g, off).embedQueue(queue);
+    EXPECT_EQ(r_on.embedded_clauses, r_off.embedded_clauses);
+    EXPECT_LT(r_on.embedding.maxChainLength(),
+              r_off.embedding.maxChainLength());
+    EXPECT_LT(r_on.embedding.totalQubits(),
+              r_off.embedding.totalQubits());
+}
+
+TEST(HyQsatEmbedder, OddCouplerOptionInertOnChimera)
+{
+    // Chimera has no odd couplers: the option must be a bit-identical
+    // no-op there.
+    HyQsatEmbedderOptions on;
+    on.odd_couplers = true;
+    HyQsatEmbedderOptions off;
+    off.odd_couplers = false;
+    for (const std::uint64_t seed : {2202ull, 138ull, 9ull}) {
+        const auto queue = congestedQueue(seed);
+        const ChimeraGraph g(3, 3, 2);
+        const auto r_on = HyQsatEmbedder(g, on).embedQueue(queue);
+        const auto r_off = HyQsatEmbedder(g, off).embedQueue(queue);
+        EXPECT_EQ(r_on.embedded_clauses, r_off.embedded_clauses);
+        EXPECT_EQ(r_on.embedding.chains(), r_off.embedding.chains())
+            << "seed " << seed;
+    }
+}
+
 TEST(HyQsatEmbedder, RepeatedIdenticalClausesReuseCouplings)
 {
     const ChimeraGraph g(4, 4, 4);

@@ -260,6 +260,20 @@ TEST(PortfolioSolver, DiversifyTableShape)
     for (const auto &w : slate)
         samplers.insert(w.hybrid.sampler);
     EXPECT_GE(samplers.size(), 3u);
+
+    // Slot 9 is the dedicated parallel-lockstep-reads worker: batch
+    // kernel on, at least 16 chains per device sample.
+    EXPECT_EQ(slate[9].label, "reads-batch");
+    EXPECT_TRUE(slate[9].hybrid.reads_batch);
+    EXPECT_GE(slate[9].hybrid.num_reads, 16);
+
+    // Past the table the labels cycle with a #N suffix and fresh
+    // seeds.
+    const auto wide = PortfolioSolver::diversify(base, 12);
+    ASSERT_EQ(wide.size(), 12u);
+    EXPECT_EQ(wide[10].label, "base#1");
+    EXPECT_EQ(wide[11].label, "cdcl#1");
+    EXPECT_NE(wide[10].hybrid.seed, wide[0].hybrid.seed);
 }
 
 TEST(PortfolioSolver, ExplicitWorkerSlateRespected)

@@ -85,11 +85,42 @@ TEST(ServiceProtocol, SubmitTopologyAndReadsBatchOptions)
     const Request plain = parseRequest("SUBMIT acme 3 job-1");
     EXPECT_TRUE(plain.topology.empty());
     EXPECT_EQ(plain.reads_batch, -1);
-    EXPECT_EQ(parseRequest("SUBMIT acme 3 j topology=zephyr").verb,
+    EXPECT_EQ(parseRequest("SUBMIT acme 3 j topology=zephyr").topology,
+              "zephyr");
+    EXPECT_EQ(parseRequest("SUBMIT acme 3 j topology=kite").verb,
               Verb::Invalid);
     EXPECT_EQ(parseRequest("SUBMIT acme 3 j reads_batch=yes").verb,
               Verb::Invalid);
     EXPECT_EQ(parseRequest("SUBMIT acme 3 j topology=").verb,
+              Verb::Invalid);
+}
+
+TEST(ServiceProtocol, SubmitReadsGroupsOption)
+{
+    // reads_groups= composes with every other override; 0 means
+    // auto-sized lockstep groups, -1 (absent) keeps the daemon
+    // default.
+    const Request req = parseRequest(
+        "SUBMIT acme 2 job-9 reads_batch=1 reads_groups=4 "
+        "topology=zephyr simplify=off");
+    EXPECT_EQ(req.verb, Verb::Submit);
+    EXPECT_EQ(req.reads_batch, 1);
+    EXPECT_EQ(req.reads_groups, 4);
+    EXPECT_EQ(req.topology, "zephyr");
+
+    EXPECT_EQ(parseRequest("SUBMIT t 0 j reads_groups=0").reads_groups,
+              0);
+    EXPECT_EQ(parseRequest("SUBMIT t 0 j").reads_groups, -1)
+        << "unset keeps the daemon default";
+
+    // Bounds and syntax: negative, huge, and junk stay Invalid.
+    EXPECT_EQ(parseRequest("SUBMIT t 0 j reads_groups=-1").verb,
+              Verb::Invalid);
+    EXPECT_EQ(parseRequest("SUBMIT t 0 j reads_groups=4097").verb,
+              Verb::Invalid);
+    EXPECT_EQ(parseRequest("SUBMIT t 0 j reads_groups=").verb,
+              Verb::Invalid);
+    EXPECT_EQ(parseRequest("SUBMIT t 0 j reads_groups=two").verb,
               Verb::Invalid);
 }
 

@@ -16,14 +16,15 @@ TEST(Topology, KindNamesRoundTrip)
 {
     EXPECT_STREQ(kindName(Kind::Chimera), "chimera");
     EXPECT_STREQ(kindName(Kind::Pegasus), "pegasus");
-    for (Kind k : {Kind::Chimera, Kind::Pegasus}) {
+    EXPECT_STREQ(kindName(Kind::Zephyr), "zephyr");
+    for (Kind k : {Kind::Chimera, Kind::Pegasus, Kind::Zephyr}) {
         const auto parsed = parseKind(kindName(k));
         ASSERT_TRUE(parsed.has_value());
         EXPECT_EQ(*parsed, k);
     }
     EXPECT_FALSE(parseKind("").has_value());
     EXPECT_FALSE(parseKind("Chimera").has_value());
-    EXPECT_FALSE(parseKind("zephyr").has_value());
+    EXPECT_FALSE(parseKind("zephyr2").has_value());
 }
 
 TEST(Topology, ChimeraMatchesLegacyExpectations)
@@ -100,10 +101,92 @@ TEST(Topology, PegasusSkipCouplersStrideTwoCells)
                              c.verticalLineQubit(7, 2)));
 }
 
+TEST(Topology, ZephyrKeepsPegasusCouplers)
+{
+    const Topology p = Topology::pegasus(6, 6, 4);
+    const Topology z = Topology::zephyr(6, 6, 4);
+    EXPECT_EQ(z.kind(), Kind::Zephyr);
+    EXPECT_STREQ(z.name(), "zephyr");
+    EXPECT_EQ(z.numQubits(), p.numQubits());
+    EXPECT_EQ(z.lineReach(), 3);
+    // Every Pegasus coupler (and hence the Chimera skeleton)
+    // survives in the Zephyr-style graph.
+    for (const auto &[a, b] : p.edges())
+        EXPECT_TRUE(z.connected(a, b)) << a << "-" << b;
+    // The extras are exactly the skip-3 couplers: rows-3 per
+    // vertical line and cols-3 per horizontal line.
+    const int skip3 = (6 - 3) * 6 * 4 * 2;
+    EXPECT_EQ(z.numCouplers(), p.numCouplers() + skip3);
+}
+
+TEST(Topology, ZephyrSkipCouplersStrideThreeCells)
+{
+    const Topology z = Topology::zephyr(7, 7, 4);
+    // Vertical line: rows r and r+3 connected (plus the Pegasus
+    // strides 1 and 2); never stride 4+.
+    EXPECT_TRUE(z.connected(z.verticalLineQubit(9, 0),
+                            z.verticalLineQubit(9, 3)));
+    EXPECT_TRUE(z.connected(z.verticalLineQubit(9, 2),
+                            z.verticalLineQubit(9, 5)));
+    EXPECT_TRUE(z.connected(z.verticalLineQubit(9, 1),
+                            z.verticalLineQubit(9, 3)));
+    EXPECT_FALSE(z.connected(z.verticalLineQubit(9, 0),
+                             z.verticalLineQubit(9, 4)));
+    EXPECT_TRUE(z.connected(z.horizontalLineQubit(5, 1),
+                            z.horizontalLineQubit(5, 4)));
+    EXPECT_FALSE(z.connected(z.horizontalLineQubit(5, 0),
+                             z.horizontalLineQubit(5, 4)));
+    // Pegasus stops at stride 2.
+    const Topology p = Topology::pegasus(7, 7, 4);
+    EXPECT_FALSE(p.connected(p.verticalLineQubit(9, 0),
+                             p.verticalLineQubit(9, 3)));
+}
+
+TEST(Topology, OddCouplerPartnersAndCapability)
+{
+    const Topology p = Topology::pegasus(4, 4, 4);
+    EXPECT_TRUE(p.hasOddCouplers());
+    EXPECT_TRUE(Topology::zephyr(4, 4, 4).hasOddCouplers());
+    EXPECT_FALSE(Topology::chimera(4, 4, 4).hasOddCouplers());
+
+    // Tracks pair as (2t, 2t+1) within the same cell row: line
+    // r*shore + track. Row 2, shore 4: lines 8..11.
+    EXPECT_EQ(p.horizontalLinePartner(8), 9);
+    EXPECT_EQ(p.horizontalLinePartner(9), 8);
+    EXPECT_EQ(p.horizontalLinePartner(10), 11);
+    EXPECT_EQ(p.horizontalLinePartner(11), 10);
+    // Partner lines share the cell row and are odd-coupled at every
+    // column they both cross.
+    for (int line = 0; line < p.numHorizontalLines(); ++line) {
+        const int partner = p.horizontalLinePartner(line);
+        ASSERT_GE(partner, 0);
+        EXPECT_EQ(p.horizontalLineRow(partner),
+                  p.horizontalLineRow(line));
+        for (int c = 0; c < p.cols(); ++c) {
+            EXPECT_TRUE(
+                p.connected(p.horizontalLineQubit(line, c),
+                            p.horizontalLineQubit(partner, c)));
+        }
+    }
+
+    // Odd shore: the unpaired tail track has no partner.
+    const Topology odd = Topology::pegasus(3, 3, 3);
+    EXPECT_EQ(odd.horizontalLinePartner(0), 1);
+    EXPECT_EQ(odd.horizontalLinePartner(1), 0);
+    EXPECT_EQ(odd.horizontalLinePartner(2), -1);
+    EXPECT_EQ(odd.horizontalLinePartner(3 + 2), -1); // row 1 tail
+
+    // Chimera has no odd couplers at all.
+    const Topology c = Topology::chimera(4, 4, 4);
+    for (int line = 0; line < c.numHorizontalLines(); ++line)
+        EXPECT_EQ(c.horizontalLinePartner(line), -1);
+}
+
 TEST(Topology, EdgesAreCanonicalAndUnique)
 {
     for (const Topology &g :
-         {Topology::chimera(3, 4, 2), Topology::pegasus(3, 4, 2)}) {
+         {Topology::chimera(3, 4, 2), Topology::pegasus(3, 4, 2),
+          Topology::zephyr(4, 5, 2)}) {
         std::set<std::pair<int, int>> seen;
         for (const auto &e : g.edges()) {
             EXPECT_LT(e.first, e.second);
@@ -132,7 +215,8 @@ TEST(Topology, EmbedderProducesValidPegasusEmbeddings)
     const std::vector<sat::LitVec> clauses(cnf.clauses().begin(),
                                            cnf.clauses().end());
     for (const Topology &g :
-         {Topology::chimera(16, 16, 4), Topology::pegasus(16, 16, 4)}) {
+         {Topology::chimera(16, 16, 4), Topology::pegasus(16, 16, 4),
+          Topology::zephyr(16, 16, 4)}) {
         embed::HyQsatEmbedder embedder(g);
         const auto fx = embedder.embedQueue(clauses);
         EXPECT_GT(fx.embedded_clauses, 0) << g.name();
@@ -156,6 +240,28 @@ TEST(Topology, EmbedderProducesValidPegasusEmbeddings)
                 << " is disconnected";
         }
     }
+}
+
+TEST(Topology, HybridSolveRunsOnZephyr)
+{
+    Rng rng(27);
+    const auto cnf = sat::testing::randomCnf(20, 70, 3, rng);
+    const auto truth = sat::bruteForceSolve(cnf);
+    core::HybridConfig cfg;
+    cfg.topology = Kind::Zephyr;
+    cfg.chimera_rows = 8;
+    cfg.chimera_cols = 8;
+    cfg.annealer.noise = anneal::NoiseModel::noiseFree();
+    cfg.annealer.greedy_finish = true;
+    cfg.warmup_override = 6;
+    cfg.seed = 0x2e9f;
+    core::HybridSolver solver(cfg);
+    EXPECT_EQ(solver.graph().kind(), Kind::Zephyr);
+    const auto res = solver.solve(cnf);
+    ASSERT_TRUE(res.status.isTrue() || res.status.isFalse());
+    EXPECT_EQ(res.status.isTrue(), truth.satisfiable);
+    if (res.status.isTrue())
+        EXPECT_TRUE(cnf.eval(res.model));
 }
 
 TEST(Topology, HybridSolveRunsOnPegasus)
